@@ -1,0 +1,59 @@
+"""Ablation: the chain-size runtime parameter (Section 5).
+
+The paper: "chain-size is a runtime parameter that can be dynamically
+tuned for different systems"; "Experimental evaluation for our platform
+also suggests that eight is the ideal P for [the] CC approach. The
+benefits start to decrease beyond P > 8."
+
+Two sweeps: (a) CB-k at fixed scale as the chain-size k varies;
+(b) a single chain's advantage over the binomial as its length grows.
+"""
+
+from common import MiB, emit, fmt_table, fmt_time, osu_reduce, run_once
+
+from repro.mpi import MV2GDR
+
+NBYTES = 64 * MiB
+P = 64
+CHAIN_SIZES = (2, 4, 8, 16, 32)
+CHAIN_LENGTHS = (2, 4, 8, 16, 32)
+
+
+def run_ablation():
+    cb = {k: osu_reduce("A", MV2GDR, NBYTES, P, design=f"CB-{k}")
+          for k in CHAIN_SIZES}
+    pure = {}
+    for L in CHAIN_LENGTHS:
+        pure[L] = (osu_reduce("A", MV2GDR, NBYTES, L, design="chain"),
+                   osu_reduce("A", MV2GDR, NBYTES, L, design="flat"))
+    return cb, pure
+
+
+def test_chain_size_ablation(benchmark):
+    cb, pure = run_once(benchmark, run_ablation)
+
+    rows = [[f"CB-{k}", fmt_time(t)] for k, t in cb.items()]
+    text = fmt_table(
+        f"Chain-size ablation: CB-k at {P} procs, 64 MB, Cluster-A",
+        ["design", "latency"], rows)
+    rows2 = [[L, fmt_time(tc), fmt_time(tb), f"{tb / tc:4.2f}x"]
+             for L, (tc, tb) in pure.items()]
+    text += "\n\n" + fmt_table(
+        "Single chain vs binomial as the chain grows (64 MB)",
+        ["P", "chain", "binomial", "chain advantage"], rows2)
+    emit("ablation_chain_size", text)
+
+    # A bounded chain size beats both extremes: the sweet spot sits in
+    # the paper's neighbourhood (4..16), and tiny chains (CB-2) lose.
+    best_k = min(cb, key=cb.get)
+    assert 4 <= best_k <= 16
+    assert cb[2] > cb[best_k]
+
+    # The chain's advantage over the binomial shrinks beyond ~8 ranks
+    # ("benefits start to decrease beyond P > 8").
+    adv = {L: tb / tc for L, (tc, tb) in pure.items()}
+    assert adv[8] > 1.5
+    assert adv[32] < adv[8]
+    # And the chain always beats binomial at this (large) buffer size.
+    for L in CHAIN_LENGTHS[1:]:
+        assert adv[L] > 1.0

@@ -1,0 +1,64 @@
+"""Ablation: which runtime mechanism buys what (Fig. 12 decomposition).
+
+Strips the proposed runtime's mechanisms one at a time and measures a
+160-process reduce at two message sizes:
+
+- 64 KB — the latency regime, where GPUDirect RDMA earns its keep
+  (below the GPUDIRECT_LIMIT threshold);
+- 64 MB — the DL regime, where GPU reduce kernels, CUDA IPC, and
+  segment pipelining dominate (large messages use pipelined pinned
+  staging even under MVAPICH2-GDR, because Haswell-era chipsets cap GDR
+  read bandwidth).
+"""
+
+from common import KiB, MiB, emit, fmt_table, fmt_time, osu_reduce, run_once
+
+from repro.mpi import MV2GDR
+
+P = 160
+SMALL = 64 * KiB
+LARGE = 64 * MiB
+
+VARIANTS = [
+    ("full (mv2gdr)", {}),
+    ("- GPUDirect RDMA", {"gdr": False}),
+    ("- GPU reduce kernels", {"gpu_reduce": False}),
+    ("- CUDA IPC", {"ipc": False}),
+    ("- pipelining", {"segment_pipelining": False}),
+    ("- all of the above", {"gdr": False, "gpu_reduce": False,
+                            "ipc": False, "segment_pipelining": False}),
+]
+
+
+def run_ablation():
+    out = {}
+    for label, overrides in VARIANTS:
+        profile = MV2GDR.derive(name=f"ablate:{label}", **overrides)
+        out[label] = (osu_reduce("A", profile, SMALL, P, design="tuned"),
+                      osu_reduce("A", profile, LARGE, P, design="tuned"))
+    return out
+
+
+def test_transport_ablation(benchmark):
+    results = run_once(benchmark, run_ablation)
+
+    full_s, full_l = results["full (mv2gdr)"]
+    rows = [[label, fmt_time(s), f"{s / full_s:5.2f}x",
+             fmt_time(l), f"{l / full_l:5.2f}x"]
+            for label, (s, l) in results.items()]
+    emit("ablation_transport", fmt_table(
+        f"Mechanism ablation: MPI_Reduce, {P} procs, Cluster-A",
+        ["configuration", "64 KB", "vs full", "64 MB", "vs full"], rows))
+
+    # GDR matters in the latency regime.
+    assert results["- GPUDirect RDMA"][0] > full_s * 1.2
+    # Kernels, IPC and pipelining matter in the bandwidth regime.
+    for label in ("- GPU reduce kernels", "- CUDA IPC", "- pipelining"):
+        assert results[label][1] > full_l * 1.05, label
+    # Removing everything is the worst large-message configuration and
+    # accounts for the dominant share of the Fig. 12 gap.
+    worst_l = results["- all of the above"][1]
+    for label, (_, l) in results.items():
+        if label != "- all of the above":
+            assert worst_l >= l, label
+    assert worst_l / full_l > 3.0

@@ -1,0 +1,66 @@
+"""Figure 10: AlexNet samples/second on Cluster-B (up to 16 GPUs).
+
+Comparators: S-Caffe, Microsoft-CNTK-like (MPI ring allreduce, host
+staging), Inspur-Caffe-like (parameter server).  Paper observations:
+S-Caffe reaches ~1395 samples/s and is *comparable to CNTK*; Inspur
+only produced numbers at 2 and 4 GPUs ("didn't run for less than 2
+GPUs"; "execution hangs after completing a few iterations" otherwise).
+"""
+
+from common import emit, fmt_table, run_once
+
+from repro import TrainConfig, train
+
+GPU_COUNTS = (1, 2, 4, 8, 16)
+
+CFG = TrainConfig(network="alexnet", dataset="imagenet", batch_size=1024,
+                  iterations=100, variant="SC-OBR", reduce_design="tuned",
+                  measure_iterations=3)
+
+
+def run_fig10():
+    results = {}
+    for fw in ("scaffe", "cntk", "inspur"):
+        results[fw] = {n: train(fw, n_gpus=n, cluster="B", config=CFG)
+                       for n in GPU_COUNTS}
+    return results
+
+
+def test_fig10_framework_comparison(benchmark):
+    results = run_once(benchmark, run_fig10)
+
+    def cell(r):
+        return f"{r.samples_per_second:8.0f}" if r.ok else r.failure
+
+    rows = [[n] + [cell(results[fw][n])
+                   for fw in ("scaffe", "cntk", "inspur")]
+            for n in GPU_COUNTS]
+    emit("fig10_alexnet_sps", fmt_table(
+        "Figure 10: AlexNet samples/second (higher is better), "
+        "batch 1024, Cluster-B",
+        ["GPUs", "S-Caffe", "CNTK", "Inspur-Caffe"], rows))
+
+    sc, cntk, inspur = results["scaffe"], results["cntk"], results["inspur"]
+
+    # Inspur-Caffe: numbers only at 2 and 4 GPUs (Section 6.4).
+    assert inspur[1].failure == "unsupported"
+    assert inspur[2].ok and inspur[4].ok
+    assert inspur[8].failure == "hang"
+    assert inspur[16].failure == "hang"
+
+    # S-Caffe and CNTK both scale to 16 GPUs, S-Caffe comparable-or-
+    # better ("achieves up to 1395 samples/s ... comparable to CNTK").
+    for n in GPU_COUNTS:
+        assert sc[n].ok and cntk[n].ok
+        ratio = sc[n].samples_per_second / cntk[n].samples_per_second
+        assert 0.9 <= ratio <= 1.6, f"ratio {ratio:.2f} at {n} GPUs"
+
+    # Headline magnitude at 16 GPUs: same order as the paper's 1395.
+    peak = sc[16].samples_per_second
+    print(f"S-Caffe @16 GPUs: {peak:.0f} samples/s (paper: ~1395)")
+    assert 700 <= peak <= 2800
+
+    # Where Inspur does run, the reduction tree still wins or ties.
+    for n in (2, 4):
+        assert (sc[n].samples_per_second
+                >= 0.95 * inspur[n].samples_per_second)

@@ -1,0 +1,71 @@
+"""Figure 8: GoogLeNet strong scaling on Cluster-A (up to 160 GPUs).
+
+Series: Caffe (single-node, LMDB, <= 16 GPUs), S-Caffe-L (LMDB, scales
+until the 64-reader LMDB limit), S-Caffe (ImageDataLayer on Lustre, up
+to 160 GPUs).  Batch 1,024 strong-scaled, 100 iterations.
+
+Paper targets: 3.3x speedup at 128 vs 16 GPUs; 2.5x at 160 vs 32;
+Caffe ~ S-Caffe at <= 16; S-Caffe-L degrades past 64 readers.
+"""
+
+from common import emit, fmt_table, run_once
+
+from repro import TrainConfig, train
+
+GPU_COUNTS = (2, 4, 8, 16, 32, 64, 128, 160)
+
+CFG = TrainConfig(network="googlenet", dataset="imagenet",
+                  batch_size=1024, iterations=100, variant="SC-OBR",
+                  reduce_design="tuned", measure_iterations=3)
+
+
+def run_fig8():
+    results = {}
+    for n in GPU_COUNTS:
+        caffe = train("caffe", n_gpus=n, cluster="A", config=CFG)
+        scl = train("scaffe", n_gpus=n, cluster="A",
+                    config=CFG.derive(data_backend="lmdb"))
+        sc = train("scaffe", n_gpus=n, cluster="A", config=CFG)
+        results[n] = (caffe, scl, sc)
+    return results
+
+
+def test_fig8_googlenet_scaling(benchmark):
+    results = run_once(benchmark, run_fig8)
+
+    def cell(r):
+        return f"{r.total_time:8.2f}" if r.ok else r.failure
+
+    rows = [[n, cell(c), cell(l), cell(s)]
+            for n, (c, l, s) in results.items()]
+    emit("fig8_googlenet", fmt_table(
+        "Figure 8: GoogLeNet (ImageNet) training time [s], 100 iters, "
+        "batch 1024, Cluster-A",
+        ["GPUs", "Caffe", "S-Caffe-L (LMDB)", "S-Caffe (ImageData)"],
+        rows))
+
+    sc = {n: s for n, (_, _, s) in results.items()}
+    scl = {n: l for n, (_, l, _) in results.items()}
+    caffe = {n: c for n, (c, _, _) in results.items()}
+
+    # Caffe is single-node only: runs to 16 GPUs, fails beyond.
+    assert all(caffe[n].ok for n in (2, 4, 8, 16))
+    assert all(caffe[n].failure == "unsupported" for n in (32, 64, 128,
+                                                           160))
+    # S-Caffe matches/beats Caffe where both run.
+    for n in (2, 4, 8, 16):
+        assert sc[n].total_time <= caffe[n].total_time * 1.05
+
+    # Strong-scaling speedups land near the paper's factors.
+    s128_16 = sc[16].total_time / sc[128].total_time
+    s160_32 = sc[32].total_time / sc[160].total_time
+    print(f"speedup 128 vs 16 GPUs: {s128_16:.2f}x (paper: 3.3x)")
+    print(f"speedup 160 vs 32 GPUs: {s160_32:.2f}x (paper: 2.5x)")
+    assert 2.5 <= s128_16 <= 7.0
+    assert 1.8 <= s160_32 <= 3.8
+
+    # LMDB parity through 64 readers, degradation past the limit.
+    for n in (2, 4, 8, 16, 32, 64):
+        assert scl[n].total_time <= sc[n].total_time * 1.1
+    for n in (128, 160):
+        assert scl[n].total_time > sc[n].total_time * 1.3

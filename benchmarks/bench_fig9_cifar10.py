@@ -1,0 +1,60 @@
+"""Figure 9: CIFAR10 quick solver scaling on Cluster-A (up to 64 GPUs).
+
+Batch 8,192, 1,000 iterations; Caffe runs within one node (<= 16 GPUs),
+S-Caffe scales to 64 GPUs across 4 nodes.  Paper targets: ~32x speedup
+over 1 GPU at 64 GPUs; "S-Caffe and Caffe perform very similar up to 16
+GPUs" (compute-intensive model, tiny communication).
+"""
+
+from common import emit, fmt_table, run_once
+
+from repro import TrainConfig, train
+
+GPU_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+CFG = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                  batch_size=8192, iterations=1000, variant="SC-OBR",
+                  reduce_design="tuned", measure_iterations=3)
+
+
+def run_fig9():
+    results = {}
+    for n in GPU_COUNTS:
+        caffe = train("caffe", n_gpus=n, cluster="A", config=CFG)
+        sc = train("scaffe", n_gpus=n, cluster="A", config=CFG)
+        results[n] = (caffe, sc)
+    return results
+
+
+def test_fig9_cifar10_scaling(benchmark):
+    results = run_once(benchmark, run_fig9)
+
+    base = results[1][1].total_time
+    rows = []
+    for n, (caffe, sc) in results.items():
+        rows.append([
+            n,
+            f"{caffe.total_time:8.2f}" if caffe.ok else caffe.failure,
+            f"{sc.total_time:8.2f}",
+            f"{base / sc.total_time:6.1f}x",
+        ])
+    emit("fig9_cifar10", fmt_table(
+        "Figure 9: CIFAR10 quick solver training time [s], 1000 iters, "
+        "batch 8192, Cluster-A",
+        ["GPUs", "Caffe", "S-Caffe", "S-Caffe speedup vs 1 GPU"], rows))
+
+    # Caffe: one node only.
+    assert all(results[n][0].ok for n in (1, 2, 4, 8, 16))
+    assert all(results[n][0].failure == "unsupported" for n in (32, 64))
+
+    # "S-Caffe does not suffer any overhead" vs Caffe up to 16 GPUs.
+    for n in (1, 2, 4, 8, 16):
+        caffe, sc = results[n]
+        assert sc.total_time <= caffe.total_time * 1.05
+
+    # Monotone scaling to 64 GPUs; overall speedup near the paper's 32x.
+    times = [results[n][1].total_time for n in GPU_COUNTS]
+    assert all(b < a for a, b in zip(times, times[1:]))
+    overall = base / results[64][1].total_time
+    print(f"S-Caffe speedup @64 GPUs vs 1: {overall:.1f}x (paper: ~32x)")
+    assert 20.0 <= overall <= 55.0

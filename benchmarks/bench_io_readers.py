@@ -1,0 +1,68 @@
+"""Parallel-reader scalability: LMDB vs ImageDataLayer-on-Lustre.
+
+The design rationale of Sections 3.2 / 4.1 / 6.3: "LMDB does not scale
+for more than 64 parallel readers. On the other hand, ImageDataLayer
+allows reading image files directly from Lustre storage and can scale
+to any number of processes."  Sweeps the reader count and reports
+aggregate ingest throughput (samples/second).
+"""
+
+from common import emit, fmt_table, fresh_cluster, run_once
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.io import DataLayer, DataReader, IMAGENET, SimLMDB, SimLustre
+from repro.sim import Simulator
+
+READERS = (1, 8, 32, 64, 96, 128, 160)
+BATCH = 8
+WINDOW = 2.0  # simulated seconds of steady-state ingest
+
+
+def aggregate_rate(backend_cls, n_readers: int) -> float:
+    sim = Simulator()
+    cal = DEFAULT_CALIBRATION
+    backend = backend_cls(sim, IMAGENET, cal)
+    layers = []
+    consumed = [0]
+
+    def consumer(layer):
+        while True:
+            got = yield from layer.next_batch()
+            consumed[0] += got
+
+    for i in range(n_readers):
+        reader = DataReader(sim, backend, batch_samples=BATCH,
+                            decode_bw=cal.decode_bw, name=f"r{i}")
+        layer = DataLayer(reader)
+        layers.append(layer)
+        sim.process(consumer(layer), name=f"c{i}")
+    sim.run(until=WINDOW)
+    return consumed[0] / WINDOW
+
+
+def run_io_sweep():
+    return {n: (aggregate_rate(SimLMDB, n), aggregate_rate(SimLustre, n))
+            for n in READERS}
+
+
+def test_io_reader_scalability(benchmark):
+    results = run_once(benchmark, run_io_sweep)
+
+    rows = [[n, f"{lmdb:10.0f}", f"{lustre:10.0f}"]
+            for n, (lmdb, lustre) in results.items()]
+    emit("io_readers", fmt_table(
+        "Parallel reader ingest throughput [samples/s], ImageNet records",
+        ["Readers", "LMDB", "Lustre (ImageDataLayer)"], rows))
+
+    lmdb = {n: v[0] for n, v in results.items()}
+    lustre = {n: v[1] for n, v in results.items()}
+
+    # Both scale through 64 readers.
+    assert lmdb[64] > 5 * lmdb[1]
+    assert lustre[64] > 5 * lustre[1]
+    # LMDB collapses past its limit ...
+    assert lmdb[128] < 0.5 * lmdb[64]
+    assert lmdb[160] < 0.5 * lmdb[64]
+    # ... while Lustre keeps (or gains) throughput to 160 readers.
+    assert lustre[160] >= 0.95 * lustre[64]
+    assert lustre[160] > 3 * lmdb[160]

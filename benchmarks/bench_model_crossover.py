@@ -1,0 +1,107 @@
+"""Section 5 analytical model: T(Bin) vs T(CC), validated by simulation.
+
+Regenerates the analysis behind the HR design:
+
+    T(Bin) = log2(P) * t(b)                   (1)
+    T(CC)  = (n + P - 2) * t(c),  c = b/n     (2)
+
+and checks the paper's qualitative conclusions against both the
+closed-form model and the event-driven simulation:
+
+- small P, large b:  T(CC) << T(Bin)
+- large P, small b:  T(CC) >> T(Bin)
+- buffers > 8 MB: chain designs beat the binomial "regardless of the
+  number of chunks";
+- the chain's benefit tapers as its length grows (the motivation for
+  chain-size 8 + a second level).
+"""
+
+from common import (
+    KiB, MiB, emit, fmt_bytes, fmt_table, fmt_time, osu_reduce, run_once,
+)
+
+from repro.analysis import (
+    HopCost, crossover_P, optimal_chunks, t_binomial, t_chunked_chain,
+)
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.mpi import MV2GDR
+
+# Hop cost from the same calibration the simulator uses: per-message
+# fixed cost ~ copy overhead + latency; bandwidth ~ GDR path.
+CAL = DEFAULT_CALIBRATION
+HOP = HopCost(alpha=CAL.cuda_copy_overhead + CAL.ib_latency
+              + CAL.kernel_launch_overhead,
+              beta=CAL.gdr_read_bw)
+
+SIZES = (64 * KiB, 1 * MiB, 8 * MiB, 64 * MiB, 256 * MiB)
+PROCS = (4, 8, 16, 64, 160)
+
+
+def run_model():
+    analytic = {}
+    for b in SIZES:
+        for P in PROCS:
+            n = optimal_chunks(P, b, HOP)
+            analytic[(P, b)] = (t_binomial(P, b, HOP),
+                                t_chunked_chain(P, b, n, HOP), n)
+    # Simulated validation points (within one chain's scaling range).
+    simulated = {}
+    for P, b in ((8, 64 * MiB), (8, 64 * KiB), (16, 64 * MiB)):
+        simulated[(P, b)] = (
+            osu_reduce("A", MV2GDR, b, P, design="flat"),
+            osu_reduce("A", MV2GDR, b, P, design="chain"))
+    return analytic, simulated
+
+
+def test_model_crossover(benchmark):
+    analytic, simulated = run_once(benchmark, run_model)
+
+    rows = [[P, fmt_bytes(b), fmt_time(tb), fmt_time(tc), n,
+             "CC" if tc < tb else "Bin"]
+            for (P, b), (tb, tc, n) in analytic.items()]
+    text = fmt_table(
+        "Section 5 model: T(Bin) = log2(P) t(b) vs "
+        "T(CC) = (n+P-2) t(b/n)",
+        ["P", "b", "T(Bin)", "T(CC)", "n*", "winner"], rows)
+    sim_rows = [[P, fmt_bytes(b), fmt_time(tb), fmt_time(tc)]
+                for (P, b), (tb, tc) in simulated.items()]
+    text += "\n\n" + fmt_table(
+        "Simulated validation (event-driven MPI_Reduce)",
+        ["P", "b", "Binomial (sim)", "Chain (sim)"], sim_rows)
+    emit("model_crossover", text)
+
+    # Small P, large b -> chain dominates (model and simulation agree).
+    tb, tc, _ = analytic[(8, 256 * MiB)]
+    assert tc < 0.5 * tb
+    stb, stc = simulated[(8, 64 * MiB)]
+    assert stc < stb
+
+    # Large P, small b -> binomial dominates.
+    tb, tc, _ = analytic[(160, 64 * KiB)]
+    assert tc > 2.0 * tb
+    stb, stc = simulated[(8, 64 * KiB)]
+    assert stb < stc
+
+    # "For buffer sizes greater than 8M ... CC performs much better than
+    # the binomial tree" within one chain's range (P <= 8-16).
+    for b in (8 * MiB, 64 * MiB, 256 * MiB):
+        for P in (4, 8, 16):
+            tb, tc, _ = analytic[(P, b)]
+            assert tc < tb, (P, fmt_bytes(b))
+
+    # The crossover P grows with buffer size (size-tolerance axis).
+    c_small = crossover_P(256 * KiB, HOP)
+    c_large = crossover_P(64 * MiB, HOP)
+    assert c_small is not None
+    assert c_large is None or c_large > c_small
+
+    # Skew/latency axis: in the latency-bound regime the chain's linear
+    # (P-1)-hop cost overtakes the binomial's log2(P) rounds, and its
+    # relative standing only worsens with P — the analytic face of
+    # "T(CC) >> T(Bin) for large P and small b".
+    b = 64 * KiB
+    gains = []
+    for P in (4, 8, 16, 64):
+        tb, tc, _ = analytic[(P, b)]
+        gains.append(tb / tc)
+    assert all(a >= b_ for a, b_ in zip(gains, gains[1:]))

@@ -1,0 +1,35 @@
+"""Table 1: Design and Features Space for Modern DL Frameworks."""
+
+from common import emit, fmt_table, run_once
+
+from repro.core import table1_rows
+
+
+def build_table1():
+    rows = table1_rows()
+    headers = ["Framework", "MPI", "CUDA-Aware", "NBC Overlap",
+               "Co-Designed", "1-GPU", "Multi-GPU", "MP/DP", "PS/RT"]
+    body = [[r["framework"], r["basic_mpi"], r["cuda_aware_mpi"],
+             r["overlapped_nbc"], r["codesigned"], r["single_gpu"],
+             r["multi_gpu"], r["parallelism"], r["implementation"]]
+            for r in rows]
+    return rows, fmt_table("Table 1: DL framework design/feature space",
+                           headers, body)
+
+
+def test_table1(benchmark):
+    rows, text = run_once(benchmark, build_table1)
+    emit("table1_features", text)
+
+    by_name = {r["framework"]: r for r in rows}
+    # S-Caffe is the only framework with the full feature column.
+    s = by_name["S-Caffe"]
+    assert (s["basic_mpi"], s["cuda_aware_mpi"], s["overlapped_nbc"],
+            s["codesigned"]) == ("yes",) * 4
+    assert s["parallelism"] == "DP" and s["implementation"] == "RT"
+    # The paper's distinguishing contrasts.
+    assert by_name["Caffe"]["basic_mpi"] == "no"
+    assert by_name["Inspur-Caffe"]["implementation"] == "PS"
+    assert by_name["CNTK"]["cuda_aware_mpi"] == "no"
+    assert all(r["overlapped_nbc"] != "yes" for n, r in by_name.items()
+               if n != "S-Caffe")

@@ -1,0 +1,52 @@
+"""Weak scaling (Section 6.2's ``-scal weak`` option).
+
+"For weak scaling, the batch-size of 1,024 remains constant for each of
+the GPUs. These results are not presented but can be obtained using the
+public version of S-Caffe by specifying -scal weak."  We present them:
+per-GPU batch fixed, so ideal weak scaling keeps iteration time flat
+while aggregate throughput grows linearly.
+"""
+
+from common import emit, fmt_table, run_once
+
+from repro import TrainConfig, train
+
+GPU_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+CFG = TrainConfig(network="googlenet", dataset="imagenet",
+                  batch_size=64,          # per-GPU batch under weak scaling
+                  scal="weak", iterations=100, variant="SC-OBR",
+                  reduce_design="tuned", measure_iterations=3)
+
+
+def run_weak():
+    return {n: train("scaffe", n_gpus=n, cluster="A", config=CFG)
+            for n in GPU_COUNTS}
+
+
+def test_weak_scaling(benchmark):
+    results = run_once(benchmark, run_weak)
+
+    base_t = results[1].time_per_iteration
+    base_sps = results[1].samples_per_second
+    rows = [[n, f"{r.time_per_iteration * 1e3:9.2f}",
+             f"{r.samples_per_second:10.0f}",
+             f"{r.samples_per_second / (base_sps * n) * 100:5.1f}%"]
+            for n, r in results.items()]
+    emit("weak_scaling", fmt_table(
+        "Weak scaling: GoogLeNet, 64 samples/GPU, Cluster-A",
+        ["GPUs", "time/iter [ms]", "samples/s", "efficiency"], rows))
+
+    for n, r in results.items():
+        assert r.ok
+        assert r.global_batch == 64 * n
+        # Iteration time stays within 2x of single-GPU (communication
+        # grows only logarithmically/linearly in small terms).
+        assert r.time_per_iteration < 2.0 * base_t
+    # Aggregate throughput grows monotonically with GPU count.
+    sps = [results[n].samples_per_second for n in GPU_COUNTS]
+    assert all(b > a for a, b in zip(sps, sps[1:]))
+    # Weak-scaling efficiency at 64 GPUs stays above 50%.
+    eff = results[64].samples_per_second / (base_sps * 64)
+    print(f"weak-scaling efficiency @64 GPUs: {eff * 100:.1f}%")
+    assert eff > 0.5

@@ -1,0 +1,10 @@
+"""Benchmark suite configuration.
+
+The benchmarks live outside the package; make the sibling ``common``
+module importable regardless of rootdir.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Anatomy of the co-designs: where each S-Caffe variant spends time.
+
+Trains GoogLeNet at 64 GPUs under each co-design level and prints the
+per-iteration phase breakdown, making the two overlap mechanisms
+visible:
+
+- SC-B      : blocking phases — propagation and aggregation fully
+              exposed on the critical path.
+- SC-OB     : multi-stage Ibcast — the propagation *wait* collapses to
+              near zero (hidden under the forward pass).
+- SC-OB-naive : the rejected Fig. 4 posting order, for contrast.
+- SC-OBR    : helper-thread per-layer reduces — aggregation's wall time
+              overlaps the backward pass instead of following it.
+
+Run:  python examples/overlap_anatomy.py
+"""
+
+from repro import TrainConfig, train
+
+BASE = TrainConfig(network="googlenet", dataset="imagenet",
+                   batch_size=1024, iterations=100, measure_iterations=3,
+                   reduce_design="tuned")
+PHASES = ("propagation", "fwd", "bwd", "aggregation", "update")
+
+print(f"{'variant':>12} | " + " | ".join(f"{p:>12}" for p in PHASES)
+      + f" | {'total/iter':>11}")
+print("-" * 100)
+
+baseline = None
+for variant in ("SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"):
+    r = train("scaffe", n_gpus=64, cluster="A",
+              config=BASE.derive(variant=variant))
+    cells = [f"{r.phase(p) * 1e3:9.2f} ms" for p in PHASES]
+    total = r.time_per_iteration
+    if baseline is None:
+        baseline = total
+    print(f"{variant:>12} | " + " | ".join(cells)
+          + f" | {total * 1e3:8.2f} ms  ({(1 - total / baseline) * 100:+.1f}%)")
+
+print("""
+Notes
+-----
+* SC-OB's 'propagation' is the residual Ibcast *wait* time: the actual
+  broadcast progresses underneath the forward kernels.
+* SC-OBR's 'aggregation' looks large because it is measured as time the
+  main thread spends inside per-layer reduces — but that time runs
+  concurrently with the helper thread's backward kernels ('bwd'), so it
+  mostly vanishes from the critical path.  Its net win over SC-OB shows
+  up in the aggregation-bound regime (parameter-heavy models such as
+  AlexNet/CaffeNet, or slower reduction designs); on GoogLeNet the
+  per-layer splitting overhead roughly cancels the extra overlap.
+""")

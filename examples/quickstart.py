@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: train GoogLeNet on a simulated 32-GPU cluster.
+
+The five-line story of the public API:
+
+1. Build one of the paper's testbeds (Cluster-A: Cray CS-Storm,
+   16 K80 CUDA devices per node).
+2. Configure a training run (network, dataset, batch, co-design level).
+3. ``train(...)`` runs the full co-designed stack — parallel readers,
+   multi-stage Ibcast propagation, helper-thread gradient aggregation,
+   hierarchical reduce — on the discrete-event simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TrainConfig, train
+
+config = TrainConfig(
+    network="googlenet",      # alexnet | caffenet | googlenet | vgg16 | ...
+    dataset="imagenet",
+    batch_size=1024,          # global batch; strong scaling divides by GPUs
+    iterations=100,
+    variant="SC-OBR",         # SC-B | SC-OB | SC-OBR (co-design level)
+    reduce_design="tuned",    # flat | tuned | "CB-8" | "CC-4" | ...
+)
+
+report = train("scaffe", n_gpus=32, cluster="A", config=config)
+
+print(report.summary())
+print(f"\n  time / iteration : {report.time_per_iteration * 1e3:8.1f} ms")
+print(f"  samples / second : {report.samples_per_second:8.1f}")
+print(f"  I/O stall / iter : {report.io_stall_per_iteration * 1e3:8.3f} ms")
+print("\n  per-iteration phase breakdown (root solver):")
+for phase, t in sorted(report.phase_breakdown.items()):
+    print(f"    {phase:12s} {t * 1e3:8.2f} ms")
+
+# The same call drives the comparator frameworks:
+for fw in ("caffe", "cntk", "inspur"):
+    r = train(fw, n_gpus=32, cluster="A", config=config)
+    print("\n" + r.summary())

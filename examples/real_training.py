@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Real distributed training through the simulated cluster.
+
+Everything in this repo can carry *real* NumPy payloads: here a real
+MLP classifier is trained by 8 distributed solvers whose gradients
+travel through the simulated CUDA-aware MPI stack (per-layer Ibcast
+propagation, helper-thread overlapped hierarchical reductions), and the
+result is checked for numerical equivalence against plain single-solver
+large-batch SGD — the paper's "no difference in accuracy" validation,
+made exact.
+
+Run:  python examples/real_training.py
+"""
+
+import numpy as np
+
+from repro import TrainConfig
+from repro.core import SCaffeJob, Workload
+from repro.core.workload import RealCompute
+from repro.dnn import SGDSolver, SolverConfig, build_mlp
+from repro.hardware import cluster_a
+from repro.sim import Simulator
+
+N_RANKS = 8
+GLOBAL_BATCH = 64
+ITERATIONS = 20
+
+# ---- a synthetic two-class problem ---------------------------------------
+rng = np.random.default_rng(7)
+x = rng.standard_normal((512, 16))
+labels = (x[:, :4].sum(axis=1) > 0).astype(int)
+
+master = build_mlp([16, 32, 2], rng=np.random.default_rng(1))
+solver_cfg = SolverConfig(base_lr=0.2, momentum=0.9)
+
+# ---- distributed run on the simulated cluster ------------------------------
+adapter = RealCompute(master, x, labels, global_batch=GLOBAL_BATCH,
+                      n_ranks=N_RANKS, solver_config=solver_cfg)
+loss_before = adapter.compute_gradients(0, 0)
+
+cluster = cluster_a(Simulator(), n_nodes=1)
+cfg = TrainConfig(network="mlp", dataset="mnist",
+                  batch_size=GLOBAL_BATCH, iterations=ITERATIONS,
+                  measure_iterations=ITERATIONS - 1, variant="SC-OBR",
+                  reduce_design="CB-4")
+job = SCaffeJob(cluster, N_RANKS, Workload.from_net(master), cfg,
+                adapter=adapter)
+report = job.run()
+print(report.summary())
+
+# ---- sequential reference: one solver, full batches --------------------------
+reference = SGDSolver(master.clone(), solver_cfg)
+for it in range(ITERATIONS):
+    start = (it * GLOBAL_BATCH) % x.shape[0]
+    idx = [(start + i) % x.shape[0] for i in range(GLOBAL_BATCH)]
+    reference.compute_gradients(x[idx], labels[idx])
+    reference.apply_update()
+
+# ---- compare ------------------------------------------------------------------
+dist_params = adapter.get_params(0)
+seq_params = reference.net.get_params()
+max_dev = float(np.max(np.abs(dist_params - seq_params)))
+loss_after = adapter.solvers[0].compute_gradients(
+    *adapter.batch_rows(0, 0), global_batch=GLOBAL_BATCH)
+
+print(f"\n  loss: {loss_before:.4f} -> {loss_after:.4f} "
+      f"over {ITERATIONS} distributed iterations")
+print(f"  max |distributed - sequential| parameter deviation: "
+      f"{max_dev:.2e}  (float32 reduction noise)")
+assert max_dev < 1e-4, "distributed training diverged from SGD!"
+print("  distributed trajectory matches single-solver SGD.")

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Scaling study: reproduce the shape of the paper's Figure 8 in one page.
+
+Sweeps GPU counts on Cluster-A for GoogLeNet/ImageNet and compares:
+
+- Caffe           — single-node multi-threaded baseline (<= 16 GPUs);
+- S-Caffe-L       — distributed, but reading through LMDB (collapses
+                    past ~64 parallel readers);
+- S-Caffe         — distributed with parallel ImageDataLayer readers on
+                    Lustre (scales to 160 GPUs).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import TrainConfig, train
+
+CFG = TrainConfig(network="googlenet", dataset="imagenet",
+                  batch_size=1024, iterations=100, variant="SC-OBR",
+                  reduce_design="tuned", measure_iterations=3)
+
+print(f"{'GPUs':>5} | {'Caffe':>12} | {'S-Caffe-L':>12} | "
+      f"{'S-Caffe':>12} | {'speedup vs 2':>12}")
+print("-" * 65)
+
+base = None
+for n in (2, 4, 8, 16, 32, 64, 128, 160):
+    caffe = train("caffe", n_gpus=n, cluster="A", config=CFG)
+    lmdb = train("scaffe", n_gpus=n, cluster="A",
+                 config=CFG.derive(data_backend="lmdb"))
+    sc = train("scaffe", n_gpus=n, cluster="A", config=CFG)
+    if base is None:
+        base = sc.total_time
+
+    def cell(r):
+        return f"{r.total_time:9.2f} s " if r.ok else f"{r.failure:>12}"
+
+    print(f"{n:5d} | {cell(caffe)} | {cell(lmdb)} | {cell(sc)} | "
+          f"{base / sc.total_time:10.2f}x")
+
+print("""
+Things to notice (the paper's Figure 8 story):
+ * Caffe stops at one node (16 GPUs) — its shared-address-space design
+   cannot scale out.
+ * S-Caffe-L tracks S-Caffe until 64 GPUs, then falls behind: LMDB's
+   reader table and page cache collapse past 64 parallel readers.
+ * S-Caffe keeps scaling to 160 GPUs (strong scaling, so per-GPU batch
+   shrinks and communication gradually dominates).
+""")

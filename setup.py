@@ -1,0 +1,12 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+Mirrors the pyproject metadata that legacy ``setup.py develop`` cannot
+read (console scripts).
+"""
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

@@ -1,0 +1,30 @@
+"""S-Caffe reproduction.
+
+A from-scratch reproduction of *S-Caffe: Co-designing MPI Runtimes and
+Caffe for Scalable Deep Learning on Modern GPU Clusters* (PPoPP 2017) on
+a simulated multi-GPU cluster.
+
+Layering (bottom to top):
+
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.hardware` — GPUs, nodes, NICs, cluster topologies.
+- :mod:`repro.cuda` — simulated CUDA runtime (buffers, streams, kernels).
+- :mod:`repro.mpi` — simulated CUDA-aware MPI (pt2pt, collectives, HR).
+- :mod:`repro.io` — LMDB / Lustre / parallel data readers.
+- :mod:`repro.dnn` — network cost specs + a real NumPy training engine.
+- :mod:`repro.core` — Caffe baseline, S-Caffe co-designs, comparators.
+- :mod:`repro.analysis` — the Section-5 analytic model and reporting.
+"""
+
+__version__ = "1.0.0"
+
+from .core import TrainConfig, TrainingReport, train  # noqa: E402
+from .hardware import cluster_a, cluster_b, make_cluster  # noqa: E402
+from .sim import Simulator  # noqa: E402
+
+__all__ = [
+    "__version__",
+    "TrainConfig", "TrainingReport", "train",
+    "cluster_a", "cluster_b", "make_cluster",
+    "Simulator",
+]

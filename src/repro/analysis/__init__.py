@@ -1,0 +1,21 @@
+"""Analytical models and report formatting."""
+
+from .model import (
+    HopCost, crossover_P, fit_hop_cost, hierarchical_estimate,
+    optimal_chunks, t_binomial, t_chunked_chain,
+)
+from .report import (
+    format_bytes, format_table, format_time, scaling_table, speedup_series,
+)
+from .utilization import (
+    CategoryUtilization, cluster_utilization, utilization_report,
+)
+
+__all__ = [
+    "HopCost", "crossover_P", "fit_hop_cost", "hierarchical_estimate",
+    "optimal_chunks",
+    "t_binomial", "t_chunked_chain",
+    "format_bytes", "format_table", "format_time", "scaling_table",
+    "speedup_series",
+    "CategoryUtilization", "cluster_utilization", "utilization_report",
+]

@@ -1,0 +1,148 @@
+"""The Section-5 analytical performance model.
+
+The paper motivates the hierarchical design with two closed-form costs::
+
+    T(Bin) = log2(P) * t(b)                  ... (1)
+    T(CC)  = (n + P - 2) * t(c),  c = b / n  ... (2)
+
+where ``t(x)`` is the time to move-and-reduce a buffer of ``x`` bytes on
+one hop.  The qualitative conclusions (verified by the simulation in
+``benchmarks/bench_model_crossover.py``):
+
+- small P, large b  ->  T(CC) << T(Bin)
+- large P, small b  ->  T(CC) >> T(Bin)
+
+so the tuned design is a hybrid that is both skew-tolerant (P) and
+size-tolerant (b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["HopCost", "t_binomial", "t_chunked_chain", "optimal_chunks",
+           "crossover_P", "hierarchical_estimate", "fit_hop_cost"]
+
+
+@dataclass(frozen=True)
+class HopCost:
+    """Per-hop move-and-reduce cost: ``t(x) = alpha + x / beta``.
+
+    ``alpha`` is the fixed per-message cost (latency + launch overheads);
+    ``beta`` the effective hop bandwidth (transfer + reduction combined).
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta <= 0:
+            raise ValueError("need alpha >= 0 and beta > 0")
+
+    def __call__(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.alpha + nbytes / self.beta
+
+
+def t_binomial(P: int, nbytes: float, hop: HopCost) -> float:
+    """Equation (1): T(Bin) = log2(P) * t(b)."""
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    if P == 1:
+        return 0.0
+    return math.ceil(math.log2(P)) * hop(nbytes)
+
+
+def t_chunked_chain(P: int, nbytes: float, n_chunks: int,
+                    hop: HopCost) -> float:
+    """Equation (2): T(CC) = (n + P - 2) * t(c), c = b/n."""
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    if P == 1:
+        return 0.0
+    return (n_chunks + P - 2) * hop(nbytes / n_chunks)
+
+
+def optimal_chunks(P: int, nbytes: float, hop: HopCost) -> int:
+    """Chunk count minimizing T(CC).
+
+    d/dn [(n + P - 2)(alpha + b/(n beta))] = 0 gives
+    n* = sqrt(b (P - 2) / (alpha beta)); clamped to >= 1.
+    """
+    if hop.alpha == 0:
+        # With no per-message cost, more chunks always help; cap at a
+        # byte-granularity-sane bound.
+        return max(1, int(nbytes // 4096) or 1)
+    n = math.sqrt(max(0.0, nbytes * (P - 2)) / (hop.alpha * hop.beta))
+    # The integer minimum is at floor or ceil of the continuous optimum.
+    lo = max(1, math.floor(n))
+    hi = max(1, math.ceil(n))
+    if lo == hi:
+        return lo
+    return min((lo, hi),
+               key=lambda k: t_chunked_chain(max(P, 2), nbytes, k, hop))
+
+
+def crossover_P(nbytes: float, hop: HopCost, *, max_P: int = 4096) -> Optional[int]:
+    """Smallest P at which the (optimally chunked) chain stops beating
+    the binomial tree for this buffer size, or None if it never does
+    within ``max_P``."""
+    for P in range(3, max_P + 1):
+        n = optimal_chunks(P, nbytes, hop)
+        if t_chunked_chain(P, nbytes, n, hop) > t_binomial(P, nbytes, hop):
+            return P
+    return None
+
+
+def fit_hop_cost(samples) -> HopCost:
+    """Least-squares fit of the affine hop model to measurements.
+
+    ``samples`` is an iterable of ``(nbytes, seconds)`` pairs — e.g.
+    two-rank OMB latencies (:func:`repro.mpi.omb.osu_latency` sweeps).
+    Solves ``t ≈ alpha + nbytes / beta`` and clamps to a valid HopCost.
+    This is how the Section-5 model is *calibrated from* the simulated
+    system rather than assumed.
+    """
+    pts = [(float(n), float(t)) for n, t in samples]
+    if len(pts) < 2:
+        raise ValueError("need at least two (nbytes, seconds) samples")
+    n_mean = sum(n for n, _ in pts) / len(pts)
+    t_mean = sum(t for _, t in pts) / len(pts)
+    var = sum((n - n_mean) ** 2 for n, _ in pts)
+    if var == 0:
+        raise ValueError("samples must span more than one message size")
+    cov = sum((n - n_mean) * (t - t_mean) for n, t in pts)
+    slope = cov / var
+    if slope <= 0:
+        raise ValueError("non-positive bandwidth slope; bad samples")
+    alpha = max(0.0, t_mean - slope * n_mean)
+    return HopCost(alpha=alpha, beta=1.0 / slope)
+
+
+def hierarchical_estimate(P: int, nbytes: float, chain_size: int,
+                          hop: HopCost, *, upper: str = "binomial",
+                          n_chunks: Optional[int] = None) -> float:
+    """Closed-form estimate for the two-level designs (CB-k / CC-k).
+
+    Lower level: chunked chains of ``chain_size`` run concurrently.
+    Upper level: the leaders' reduction over ceil(P / chain_size) ranks.
+    """
+    if chain_size < 2:
+        raise ValueError("chain_size must be >= 2")
+    k = min(chain_size, P)
+    n = n_chunks or optimal_chunks(k, nbytes, hop)
+    lower = t_chunked_chain(k, nbytes, n, hop)
+    leaders = math.ceil(P / chain_size)
+    if leaders <= 1:
+        return lower
+    if upper == "binomial":
+        return lower + t_binomial(leaders, nbytes, hop)
+    if upper == "chain":
+        nu = n_chunks or optimal_chunks(leaders, nbytes, hop)
+        return lower + t_chunked_chain(leaders, nbytes, nu, hop)
+    raise ValueError(f"unknown upper algorithm {upper!r}")

@@ -1,0 +1,79 @@
+"""Result formatting: the tables/series the paper's evaluation prints.
+
+Plain-text rendering used by the benchmark harness, the CLI, and the
+examples — aligned columns, byte/time humanization, and a comparison
+formatter for TrainingReport collections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_time", "format_bytes",
+           "scaling_table", "speedup_series"]
+
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Render an aligned plain-text table with a title rule."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title),
+           " | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for r in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_time(seconds: float) -> str:
+    """Humanize a duration: '  3.21 s', ' 12.40 ms', '  8.13 us'."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds >= 1.0:
+        return f"{seconds:8.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.2f} ms"
+    return f"{seconds * 1e6:8.2f} us"
+
+
+def format_bytes(n: int) -> str:
+    """Humanize a byte count the OMB way: 16K, 8M, 1G."""
+    if n < 0:
+        raise ValueError("negative byte count")
+    if n >= GiB and n % GiB == 0:
+        return f"{n // GiB}G"
+    if n >= MiB:
+        return f"{n // MiB}M"
+    if n >= KiB:
+        return f"{n // KiB}K"
+    return str(n)
+
+
+def scaling_table(title: str, reports_by_gpus: Mapping[int, Iterable],
+                  labels: Sequence[str]) -> str:
+    """A Fig. 8/9-style table: one row per GPU count, one column per
+    framework/series; failed runs print their failure kind."""
+    headers = ["GPUs"] + list(labels)
+    rows = []
+    for n, reports in sorted(reports_by_gpus.items()):
+        cells = [n]
+        for r in reports:
+            cells.append(f"{r.total_time:9.2f}" if r.ok else r.failure)
+        rows.append(cells)
+    return format_table(title, headers, rows)
+
+
+def speedup_series(reports_by_gpus: Mapping[int, object],
+                   base_gpus: Optional[int] = None) -> List[tuple]:
+    """(gpus, speedup-vs-base) pairs from a scaling sweep of reports."""
+    counts = sorted(reports_by_gpus)
+    base = reports_by_gpus[base_gpus if base_gpus is not None
+                           else counts[0]]
+    return [(n, base.total_time / reports_by_gpus[n].total_time)
+            for n in counts if reports_by_gpus[n].ok]

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Mirrors how the public S-Caffe release was driven (mpirun + command-line
+options like ``-scal weak``), adapted to the simulated stack::
+
+    repro train --framework scaffe --cluster A --gpus 64 \\
+                --network googlenet --batch-size 1024 --scal strong
+    repro osu --profile mv2gdr --design tuned --procs 160 --size 64M
+    repro autotune --procs 160 --sizes 1M,16M,128M
+    repro table1
+    repro networks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_size(text: str) -> int:
+    """Parse '64M', '16K', '1G', or a plain byte count."""
+    text = text.strip().upper()
+    mult = 1
+    if text and text[-1] in "KMG":
+        mult = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[text[-1]]
+        text = text[:-1]
+    try:
+        return int(float(text) * mult)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad size {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="S-Caffe reproduction on a simulated GPU cluster")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("train", help="run a training experiment")
+    t.add_argument("--framework", default="scaffe",
+                   choices=["scaffe", "caffe", "nvcaffe", "cntk",
+                            "inspur", "mpicaffe"])
+    t.add_argument("--cluster", default="A", choices=["A", "B"])
+    t.add_argument("--gpus", type=int, default=16)
+    t.add_argument("--network", default="googlenet")
+    t.add_argument("--dataset", default="imagenet")
+    t.add_argument("--batch-size", type=int, default=1024)
+    t.add_argument("--iterations", type=int, default=100)
+    t.add_argument("--scal", default="strong",
+                   choices=["strong", "weak"])
+    t.add_argument("--variant", default="SC-OBR",
+                   choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
+    t.add_argument("--reduce-design", default="tuned")
+    t.add_argument("--backend", default="lustre",
+                   choices=["lustre", "lmdb"])
+    t.add_argument("--profile", default="mv2gdr",
+                   choices=["mv2gdr", "mv2", "openmpi"])
+    t.add_argument("--net-prototxt", default=None, metavar="FILE",
+                   help="train a network defined in a Caffe prototxt "
+                        "file instead of a model-zoo name")
+
+    o = sub.add_parser("osu", help="MPI_Reduce micro-benchmark (OMB-style)")
+    o.add_argument("--cluster", default="A", choices=["A", "B"])
+    o.add_argument("--profile", default="mv2gdr",
+                   choices=["mv2gdr", "mv2", "openmpi"])
+    o.add_argument("--design", default="tuned",
+                   help="tuned | flat | chain | CB-8 | CC-4 | CCB-8 | ...")
+    o.add_argument("--procs", type=int, default=160)
+    o.add_argument("--sizes", default="64K,1M,8M,64M",
+                   help="comma-separated message sizes")
+
+    a = sub.add_parser("autotune",
+                       help="build a reduce tuning table by sweeping")
+    a.add_argument("--cluster", default="A", choices=["A", "B"])
+    a.add_argument("--procs", type=int, default=160)
+    a.add_argument("--sizes", default="64K,1M,8M,64M")
+    a.add_argument("--designs", default="flat,CB-8,CC-8")
+
+    sub.add_parser("table1", help="print the Table-1 feature matrix")
+    sub.add_parser("networks", help="list the model zoo")
+    return p
+
+
+def _cmd_train(args) -> int:
+    from .core import TrainConfig, Workload, train
+
+    workload = None
+    network = args.network
+    if args.net_prototxt:
+        from .dnn.prototxt import network_from_prototxt
+        with open(args.net_prototxt) as f:
+            spec = network_from_prototxt(f.read())
+        workload = Workload.from_spec(spec)
+        network = spec.name
+
+    cfg = TrainConfig(network=network, dataset=args.dataset,
+                      batch_size=args.batch_size,
+                      iterations=args.iterations, scal=args.scal,
+                      variant=args.variant,
+                      reduce_design=args.reduce_design,
+                      data_backend=args.backend,
+                      measure_iterations=min(4, args.iterations))
+    report = train(args.framework, n_gpus=args.gpus,
+                   cluster=args.cluster, config=cfg,
+                   profile=args.profile, workload=workload)
+    print(report.summary())
+    if report.ok:
+        print(f"  time/iteration: {report.time_per_iteration * 1e3:.2f} ms")
+        for phase, t in sorted(report.phase_breakdown.items()):
+            print(f"  {phase:12s} {t * 1e3:9.2f} ms/iter")
+        return 0
+    print(f"  note: {report.notes}")
+    return 1
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n >> 20}M"
+    if n >= 1 << 10:
+        return f"{n >> 10}K"
+    return str(n)
+
+
+def _osu_point(cluster_kind, profile, design, nbytes, procs) -> float:
+    from .cuda import DeviceBuffer
+    from .hardware import make_cluster
+    from .mpi import MPIRuntime
+    from .mpi.collectives import (
+        hierarchical_reduce, reduce_binomial, reduce_chain, tuned_reduce,
+    )
+    from .sim import Simulator
+
+    cluster = make_cluster(Simulator(), cluster_kind)
+    rt = MPIRuntime(cluster, profile)
+    comm = rt.world(procs)
+
+    def program(ctx):
+        sendbuf = DeviceBuffer(ctx.gpu, nbytes)
+        recvbuf = DeviceBuffer(ctx.gpu, nbytes) if ctx.rank == 0 else None
+        if design == "tuned":
+            yield from tuned_reduce(ctx, sendbuf, recvbuf, 0)
+        elif design == "flat":
+            yield from reduce_binomial(ctx, sendbuf, recvbuf, 0)
+        elif design == "chain":
+            yield from reduce_chain(ctx, sendbuf, recvbuf, 0)
+        else:
+            yield from hierarchical_reduce(ctx, sendbuf, recvbuf, 0,
+                                           config=design)
+        return ctx.sim.now
+
+    return max(rt.execute(comm, program))
+
+
+def _cmd_osu(args) -> int:
+    sizes = [_parse_size(s) for s in args.sizes.split(",") if s.strip()]
+    print(f"# MPI_Reduce, {args.procs} procs, profile={args.profile}, "
+          f"design={args.design}, Cluster-{args.cluster}")
+    print(f"{'size':>8}  {'latency':>14}")
+    for nbytes in sizes:
+        t = _osu_point(args.cluster, args.profile, args.design, nbytes,
+                       args.procs)
+        print(f"{_fmt_bytes(nbytes):>8}  {t * 1e6:12.1f} us")
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from .hardware import make_cluster
+    from .mpi.collectives import autotune
+    from .sim import Simulator
+
+    sizes = [_parse_size(s) for s in args.sizes.split(",") if s.strip()]
+    designs = [d.strip() for d in args.designs.split(",") if d.strip()]
+    table = autotune(lambda: make_cluster(Simulator(), args.cluster),
+                     args.procs, sizes, designs)
+    print(f"# tuned selection for {args.procs} procs on "
+          f"Cluster-{args.cluster}")
+    for bound, design in table.entries:
+        rng = f"< {_fmt_bytes(bound)}" if bound else "otherwise"
+        print(f"{rng:>12} -> {design}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    from .core import table1_rows
+
+    rows = table1_rows()
+    cols = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(r[c]) for r in rows)) for c in cols}
+    print(" | ".join(c.ljust(widths[c]) for c in cols))
+    print("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        print(" | ".join(r[c].ljust(widths[c]) for c in cols))
+    return 0
+
+
+def _cmd_networks(_args) -> int:
+    from .dnn import NETWORK_BUILDERS, get_network
+
+    print(f"{'network':16} {'params':>10} {'bytes':>10} "
+          f"{'GFLOP/sample':>13} {'layers':>7} {'weighted':>9}")
+    for name in sorted(NETWORK_BUILDERS):
+        net = get_network(name)
+        print(f"{name:16} {net.param_count / 1e6:9.2f}M "
+              f"{net.param_bytes / (1 << 20):8.1f}Mi "
+              f"{net.fwd_flops_per_sample / 1e9:13.3f} "
+              f"{len(net.layers):7d} "
+              f"{len(net.parametrized_layers()):9d}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": _cmd_train,
+        "osu": _cmd_osu,
+        "autotune": _cmd_autotune,
+        "table1": _cmd_table1,
+        "networks": _cmd_networks,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""The DL-framework design/feature space — Table 1 of the paper.
+
+Each entry records the design axes the paper compares: distributed
+(MPI) support, CUDA-awareness, overlapped (NBC) designs, MPI co-design,
+single/multi-GPU shared-address-space support, parallelization strategy
+(model vs. data parallel), and implementation style (parameter server
+vs. reduction tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["FrameworkFeatures", "FRAMEWORKS", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class FrameworkFeatures:
+    """One row of Table 1."""
+
+    name: str
+    basic_mpi: Optional[bool]          # None == "Unknown" in the paper
+    cuda_aware_mpi: Optional[bool]
+    overlapped_nbc: Optional[bool]
+    codesigned_with_mpi: Optional[bool]
+    single_gpu: bool
+    multi_gpu: bool
+    parallelism: str                   # "DP" | "MP" | "MP/DP"
+    implementation: str                # "RT" | "PS" | "N/A"
+    #: Which framework in this repo implements/represents it (if any).
+    repro_module: str = ""
+
+
+FRAMEWORKS: Dict[str, FrameworkFeatures] = {
+    f.name: f for f in [
+        FrameworkFeatures("Caffe", False, False, False, False, True, True,
+                          "DP", "RT", "repro.core.caffe"),
+        FrameworkFeatures("FireCaffe", True, None, False, None, True, True,
+                          "DP", "RT"),
+        FrameworkFeatures("MPI-Caffe", True, False, False, False, True,
+                          True, "MP", "N/A", "repro.core.mpi_caffe"),
+        FrameworkFeatures("CNTK", True, False, False, False, True, True,
+                          "MP/DP", "PS", "repro.core.cntk"),
+        FrameworkFeatures("Inspur-Caffe", True, True, False, False, True,
+                          True, "DP", "PS", "repro.core.param_server"),
+        FrameworkFeatures("S-Caffe", True, True, True, True, True, True,
+                          "DP", "RT", "repro.core.scaffe"),
+    ]
+}
+
+
+def _mark(v: Optional[bool]) -> str:
+    if v is None:
+        return "Unknown"
+    return "yes" if v else "no"
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Table 1 as printable rows (S-Caffe last, as in the paper)."""
+    order = ["Caffe", "FireCaffe", "MPI-Caffe", "CNTK", "Inspur-Caffe",
+             "S-Caffe"]
+    rows = []
+    for name in order:
+        f = FRAMEWORKS[name]
+        rows.append({
+            "framework": f.name,
+            "basic_mpi": _mark(f.basic_mpi),
+            "cuda_aware_mpi": _mark(f.cuda_aware_mpi),
+            "overlapped_nbc": _mark(f.overlapped_nbc),
+            "codesigned": _mark(f.codesigned_with_mpi),
+            "single_gpu": _mark(f.single_gpu),
+            "multi_gpu": _mark(f.multi_gpu),
+            "parallelism": f.parallelism,
+            "implementation": f.implementation,
+        })
+    return rows

@@ -1,0 +1,79 @@
+"""Training-run metrics and reports.
+
+The paper reports two headline metrics: *training time for a fixed
+number of iterations* (Figs. 8, 9, 13; Table 2) and *samples per second*
+(Fig. 10).  A :class:`TrainingReport` carries both plus the per-phase
+breakdown the co-design analyses need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["TrainingReport", "speedup"]
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of one training run."""
+
+    framework: str
+    network: str
+    n_gpus: int
+    iterations: int
+    #: Simulated wall-clock for ``iterations`` iterations, seconds.
+    total_time: float
+    #: Samples consumed per iteration across all solvers.
+    global_batch: int
+    #: Phase name -> per-iteration time on the critical path (root rank).
+    phase_breakdown: Dict[str, float] = field(default_factory=dict)
+    #: Run refused/failed: "oom", "unsupported", "hang", or None.
+    failure: Optional[str] = None
+    #: Mean per-solver I/O stall per iteration.
+    io_stall_per_iteration: float = 0.0
+    #: Testing-phase outcomes [(iteration, TestResult-or-None), ...]
+    #: when the run was configured with a test_interval.
+    test_results: list = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def final_test_accuracy(self) -> Optional[float]:
+        """Accuracy of the last real-math Testing pass, if any."""
+        for _, result in reversed(self.test_results):
+            if result is not None:
+                return result.accuracy
+        return None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def time_per_iteration(self) -> float:
+        if not self.ok:
+            raise RuntimeError(f"run failed: {self.failure}")
+        return self.total_time / self.iterations
+
+    @property
+    def samples_per_second(self) -> float:
+        """The Fig. 10 metric (higher is better)."""
+        if not self.ok:
+            raise RuntimeError(f"run failed: {self.failure}")
+        return self.global_batch * self.iterations / self.total_time
+
+    def phase(self, name: str) -> float:
+        return self.phase_breakdown.get(name, 0.0)
+
+    def summary(self) -> str:
+        if not self.ok:
+            return (f"{self.framework:12s} {self.network:14s} "
+                    f"{self.n_gpus:4d} GPUs  FAILED ({self.failure})")
+        return (f"{self.framework:12s} {self.network:14s} "
+                f"{self.n_gpus:4d} GPUs  {self.total_time:9.2f}s "
+                f"({self.samples_per_second:9.1f} samples/s)")
+
+
+def speedup(baseline: TrainingReport, improved: TrainingReport) -> float:
+    """Speedup of ``improved`` over ``baseline`` (>1 means faster)."""
+    return baseline.total_time / improved.total_time

@@ -1,0 +1,218 @@
+"""MPI-Caffe comparator: model-parallel training (Table 1's MP row).
+
+MPI-Caffe (Lee et al. 2015) distributes the *network*, not the data:
+layers are partitioned across ranks, activations flow forward through
+the pipeline cuts and activation-gradients flow back — so weights never
+travel between iterations (each rank updates its own slice locally).
+Per Table 1 it uses basic MPI without CUDA-awareness, so every cut
+tensor stages through pageable host memory.
+
+The design's weakness, and the reason Section 3.1 chooses data
+parallelism: without micro-batch pipelining the stages execute strictly
+one after another — P GPUs deliver at most one GPU's throughput plus
+communication, regardless of scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from ..hardware import Cluster
+from ..io import DataLayer, DataReader, get_dataset, make_backend
+from ..mpi import MPIRuntime, MPIProfile, MV2, RankContext
+from ..sim import Event, Tracer
+from .config import TrainConfig
+from .metrics import TrainingReport
+from .workload import Workload
+
+__all__ = ["MPICaffeJob", "run_mpi_caffe", "partition_groups"]
+
+#: Basic MPI, no CUDA-awareness (Table 1): pageable host staging.
+MPI_CAFFE_PROFILE = MV2.derive(name="mpi-caffe", gdr=False, ipc=False,
+                               pinned_staging=False)
+
+
+def partition_groups(n_groups: int, n_stages: int) -> List[range]:
+    """Contiguous, load-balanced partition of group indices into stages.
+
+    Every stage gets at least one group; ``n_stages`` may not exceed
+    ``n_groups``.
+    """
+    if n_stages < 1:
+        raise ValueError("n_stages must be >= 1")
+    if n_stages > n_groups:
+        raise ValueError(
+            f"cannot split {n_groups} weighted layers over {n_stages} "
+            "ranks (model parallelism is bounded by network depth)")
+    base = n_groups // n_stages
+    extra = n_groups % n_stages
+    out = []
+    start = 0
+    for s in range(n_stages):
+        size = base + (1 if s < extra else 0)
+        out.append(range(start, start + size))
+        start += size
+    return out
+
+
+class MPICaffeJob:
+    """Layer-partitioned (model-parallel) training."""
+
+    def __init__(self, cluster: Cluster, n_gpus: int, workload: Workload,
+                 cfg: TrainConfig, *,
+                 profile: MPIProfile = MPI_CAFFE_PROFILE,
+                 tracer: Optional[Tracer] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.cal = cluster.cal
+        self.n_gpus = n_gpus
+        self.workload = workload
+        self.cfg = cfg
+        self.runtime = MPIRuntime(cluster, profile)
+        self.tracer = tracer or Tracer(self.sim)
+        # Model parallel: the whole batch flows through every stage.
+        self.local_batch = cfg.global_batch(1)
+        self.sim_iterations = min(cfg.iterations, cfg.measure_iterations + 1)
+        self._iter_ends: List[float] = []
+
+    def run(self) -> TrainingReport:
+        cfg = self.cfg
+        wl = self.workload
+        report = TrainingReport(
+            framework="MPI-Caffe", network=wl.name, n_gpus=self.n_gpus,
+            iterations=cfg.iterations, total_time=0.0,
+            global_batch=self.local_batch)
+        try:
+            stages = partition_groups(len(wl.groups), self.n_gpus)
+        except ValueError as exc:
+            report.failure = "unsupported"
+            report.notes = str(exc)
+            return report
+        # Memory: each stage holds its slice of weights + the batch's
+        # activations for its layers (approximated as its share).
+        per_stage = (3 * wl.param_bytes // self.n_gpus
+                     + self.local_batch
+                     * (wl.activation_bytes_per_sample // self.n_gpus
+                        + wl.input_bytes_per_sample))
+        if per_stage > self.cluster.gpus[0].spec.memory_bytes:
+            report.failure = "oom"
+            return report
+
+        comm = self.runtime.world(self.n_gpus)
+        dataset = get_dataset(cfg.dataset)
+        backend = make_backend("lmdb", self.sim, dataset, self.cal)
+        procs = self.runtime.spawn(comm, self._rank_program, backend,
+                                   stages)
+        self.sim.run()
+        for p in procs:
+            if not p.ok:  # pragma: no cover
+                raise p.value
+
+        ends = self._iter_ends
+        first = ends[0]
+        steady = ((ends[-1] - ends[0]) / (len(ends) - 1)
+                  if len(ends) > 1 else first)
+        report.total_time = (first + steady * (cfg.iterations - 1)
+                             if cfg.iterations != len(ends) else ends[-1])
+        report.phase_breakdown = {
+            p: self.tracer.total(p, "r0") / self.sim_iterations
+            for p in ("fwd", "bwd", "activation_comm", "update")}
+        return report
+
+    def _rank_program(self, ctx: RankContext, backend, stages
+                      ) -> Generator[Event, Any, None]:
+        wl = self.workload
+        me = ctx.rank
+        P = ctx.size
+        mine = stages[me]
+        lb = self.local_batch
+        eff = self.cal.batch_efficiency(max(1, lb))
+        tr = self.tracer
+        actor = f"r{me}"
+        groups = wl.groups
+
+        # This stage's weights (updated locally; never communicated).
+        my_param_bytes = sum(groups[g].param_bytes for g in mine)
+        from ..cuda import DeviceBuffer
+        weights = DeviceBuffer(ctx.gpu, 3 * my_param_bytes, name="stage.w")
+        # Activation staging buffers sized for the largest cut.
+        cut_in = (groups[mine[0] - 1].out_activation_bytes * lb
+                  if me > 0 else 0)
+        cut_out = (groups[mine[-1]].out_activation_bytes * lb
+                   if me < P - 1 else 0)
+        act_in = DeviceBuffer(ctx.gpu, max(4, cut_in), name="act.in")
+        act_out = DeviceBuffer(ctx.gpu, max(4, cut_out), name="act.out")
+
+        reader = None
+        layer = None
+        if me == 0:
+            reader = DataReader(self.sim, backend,
+                                batch_samples=max(1, lb),
+                                decode_bw=self.cal.decode_bw,
+                                name="mpicaffe.reader")
+            layer = DataLayer(reader)
+        yield from ctx.barrier()
+
+        fwd_flops = sum(groups[g].fwd_flops_per_sample for g in mine)
+        bwd_flops = sum(groups[g].bwd_flops_per_sample for g in mine)
+        try:
+            for it in range(self.sim_iterations):
+                tag = 50 + (it % 50) * 4
+                # ---- forward sweep -------------------------------------
+                if me == 0:
+                    yield from layer.next_batch()
+                    yield self.sim.timeout(self.cal.cuda_copy_overhead)
+                    yield from ctx.gpu.pcie_down.transfer(
+                        lb * wl.input_bytes_per_sample)
+                else:
+                    tr.begin(actor, "activation_comm")
+                    yield from ctx.recv(me - 1, act_in, tag=tag)
+                    tr.end(actor, "activation_comm")
+                tr.begin(actor, "fwd")
+                yield from ctx.cuda.launch(ctx.gpu,
+                                           flops=fwd_flops * lb / eff)
+                tr.end(actor, "fwd")
+                if me < P - 1:
+                    tr.begin(actor, "activation_comm")
+                    yield from ctx.send(me + 1, act_out, tag=tag,
+                                        nbytes=cut_out)
+                    tr.end(actor, "activation_comm")
+
+                # ---- backward sweep ----------------------------------------
+                if me < P - 1:
+                    tr.begin(actor, "activation_comm")
+                    yield from ctx.recv(me + 1, act_out, tag=tag + 1)
+                    tr.end(actor, "activation_comm")
+                tr.begin(actor, "bwd")
+                yield from ctx.cuda.launch(ctx.gpu,
+                                           flops=bwd_flops * lb / eff)
+                tr.end(actor, "bwd")
+                if me > 0:
+                    tr.begin(actor, "activation_comm")
+                    yield from ctx.send(me - 1, act_in, tag=tag + 1,
+                                        nbytes=cut_in)
+                    tr.end(actor, "activation_comm")
+
+                # ---- local weight update (no gradient exchange) ------------
+                tr.begin(actor, "update")
+                yield self.sim.timeout(self.cal.solver_iteration_overhead)
+                yield from ctx.cuda.launch(ctx.gpu, flops=my_param_bytes)
+                tr.end(actor, "update")
+                if me == 0:
+                    self._iter_ends.append(self.sim.now)
+        finally:
+            if reader is not None:
+                reader.stop()
+            weights.free()
+            act_in.free()
+            act_out.free()
+
+
+def run_mpi_caffe(cluster: Cluster, n_gpus: int, cfg: TrainConfig, *,
+                  workload: Optional[Workload] = None,
+                  tracer: Optional[Tracer] = None) -> TrainingReport:
+    if workload is None:
+        from ..dnn import get_network
+        workload = Workload.from_spec(get_network(cfg.network))
+    return MPICaffeJob(cluster, n_gpus, workload, cfg,
+                       tracer=tracer).run()

@@ -1,0 +1,330 @@
+"""S-Caffe: the co-designed distributed training framework (Section 4).
+
+One SPMD solver process per GPU; the co-design *variants* are schedule
+transformations of the same iteration loop:
+
+``SC-B`` (Section 4.1)
+    Basic CUDA-Aware MPI: blocking MPI_Bcast of the packed parameter
+    buffer, forward, backward, blocking MPI_Reduce of the packed
+    gradient buffer.  Clearly marked sequential phases.
+
+``SC-OB`` (Section 4.2, Fig. 5)
+    Multi-stage data propagation: all per-layer MPI_Ibcast operations
+    posted up front; the Wait for layer *i* is placed immediately before
+    layer *i*'s forward pass, hiding propagation under compute.
+    ``SC-OB-naive`` (Fig. 4) posts the Ibcast of layer *i+1* only at the
+    start of layer *i*'s compute — the design the paper rejects.
+
+``SC-OBR`` (Section 4.3, Fig. 6)
+    Adds helper-thread gradient aggregation: a helper thread drives the
+    per-layer backward kernels and signals the main thread (condition
+    flag -> here a sim channel), which invokes the layer's reduction —
+    overlapping the reduce of layer *n* with the compute of layer *n-1*.
+    Combined with the runtime-level Hierarchical Reduce (HR).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..cuda import DeviceBuffer
+from ..hardware import Cluster, OutOfMemoryError
+from ..io import DataLayer, DataReader, get_dataset, make_backend
+from ..mpi import MPIRuntime, MPIProfile, MV2GDR, RankContext
+from ..mpi.collectives import (
+    bcast_binomial, hierarchical_reduce, ibcast, reduce_binomial,
+    tuned_reduce,
+)
+from ..sim import Channel, Event, Tracer
+from .config import TrainConfig
+from .metrics import TrainingReport
+from .workload import RealCompute, SolverBuffers, Workload
+
+__all__ = ["SCaffeJob", "run_scaffe"]
+
+
+class SCaffeJob:
+    """One S-Caffe training run on a cluster slice."""
+
+    def __init__(self, cluster: Cluster, n_gpus: int, workload: Workload,
+                 cfg: TrainConfig, *,
+                 profile: MPIProfile | str = MV2GDR,
+                 adapter: Optional[RealCompute] = None,
+                 tracer: Optional[Tracer] = None):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.cal = cluster.cal
+        self.n_gpus = n_gpus
+        self.workload = workload
+        self.cfg = cfg
+        self.runtime = MPIRuntime(cluster, profile)
+        self.adapter = adapter
+        self.tracer = tracer or Tracer(self.sim, enabled=True)
+        self.local_batch = cfg.local_batch(n_gpus)
+        self.sim_iterations = min(cfg.iterations, cfg.measure_iterations + 1)
+        self._iter_ends: List[float] = []
+        self._io_stalls: List[float] = []
+        self._test_results: List = []
+
+    # -- orchestration ------------------------------------------------------
+    def run(self) -> TrainingReport:
+        cfg = self.cfg
+        wl = self.workload
+        name = f"S-Caffe ({cfg.variant})"
+        report = TrainingReport(
+            framework=name, network=wl.name, n_gpus=self.n_gpus,
+            iterations=cfg.iterations,
+            total_time=0.0, global_batch=cfg.global_batch(self.n_gpus))
+
+        # Fig. 8: "Missing data points are for the cases where solvers
+        # ran out of memory" — a too-large effective batch per solver.
+        need = wl.memory_per_solver(self.local_batch)
+        capacity = self.cluster.gpus[0].spec.memory_bytes
+        if need > capacity:
+            report.failure = "oom"
+            report.notes = (f"needs {need >> 20} MiB/GPU, "
+                            f"capacity {capacity >> 20} MiB")
+            return report
+
+        comm = self.runtime.world(self.n_gpus)
+        dataset = get_dataset(cfg.dataset)
+        backend = make_backend(
+            "lustre" if cfg.data_backend in ("lustre", "imagedata")
+            else "lmdb", self.sim, dataset, self.cal)
+
+        procs = self.runtime.spawn(comm, self._rank_program, backend)
+        self.sim.run()
+        for p in procs:
+            if not p.ok:  # pragma: no cover - defensive
+                raise p.value
+
+        report.total_time = self._extrapolated_total()
+        report.phase_breakdown = self._per_iteration_phases()
+        report.test_results = list(self._test_results)
+        if self._io_stalls:
+            report.io_stall_per_iteration = (
+                sum(self._io_stalls) / len(self._io_stalls)
+                / self.sim_iterations)
+        return report
+
+    def _extrapolated_total(self) -> float:
+        """Total time for cfg.iterations from the simulated window.
+
+        The first iteration carries warmup (cold readers, first bcast);
+        steady state is the mean of the remaining simulated iterations.
+        """
+        ends = self._iter_ends
+        assert len(ends) == self.sim_iterations
+        if self.cfg.iterations == len(ends):
+            return ends[-1]
+        first = ends[0]
+        steady = ((ends[-1] - ends[0]) / (len(ends) - 1)
+                  if len(ends) > 1 else first)
+        return first + steady * (self.cfg.iterations - 1)
+
+    def _per_iteration_phases(self) -> Dict[str, float]:
+        """Root-rank per-iteration phase times."""
+        out = {}
+        for phase in ("propagation", "fwd", "bwd", "aggregation",
+                      "update", "test"):
+            t = self.tracer.total(phase, "r0") \
+                + self.tracer.total(phase, "r0.helper")
+            out[phase] = t / self.sim_iterations
+        return out
+
+    # -- the SPMD solver ----------------------------------------------------------
+    def _rank_program(self, ctx: RankContext, backend
+                      ) -> Generator[Event, Any, None]:
+        cfg = self.cfg
+        wl = self.workload
+        me = ctx.rank
+        actor = f"r{me}"
+        # SC-OB/SC-OBR split parameters per layer (multi-stage Ibcast);
+        # only SC-OBR also splits gradients (per-layer reduces driven by
+        # the helper thread).  SC-B packs both directions.
+        per_group_params = cfg.variant != "SC-B"
+        per_group_grads = cfg.variant == "SC-OBR"
+        with_payload = self.adapter is not None
+
+        buffers = SolverBuffers(wl, ctx.gpu,
+                                per_group_params=per_group_params,
+                                per_group_grads=per_group_grads,
+                                with_payload=with_payload)
+        # Activation + input memory accounting for the local batch.
+        extra = self.local_batch * (wl.activation_bytes_per_sample
+                                    + wl.input_bytes_per_sample)
+        ctx.gpu.reserve(extra)
+
+        # Parallel reader design (Fig. 3): one reader + queue per solver.
+        reader = DataReader(self.sim, backend,
+                            batch_samples=max(1, self.local_batch),
+                            decode_bw=self.cal.decode_bw,
+                            name=f"{actor}.reader")
+        layer = DataLayer(reader)
+
+        if with_payload and me == 0:
+            buffers.write_params(self.adapter.get_params(0))
+
+        yield from ctx.barrier()  # align the start of timing
+
+        try:
+            for it in range(self.sim_iterations):
+                yield from self._iteration(ctx, actor, buffers, layer, it)
+                if me == 0:
+                    self._iter_ends.append(self.sim.now)
+        finally:
+            reader.stop()
+            self._io_stalls.append(layer.stall_time)
+            buffers.free()
+            ctx.gpu.unreserve(extra)
+
+    def _iteration(self, ctx: RankContext, actor: str,
+                   buffers: SolverBuffers, layer: DataLayer, it: int
+                   ) -> Generator[Event, Any, None]:
+        cfg = self.cfg
+        wl = self.workload
+        me = ctx.rank
+        groups = wl.groups
+        lb = self.local_batch
+        eff = self.cal.batch_efficiency(max(1, lb))
+        tr = self.tracer
+
+        # ---- data propagation -------------------------------------------------
+        bcast_reqs = None
+        if cfg.variant == "SC-B":
+            tr.begin(actor, "propagation")
+            yield from bcast_binomial(ctx, buffers.packed_params, 0)
+            tr.end(actor, "propagation")
+        elif cfg.variant in ("SC-OB", "SC-OBR"):
+            # Multi-stage: start ALL Ibcasts at the beginning (Fig. 5).
+            bcast_reqs = [ibcast(ctx, buf, 0) for buf in buffers.param_bufs]
+        elif cfg.variant == "SC-OB-naive":
+            bcast_reqs = [None] * len(groups)
+            bcast_reqs[0] = ibcast(ctx, buffers.param_bufs[0], 0)
+
+        # ---- input batch (reader queue + H2D upload) ----------------------------
+        yield from layer.next_batch()
+        yield self.sim.timeout(self.cal.cuda_copy_overhead)
+        yield from ctx.gpu.pcie_down.transfer(
+            lb * wl.input_bytes_per_sample)
+
+        # ---- forward pass ----------------------------------------------------------
+        for g, group in enumerate(groups):
+            if bcast_reqs is not None:
+                if cfg.variant == "SC-OB-naive" and bcast_reqs[g] is None:
+                    bcast_reqs[g] = ibcast(ctx, buffers.param_bufs[g], 0)
+                tr.begin(actor, "propagation")
+                yield bcast_reqs[g].wait()
+                tr.end(actor, "propagation")
+                if (cfg.variant == "SC-OB-naive"
+                        and g + 1 < len(groups)):
+                    # Naive design (Fig. 4): layer g+1's Ibcast only
+                    # starts alongside layer g's compute.
+                    bcast_reqs[g + 1] = ibcast(
+                        ctx, buffers.param_bufs[g + 1], 0)
+            tr.begin(actor, "fwd")
+            yield self.sim.timeout(self.cal.layer_dispatch_overhead)
+            yield from ctx.cuda.launch(
+                ctx.gpu, flops=group.fwd_flops_per_sample * lb / eff)
+            tr.end(actor, "fwd")
+
+        # ---- real math (payload mode): params in, gradients out ------------------
+        if self.adapter is not None:
+            if me != 0:
+                self.adapter.set_params(me, buffers.read_params())
+            self.adapter.compute_gradients(me, it)
+            buffers.write_grads(self.adapter.local_grads(me))
+
+        # ---- backward + gradient aggregation ------------------------------------
+        if cfg.variant == "SC-OBR":
+            yield from self._backward_overlapped(ctx, actor, buffers)
+        else:
+            tr.begin(actor, "bwd")
+            yield from ctx.cuda.launch(
+                ctx.gpu, flops=wl.bwd_flops_per_sample * lb / eff)
+            tr.end(actor, "bwd")
+            tr.begin(actor, "aggregation")
+            for buf in buffers.grad_bufs:
+                yield from self._reduce(ctx, buf)
+            tr.end(actor, "aggregation")
+
+        # ---- ApplyUpdate on the root solver -----------------------------------------
+        if me == 0:
+            tr.begin(actor, "update")
+            yield self.sim.timeout(self.cal.solver_iteration_overhead)
+            # Momentum SGD touches each parameter a handful of times.
+            yield from ctx.cuda.launch(ctx.gpu, flops=wl.param_bytes)
+            tr.end(actor, "update")
+            if self.adapter is not None:
+                self.adapter.apply_update(0, buffers.read_grads())
+                buffers.write_params(self.adapter.get_params(0))
+            # ---- Testing phase (root solver only, Section 6.2) ----------
+            if cfg.test_interval and (it + 1) % cfg.test_interval == 0:
+                tr.begin(actor, "test")
+                eff_t = self.cal.batch_efficiency(cfg.test_batch)
+                yield from ctx.cuda.launch(
+                    ctx.gpu,
+                    flops=wl.fwd_flops_per_sample * cfg.test_batch
+                    / eff_t)
+                tr.end(actor, "test")
+                result = (self.adapter.evaluate(0)
+                          if self.adapter is not None else None)
+                self._test_results.append((it + 1, result))
+
+    def _backward_overlapped(self, ctx: RankContext, actor: str,
+                             buffers: SolverBuffers
+                             ) -> Generator[Event, Any, None]:
+        """SC-OBR: helper thread drives per-layer backward kernels; the
+        main thread reduces layer n while the helper computes layer n-1
+        (Section 4.3, Fig. 6)."""
+        wl = self.workload
+        lb = self.local_batch
+        eff = self.cal.batch_efficiency(max(1, lb))
+        tr = self.tracer
+        done_ch = Channel(self.sim)
+        helper_actor = f"{actor}.helper"
+
+        def helper():
+            for g in reversed(range(len(wl.groups))):
+                tr.begin(helper_actor, "bwd")
+                yield self.sim.timeout(self.cal.layer_dispatch_overhead)
+                yield from ctx.cuda.launch(
+                    ctx.gpu,
+                    flops=wl.groups[g].bwd_flops_per_sample * lb / eff)
+                tr.end(helper_actor, "bwd")
+                yield done_ch.put(g)
+
+        helper_proc = self.sim.process(helper(), name=helper_actor)
+        for _ in range(len(wl.groups)):
+            g = yield done_ch.get()
+            tr.begin(actor, "aggregation")
+            yield from self._reduce(ctx, buffers.grad_bufs[g])
+            tr.end(actor, "aggregation")
+        yield helper_proc
+
+    def _reduce(self, ctx: RankContext, buf: DeviceBuffer
+                ) -> Generator[Event, Any, None]:
+        """Gradient reduction to the root solver per the configured
+        design; the root reduces in place (its contribution included)."""
+        recv = buf if ctx.rank == 0 else None
+        design = self.cfg.reduce_design
+        if design == "flat":
+            yield from reduce_binomial(ctx, buf, recv, 0)
+        elif design == "tuned":
+            yield from tuned_reduce(ctx, buf, recv, 0)
+        else:
+            yield from hierarchical_reduce(ctx, buf, recv, 0, config=design)
+
+
+def run_scaffe(cluster: Cluster, n_gpus: int, cfg: TrainConfig, *,
+               profile: MPIProfile | str = MV2GDR,
+               workload: Optional[Workload] = None,
+               adapter: Optional[RealCompute] = None,
+               tracer: Optional[Tracer] = None) -> TrainingReport:
+    """Convenience wrapper: build the workload from the config and run."""
+    if workload is None:
+        from ..dnn import get_network
+        workload = Workload.from_spec(get_network(cfg.network))
+    job = SCaffeJob(cluster, n_gpus, workload, cfg, profile=profile,
+                    adapter=adapter, tracer=tracer)
+    return job.run()

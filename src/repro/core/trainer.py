@@ -1,0 +1,82 @@
+"""Top-level training API: one entry point for all frameworks.
+
+This is the public "run an experiment" surface used by the examples and
+benchmarks::
+
+    from repro import train
+    report = train("scaffe", cluster="A", n_gpus=64,
+                   config=TrainConfig(network="googlenet"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..hardware import Cluster, make_cluster
+from ..mpi import MPIProfile, MV2GDR
+from ..sim import Simulator, Tracer
+from .caffe import run_caffe
+from .cntk import run_cntk
+from .config import TrainConfig
+from .metrics import TrainingReport
+from .mpi_caffe import run_mpi_caffe
+from .param_server import run_param_server
+from .scaffe import run_scaffe
+from .workload import RealCompute, Workload
+
+__all__ = ["train", "FRAMEWORK_NAMES"]
+
+FRAMEWORK_NAMES = ("scaffe", "caffe", "nvcaffe", "cntk", "inspur",
+                   "mpicaffe")
+
+
+def train(framework: str, *, n_gpus: int,
+          cluster: Union[Cluster, str] = "A",
+          config: Optional[TrainConfig] = None,
+          profile: MPIProfile | str = MV2GDR,
+          workload: Optional[Workload] = None,
+          adapter: Optional[RealCompute] = None,
+          tracer: Optional[Tracer] = None) -> TrainingReport:
+    """Train ``config.network`` with the named framework.
+
+    Parameters
+    ----------
+    framework:
+        ``"scaffe"`` (variant chosen by ``config.variant``), ``"caffe"``
+        (BVLC baseline), ``"nvcaffe"`` (NVIDIA fork), ``"cntk"``, or
+        ``"inspur"`` (parameter server).
+    cluster:
+        A built :class:`~repro.hardware.Cluster`, or ``"A"``/``"B"`` to
+        build the paper's testbed on a fresh simulator.
+    profile:
+        MPI runtime profile (S-Caffe only; comparators pin their own).
+    adapter:
+        Optional :class:`RealCompute` for payload-carrying runs
+        (S-Caffe only).
+    """
+    cfg = config or TrainConfig()
+    if isinstance(cluster, str):
+        cluster = make_cluster(Simulator(), cluster)
+
+    key = framework.lower().replace("-", "").replace("_", "")
+    if key in ("scaffe", "s"):
+        return run_scaffe(cluster, n_gpus, cfg, profile=profile,
+                          workload=workload, adapter=adapter,
+                          tracer=tracer)
+    if key == "caffe":
+        return run_caffe(cluster, n_gpus, cfg, workload=workload,
+                         tracer=tracer)
+    if key in ("nvcaffe", "nvidiacaffe"):
+        return run_caffe(cluster, n_gpus, cfg, optimized=True,
+                         workload=workload, tracer=tracer)
+    if key == "cntk":
+        return run_cntk(cluster, n_gpus, cfg, workload=workload,
+                        tracer=tracer)
+    if key in ("inspur", "inspurcaffe", "paramserver", "ps"):
+        return run_param_server(cluster, n_gpus, cfg, workload=workload,
+                                tracer=tracer)
+    if key in ("mpicaffe", "modelparallel", "mp"):
+        return run_mpi_caffe(cluster, n_gpus, cfg, workload=workload,
+                             tracer=tracer)
+    raise KeyError(
+        f"unknown framework {framework!r}; choose from {FRAMEWORK_NAMES}")

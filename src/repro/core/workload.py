@@ -1,0 +1,307 @@
+"""Workload preparation: layer groups, device buffers, compute adapters.
+
+The distributed frameworks communicate at the granularity of
+*parametrized layers* (multi-stage designs post one collective per
+weighted layer).  A :class:`LayerGroup` is a parametrized layer with the
+compute cost of its trailing parameter-free layers (ReLU/pool/LRN/...)
+folded in — those layers never communicate, so folding preserves both
+the schedule and the total compute while keeping the event count sane
+at 160 ranks.
+
+Two workload sources:
+
+- :meth:`Workload.from_spec` — the cost-model zoo (cluster-scale runs).
+- :meth:`Workload.from_net` — a real NumPy :class:`~repro.dnn.net.Net`;
+  buffers then carry real payloads, and a :class:`RealCompute` adapter
+  performs actual forward/backward/update math so end-to-end training
+  can be checked for numerical equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cuda import DeviceBuffer
+from ..dnn.net import Net
+from ..dnn.solver import SGDSolver, SolverConfig
+from ..dnn.specs import NetworkSpec
+from ..hardware.gpu import GPUDevice
+
+__all__ = ["LayerGroup", "Workload", "SolverBuffers", "RealCompute"]
+
+
+@dataclass(frozen=True)
+class LayerGroup:
+    """One parametrized layer + folded-in neighbour compute."""
+
+    name: str
+    param_bytes: int
+    fwd_flops_per_sample: float
+    bwd_flops_per_sample: float
+    #: Output activation size per sample at this group's downstream cut
+    #: (what a model-parallel split must communicate).
+    out_activation_bytes: int = 0
+
+    def __post_init__(self):
+        if self.param_bytes < 0:
+            raise ValueError("param_bytes must be >= 0")
+        if self.out_activation_bytes < 0:
+            raise ValueError("out_activation_bytes must be >= 0")
+
+
+class Workload:
+    """What a solver trains: communication groups + memory model."""
+
+    def __init__(self, name: str, groups: List[LayerGroup],
+                 input_bytes_per_sample: int,
+                 activation_bytes_per_sample: int,
+                 net: Optional[Net] = None):
+        if not groups:
+            raise ValueError("workload needs at least one layer group")
+        self.name = name
+        self.groups = groups
+        self.input_bytes_per_sample = input_bytes_per_sample
+        self.activation_bytes_per_sample = activation_bytes_per_sample
+        #: Real-math net template (None for cost-model workloads).
+        self.net = net
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: NetworkSpec) -> "Workload":
+        groups: List[LayerGroup] = []
+        pending_fwd = 0.0
+        pending_bwd = 0.0
+        for layer in spec.layers:
+            if layer.has_params:
+                groups.append(LayerGroup(
+                    layer.name, layer.param_bytes,
+                    layer.fwd_flops_per_sample + pending_fwd,
+                    layer.bwd_flops_per_sample + pending_bwd,
+                    layer.activation_bytes_per_sample))
+                pending_fwd = pending_bwd = 0.0
+            else:
+                pending_fwd += layer.fwd_flops_per_sample
+                pending_bwd += layer.bwd_flops_per_sample
+                # The cut after the folded tail carries the tail's
+                # (smaller) activation.
+                if groups:
+                    last = groups[-1]
+                    groups[-1] = LayerGroup(
+                        last.name, last.param_bytes,
+                        last.fwd_flops_per_sample,
+                        last.bwd_flops_per_sample,
+                        layer.activation_bytes_per_sample)
+        if not groups:
+            groups.append(LayerGroup(spec.name, 0, pending_fwd,
+                                     pending_bwd, 4))
+            pending_fwd = pending_bwd = 0.0
+        elif pending_fwd or pending_bwd:
+            # Trailing parameter-free layers fold into the last group.
+            last = groups[-1]
+            groups[-1] = LayerGroup(
+                last.name, last.param_bytes,
+                last.fwd_flops_per_sample + pending_fwd,
+                last.bwd_flops_per_sample + pending_bwd,
+                last.out_activation_bytes)
+        return cls(spec.name, groups, spec.input_bytes_per_sample,
+                   spec.activation_bytes_per_sample())
+
+    @classmethod
+    def from_net(cls, net: Net, *, flops_per_param: float = 4.0
+                 ) -> "Workload":
+        """A real-math workload: one group per parametrized real layer.
+
+        Nominal compute cost is proportional to parameter count — only
+        the *schedule*, not absolute timing, matters for equivalence
+        tests.
+        """
+        groups = []
+        for layer in net.layers:
+            if layer.param_count:
+                nbytes = layer.param_count * 4  # communicated as float32
+                groups.append(LayerGroup(
+                    layer.name, nbytes,
+                    flops_per_param * layer.param_count,
+                    2 * flops_per_param * layer.param_count))
+        if not groups:
+            raise ValueError("real net has no parameters")
+        return cls(net.name, groups, 64, 256, net=net)
+
+    # -- aggregates --------------------------------------------------------------
+    @property
+    def param_bytes(self) -> int:
+        return sum(g.param_bytes for g in self.groups)
+
+    @property
+    def fwd_flops_per_sample(self) -> float:
+        return sum(g.fwd_flops_per_sample for g in self.groups)
+
+    @property
+    def bwd_flops_per_sample(self) -> float:
+        return sum(g.bwd_flops_per_sample for g in self.groups)
+
+    def memory_per_solver(self, batch_per_gpu: int) -> int:
+        """Weights + gradients + packed staging + activations."""
+        if batch_per_gpu < 1:
+            raise ValueError("batch_per_gpu must be >= 1")
+        return (3 * self.param_bytes
+                + batch_per_gpu * (self.activation_bytes_per_sample
+                                   + self.input_bytes_per_sample))
+
+    def group_offsets(self) -> List[Tuple[int, int]]:
+        """(offset, nbytes) of each group in the packed flat buffer."""
+        out = []
+        off = 0
+        for g in self.groups:
+            out.append((off, g.param_bytes))
+            off += g.param_bytes
+        return out
+
+
+class SolverBuffers:
+    """Per-rank device buffers for one solver.
+
+    Packed mode (one buffer spanning all groups — Caffe's
+    packed_comm_buffer / packed_reduction_buffer) and per-group mode
+    (one buffer per parametrized layer — the multi-stage designs) are
+    chosen *per direction*: SC-B packs both; SC-OB splits only the
+    parameter side (its gradient reduce stays a single packed
+    operation); SC-OBR splits both.  With a real-math workload the
+    buffers carry float32 payloads.
+    """
+
+    def __init__(self, workload: Workload, gpu: GPUDevice, *,
+                 per_group_params: bool, per_group_grads: bool,
+                 with_payload: bool):
+        self.workload = workload
+        self.gpu = gpu
+        self.per_group_params = per_group_params
+        self.per_group_grads = per_group_grads
+        self._all: List[DeviceBuffer] = []
+
+        def alloc(nbytes: int, tag: str) -> DeviceBuffer:
+            if with_payload:
+                buf = DeviceBuffer.zeros(gpu, nbytes // 4, dtype=np.float32,
+                                         name=tag)
+            else:
+                buf = DeviceBuffer(gpu, nbytes, name=tag)
+            self._all.append(buf)
+            return buf
+
+        if per_group_params:
+            self.param_bufs = [alloc(g.param_bytes, f"param.{g.name}")
+                               for g in workload.groups]
+            self.packed_params = None
+        else:
+            self.packed_params = alloc(workload.param_bytes, "packed_comm")
+            self.param_bufs = [self.packed_params]
+        if per_group_grads:
+            self.grad_bufs = [alloc(g.param_bytes, f"grad.{g.name}")
+                              for g in workload.groups]
+            self.packed_grads = None
+        else:
+            self.packed_grads = alloc(workload.param_bytes,
+                                      "packed_reduction")
+            self.grad_bufs = [self.packed_grads]
+
+    def free(self) -> None:
+        for buf in self._all:
+            if not buf.freed:
+                buf.free()
+
+    # -- payload bridges (real-math mode) ----------------------------------------
+    @staticmethod
+    def _scatter(bufs: List[DeviceBuffer], flat: np.ndarray) -> None:
+        off = 0
+        for buf in bufs:
+            n = buf.nbytes // 4
+            buf.data[...] = flat[off:off + n]
+            off += n
+
+    @staticmethod
+    def _gather(bufs: List[DeviceBuffer]) -> np.ndarray:
+        if len(bufs) == 1:
+            return bufs[0].data.copy()
+        return np.concatenate([b.data for b in bufs])
+
+    def write_grads(self, flat: np.ndarray) -> None:
+        """Scatter a packed float32 gradient vector into the buffers."""
+        self._scatter(self.grad_bufs, flat.astype(np.float32, copy=False))
+
+    def read_grads(self) -> np.ndarray:
+        return self._gather(self.grad_bufs)
+
+    def write_params(self, flat: np.ndarray) -> None:
+        self._scatter(self.param_bufs, flat.astype(np.float32, copy=False))
+
+    def read_params(self) -> np.ndarray:
+        return self._gather(self.param_bufs)
+
+
+class RealCompute:
+    """Real-math adapter: per-rank net replicas over a shared dataset.
+
+    Deterministic sharding: at global iteration *i*, rank *r* of *P*
+    trains rows ``batch[i] [r*local : (r+1)*local]`` — identical to the
+    single-solver reference batch order, so trajectories are comparable
+    bit-for-bit (up to float32 reduction associativity).
+    """
+
+    def __init__(self, master: Net, x: np.ndarray, labels: np.ndarray,
+                 *, global_batch: int, n_ranks: int,
+                 solver_config: Optional[SolverConfig] = None,
+                 test_x: Optional[np.ndarray] = None,
+                 test_labels: Optional[np.ndarray] = None):
+        if global_batch % n_ranks:
+            raise ValueError("global_batch must divide evenly across ranks")
+        if x.shape[0] < global_batch:
+            raise ValueError("dataset smaller than one global batch")
+        self.master = master
+        self.x = x
+        self.labels = labels
+        self.global_batch = global_batch
+        self.n_ranks = n_ranks
+        self.local = global_batch // n_ranks
+        self.solver_config = solver_config or SolverConfig()
+        self.test_x = test_x
+        self.test_labels = test_labels
+        self.solvers: Dict[int, SGDSolver] = {
+            r: SGDSolver(master.clone(), self.solver_config)
+            for r in range(n_ranks)}
+
+    def batch_rows(self, iteration: int, rank: int
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        n = self.x.shape[0]
+        start = (iteration * self.global_batch) % n
+        lo = (start + rank * self.local) % n
+        idx = [(lo + i) % n for i in range(self.local)]
+        return self.x[idx], self.labels[idx]
+
+    def compute_gradients(self, rank: int, iteration: int) -> float:
+        xb, yb = self.batch_rows(iteration, rank)
+        return self.solvers[rank].compute_gradients(
+            xb, yb, global_batch=self.global_batch)
+
+    def local_grads(self, rank: int) -> np.ndarray:
+        return self.solvers[rank].net.get_grads()
+
+    def apply_update(self, rank: int, summed_grads: np.ndarray) -> None:
+        s = self.solvers[rank]
+        s.net.set_grads(summed_grads.astype(np.float64))
+        s.apply_update()
+
+    def set_params(self, rank: int, flat: np.ndarray) -> None:
+        self.solvers[rank].net.set_params(flat.astype(np.float64))
+
+    def get_params(self, rank: int) -> np.ndarray:
+        return self.solvers[rank].net.get_params()
+
+    def evaluate(self, rank: int):
+        """Testing-phase pass on the held-out set (None if no test set
+        was provided)."""
+        if self.test_x is None:
+            return None
+        return self.solvers[rank].test(self.test_x, self.test_labels)

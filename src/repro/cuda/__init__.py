@@ -1,0 +1,7 @@
+"""Simulated CUDA runtime: device buffers, streams, copies, kernels."""
+
+from .memory import DeviceBuffer, HostBuffer
+from .runtime import CudaRuntime
+from .stream import CudaEvent, Stream
+
+__all__ = ["DeviceBuffer", "HostBuffer", "CudaRuntime", "CudaEvent", "Stream"]

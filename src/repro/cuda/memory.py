@@ -1,0 +1,130 @@
+"""Device/host buffer abstractions.
+
+Buffers are *payload-optional*: every buffer knows its size (for the
+timing model); it may additionally carry a real :class:`numpy.ndarray`
+payload.  Small-scale correctness tests push real arrays through the
+simulated MPI stack and check numerical equivalence; large-scale (160-GPU)
+benchmark runs use size-only buffers so memory stays bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.gpu import GPUDevice
+
+__all__ = ["DeviceBuffer", "HostBuffer"]
+
+
+class _BufferBase:
+    """Shared behaviour of device and host buffers."""
+
+    __slots__ = ("nbytes", "data", "name")
+
+    def __init__(self, nbytes: int, data: Optional[np.ndarray],
+                 name: str = ""):
+        if data is not None:
+            data = np.ascontiguousarray(data)
+            if data.nbytes != nbytes:
+                raise ValueError(
+                    f"payload has {data.nbytes} bytes, declared {nbytes}")
+        elif nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.nbytes = int(nbytes)
+        self.data = data
+        self.name = name
+
+    @property
+    def has_data(self) -> bool:
+        return self.data is not None
+
+    def copy_payload_from(self, other: "_BufferBase", *, nbytes:
+                          Optional[int] = None, src_offset: int = 0,
+                          dst_offset: int = 0) -> None:
+        """Copy real payload bytes (no-op when either side is size-only)."""
+        if self.data is None or other.data is None:
+            return
+        n = self.nbytes if nbytes is None else nbytes
+        dst = self.data.view(np.uint8)
+        src = other.data.view(np.uint8)
+        dst[dst_offset:dst_offset + n] = src[src_offset:src_offset + n]
+
+    def accumulate_payload_from(self, other: "_BufferBase", *,
+                                nbytes: Optional[int] = None,
+                                offset: int = 0) -> None:
+        """Elementwise-add ``other``'s payload into ours (sum reduction).
+
+        ``offset``/``nbytes`` are in bytes and must be element-aligned.
+        """
+        if self.data is None or other.data is None:
+            return
+        if self.data.dtype != other.data.dtype:
+            raise TypeError(
+                f"dtype mismatch {self.data.dtype} vs {other.data.dtype}")
+        item = self.data.dtype.itemsize
+        n = self.nbytes if nbytes is None else nbytes
+        if offset % item or n % item:
+            raise ValueError("offset/nbytes must be element-aligned")
+        lo, hi = offset // item, (offset + n) // item
+        flat = self.data.reshape(-1)
+        oflat = other.data.reshape(-1)
+        flat[lo:hi] += oflat[lo:hi]
+
+
+class DeviceBuffer(_BufferBase):
+    """A buffer resident in a GPU's memory (accounted by the allocator)."""
+
+    __slots__ = ("device", "_freed")
+
+    def __init__(self, device: GPUDevice, nbytes: int,
+                 data: Optional[np.ndarray] = None, name: str = ""):
+        super().__init__(nbytes, data, name)
+        self.device = device
+        device.reserve(self.nbytes)
+        self._freed = False
+
+    @classmethod
+    def zeros(cls, device: GPUDevice, shape, dtype=np.float32,
+              name: str = "") -> "DeviceBuffer":
+        arr = np.zeros(shape, dtype=dtype)
+        return cls(device, arr.nbytes, arr, name=name)
+
+    @classmethod
+    def from_array(cls, device: GPUDevice, arr: np.ndarray,
+                   name: str = "") -> "DeviceBuffer":
+        arr = np.ascontiguousarray(arr)
+        return cls(device, arr.nbytes, arr.copy(), name=name)
+
+    def free(self) -> None:
+        """Return the allocation to the device (idempotent error)."""
+        if self._freed:
+            raise RuntimeError(f"double free of {self.name or self!r}")
+        self.device.unreserve(self.nbytes)
+        self._freed = True
+        self.data = None
+
+    @property
+    def freed(self) -> bool:
+        return self._freed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        payload = "data" if self.has_data else "size-only"
+        return (f"<DeviceBuffer {self.name or id(self):#x} {self.nbytes}B "
+                f"{payload} on {self.device.name}>")
+
+
+class HostBuffer(_BufferBase):
+    """A buffer in host DRAM (staging buffers for non-GDR protocols)."""
+
+    __slots__ = ("pinned",)
+
+    def __init__(self, nbytes: int, data: Optional[np.ndarray] = None,
+                 *, pinned: bool = True, name: str = ""):
+        super().__init__(nbytes, data, name)
+        self.pinned = pinned
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "pinned" if self.pinned else "pageable"
+        return f"<HostBuffer {self.name or id(self):#x} {self.nbytes}B {kind}>"

@@ -1,0 +1,99 @@
+"""CUDA streams and events (in-order work queues).
+
+A :class:`Stream` executes submitted sub-protocols strictly in submission
+order, like a CUDA stream; different streams on the same device still
+contend for the device's SM/PCIe resources, which is how copy/compute
+overlap (and its limits) emerges in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..hardware.gpu import GPUDevice
+from ..sim import Channel, Event, Simulator
+
+__all__ = ["Stream", "CudaEvent"]
+
+
+class CudaEvent:
+    """A recordable marker; ``synchronize`` waits until it completes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._done = sim.event()
+
+    def _complete(self) -> None:
+        if not self._done.triggered:
+            self._done.succeed(self.sim.now)
+
+    @property
+    def completed(self) -> bool:
+        return self._done.triggered
+
+    def synchronize(self) -> Event:
+        """Event the caller yields to wait for completion."""
+        if self._done.triggered:
+            ev = self.sim.event()
+            ev.succeed(self._done._value)
+            return ev
+        # Piggyback on the completion event.
+        ev = self.sim.event()
+        self._done.add_callback(lambda e: ev.succeed(e._value))
+        return ev
+
+
+class Stream:
+    """An in-order asynchronous work queue bound to one device."""
+
+    _SENTINEL = object()
+
+    def __init__(self, device: GPUDevice, name: str = ""):
+        self.device = device
+        self.sim = device.sim
+        self.name = name or f"{device.name}.stream"
+        self._queue = Channel(self.sim)
+        self._pending = 0
+        self.sim.process(self._worker(), name=self.name)
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted operations not yet completed."""
+        return self._pending
+
+    def submit(self, op: Generator[Event, Any, Any]) -> Event:
+        """Enqueue a sub-protocol; returns an event for its completion."""
+        done = self.sim.event()
+        self._pending += 1
+        self._queue.put((op, done))
+        return done
+
+    def record(self) -> CudaEvent:
+        """Record a CUDA event after all currently queued work."""
+        cev = CudaEvent(self.sim)
+        def marker():
+            cev._complete()
+            return
+            yield  # pragma: no cover - makes this a generator
+        self.submit(marker())
+        return cev
+
+    def synchronize(self) -> Event:
+        """Event that fires once all submitted work has drained."""
+        if self._pending == 0:
+            ev = self.sim.event()
+            ev.succeed(None)
+            return ev
+        return self.record().synchronize()
+
+    def _worker(self):
+        while True:
+            op, done = yield self._queue.get()
+            try:
+                result = yield from op
+            except BaseException as exc:
+                self._pending -= 1
+                done.fail(exc)
+            else:
+                self._pending -= 1
+                done.succeed(result)

@@ -1,0 +1,26 @@
+"""DNN workloads: cost-model zoo + a real NumPy training engine."""
+
+from .models import (
+    NETWORK_BUILDERS, alexnet, caffenet, cifar10_quick, get_network,
+    googlenet, lenet, vgg16,
+)
+from .net import Net, build_cifar10_quick, build_lenet, build_mlp
+from .prototxt import (
+    PrototxtError, network_from_prototxt, parse_prototxt,
+    solver_from_prototxt,
+)
+from .solver import SGDSolver, SolverConfig, TestResult
+from .specs import (
+    LayerSpec, NetworkSpec, activation_spec, conv_spec, dense_spec,
+)
+
+__all__ = [
+    "NETWORK_BUILDERS", "alexnet", "caffenet", "cifar10_quick",
+    "get_network", "googlenet", "lenet", "vgg16",
+    "Net", "build_cifar10_quick", "build_lenet", "build_mlp",
+    "PrototxtError", "network_from_prototxt", "parse_prototxt",
+    "solver_from_prototxt",
+    "SGDSolver", "SolverConfig", "TestResult",
+    "LayerSpec", "NetworkSpec", "activation_spec", "conv_spec",
+    "dense_spec",
+]

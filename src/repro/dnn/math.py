@@ -1,0 +1,336 @@
+"""Real NumPy layers: forward/backward compute for correctness testing.
+
+The cluster-scale experiments use cost models, but the paper's key
+correctness claim — "We observed no difference in accuracy between Caffe
+and S-Caffe ... This validates that S-Caffe's distributed training indeed
+works as expected" (Section 6.2) — needs real arithmetic.  This engine
+implements the layers of the small reference networks (LeNet,
+CIFAR10-quick shapes) with exact forward/backward math, so the
+distributed solvers can be checked for *numerical equivalence* with
+single-solver large-batch SGD.
+
+Conventions: activations are NCHW ``float64`` (float64 so equivalence
+checks are not drowned in rounding noise); ``backward`` consumes the
+loss gradient w.r.t. the layer output and returns the gradient w.r.t.
+the input, accumulating parameter gradients in ``grads``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Layer", "Dense", "Conv2D", "MaxPool2D", "ReLU", "Flatten",
+           "Dropout", "LRN", "SoftmaxCrossEntropy", "im2col", "col2im"]
+
+
+class Layer:
+    """Base class: parametrized layers override params()/grads()."""
+
+    name: str = "layer"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    @property
+    def param_count(self) -> int:
+        return sum(p.size for p in self.params().values())
+
+
+class Dense(Layer):
+    """Fully-connected layer: y = x @ W + b."""
+
+    def __init__(self, nin: int, nout: int, *, rng: np.random.Generator,
+                 name: str = "dense"):
+        self.name = name
+        scale = np.sqrt(2.0 / nin)
+        self.W = rng.standard_normal((nin, nout)) * scale
+        self.b = np.zeros(nout)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"{self.name}: expected 2-D input, got {x.shape}")
+        self._x = x
+        return x @ self.W + self.b
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        self.dW += self._x.T @ dy
+        self.db += dy.sum(axis=0)
+        return dy @ self.W.T
+
+    def params(self):
+        return {"W": self.W, "b": self.b}
+
+    def grads(self):
+        return {"W": self.dW, "b": self.db}
+
+
+def im2col(x: np.ndarray, k: int, stride: int, pad: int
+           ) -> Tuple[np.ndarray, int, int]:
+    """Unfold (N, C, H, W) into (N, Hout*Wout, C*k*k) patches."""
+    n, c, h, w = x.shape
+    hout = (h + 2 * pad - k) // stride + 1
+    wout = (w + 2 * pad - k) // stride + 1
+    if hout <= 0 or wout <= 0:
+        raise ValueError("kernel larger than padded input")
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    s = xp.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xp, shape=(n, c, hout, wout, k, k),
+        strides=(s[0], s[1], s[2] * stride, s[3] * stride, s[2], s[3]),
+        writeable=False)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(
+        n, hout * wout, c * k * k)
+    return np.ascontiguousarray(cols), hout, wout
+
+
+def col2im(cols: np.ndarray, x_shape: Tuple[int, ...], k: int, stride: int,
+           pad: int) -> np.ndarray:
+    """Fold patch gradients back onto the (padded) input — the adjoint of
+    :func:`im2col`."""
+    n, c, h, w = x_shape
+    hout = (h + 2 * pad - k) // stride + 1
+    wout = (w + 2 * pad - k) // stride + 1
+    dxp = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    cols6 = cols.reshape(n, hout, wout, c, k, k)
+    for i in range(k):
+        for j in range(k):
+            dxp[:, :, i:i + hout * stride:stride,
+                j:j + wout * stride:stride] += cols6[:, :, :, :, i, j
+                                                     ].transpose(0, 3, 1, 2)
+    if pad:
+        return dxp[:, :, pad:-pad, pad:-pad]
+    return dxp
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col + GEMM (Caffe's implementation trick)."""
+
+    def __init__(self, cin: int, cout: int, k: int, *, stride: int = 1,
+                 pad: int = 0, rng: np.random.Generator, name: str = "conv"):
+        self.name = name
+        self.k, self.stride, self.pad = k, stride, pad
+        scale = np.sqrt(2.0 / (cin * k * k))
+        self.W = rng.standard_normal((cout, cin * k * k)) * scale
+        self.b = np.zeros(cout)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+        self._hw: Tuple[int, int] = (0, 0)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        cols, hout, wout = im2col(x, self.k, self.stride, self.pad)
+        self._cols, self._x_shape, self._hw = cols, x.shape, (hout, wout)
+        y = cols @ self.W.T + self.b          # (N, HW, Cout)
+        n = x.shape[0]
+        return y.transpose(0, 2, 1).reshape(n, -1, hout, wout)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cols is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        n, cout, hout, wout = dy.shape
+        dyf = dy.reshape(n, cout, hout * wout).transpose(0, 2, 1)
+        self.dW += np.einsum("npc,npk->ck", dyf, self._cols)
+        self.db += dyf.sum(axis=(0, 1))
+        dcols = dyf @ self.W                  # (N, HW, Cin*k*k)
+        return col2im(dcols, self._x_shape, self.k, self.stride, self.pad)
+
+    def params(self):
+        return {"W": self.W, "b": self.b}
+
+    def grads(self):
+        return {"W": self.dW, "b": self.db}
+
+
+class MaxPool2D(Layer):
+    """Max pooling with square window == stride (Caffe default shapes)."""
+
+    def __init__(self, k: int, name: str = "pool"):
+        self.name = name
+        self.k = k
+        self._mask: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k = self.k
+        if h % k or w % k:
+            raise ValueError(f"{self.name}: input {h}x{w} not divisible "
+                             f"by window {k}")
+        xr = x.reshape(n, c, h // k, k, w // k, k)
+        y = xr.max(axis=(3, 5))
+        self._mask = (xr == y[:, :, :, None, :, None])
+        self._x_shape = x.shape
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        k = self.k
+        dyr = dy[:, :, :, None, :, None]
+        # Split gradient equally among tied maxima (deterministic adjoint).
+        counts = self._mask.sum(axis=(3, 5), keepdims=True)
+        dx = (self._mask * dyr / counts).reshape(self._x_shape)
+        return dx
+
+
+class ReLU(Layer):
+    def __init__(self, name: str = "relu"):
+        self.name = name
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return dy * self._mask
+
+
+class Flatten(Layer):
+    def __init__(self, name: str = "flatten"):
+        self.name = name
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return dy.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout (AlexNet's fc6/fc7 regularizer).
+
+    Deterministic given its RNG — required for the bit-equivalence
+    tests: replicas must draw identical masks, so data-parallel runs
+    share one seeded generator per replica clone.  ``train`` toggles the
+    Testing-phase behaviour (identity).
+    """
+
+    def __init__(self, rate: float, *, rng: np.random.Generator,
+                 name: str = "dropout"):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.name = name
+        self.rate = rate
+        self.rng = rng
+        self.train = True
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.train or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dy
+        return dy * self._mask
+
+
+class LRN(Layer):
+    """Local response normalization across channels (AlexNet §3.3).
+
+    y_i = x_i / (k + alpha/n * sum_{j in window} x_j^2) ^ beta
+    """
+
+    def __init__(self, *, local_size: int = 5, alpha: float = 1e-4,
+                 beta: float = 0.75, k: float = 2.0, name: str = "lrn"):
+        if local_size < 1 or local_size % 2 == 0:
+            raise ValueError("local_size must be odd and >= 1")
+        self.name = name
+        self.local_size = local_size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self._x: Optional[np.ndarray] = None
+        self._scale: Optional[np.ndarray] = None
+
+    def _window_sum_sq(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        half = self.local_size // 2
+        sq = x * x
+        # Prefix sums over the channel axis for O(1) window sums.
+        csum = np.zeros((n, c + 1, h, w))
+        np.cumsum(sq, axis=1, out=csum[:, 1:])
+        lo = np.clip(np.arange(c) - half, 0, c)
+        hi = np.clip(np.arange(c) + half + 1, 0, c)
+        return csum[:, hi] - csum[:, lo]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        win = self._window_sum_sq(x)
+        self._scale = self.k + (self.alpha / self.local_size) * win
+        return x * self._scale ** -self.beta
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None or self._scale is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x, scale = self._x, self._scale
+        n, c, h, w = x.shape
+        half = self.local_size // 2
+        # dL/dx_i = dy_i * scale_i^-b
+        #         - 2ab/n * x_i * sum_{j: i in window(j)} dy_j x_j scale_j^-(b+1)
+        coef = 2.0 * (self.alpha / self.local_size) * self.beta
+        g = dy * x * scale ** (-self.beta - 1.0)
+        csum = np.zeros((n, c + 1, h, w))
+        np.cumsum(g, axis=1, out=csum[:, 1:])
+        lo = np.clip(np.arange(c) - half, 0, c)
+        hi = np.clip(np.arange(c) + half + 1, 0, c)
+        gwin = csum[:, hi] - csum[:, lo]
+        return dy * scale ** -self.beta - coef * x * gwin
+
+
+class SoftmaxCrossEntropy:
+    """Loss head: softmax + mean cross-entropy over the batch.
+
+    Gradients are normalized by the *global* batch size passed to
+    ``backward`` so that data-parallel shards sum to exactly the
+    single-solver gradient.
+    """
+
+    def __init__(self):
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        probs = e / e.sum(axis=1, keepdims=True)
+        self._probs, self._labels = probs, labels
+        n = logits.shape[0]
+        return float(-np.log(probs[np.arange(n), labels] + 1e-300).mean())
+
+    def backward(self, global_batch: Optional[int] = None) -> np.ndarray:
+        if self._probs is None:
+            raise RuntimeError("loss backward before forward")
+        n = self._probs.shape[0]
+        denom = global_batch if global_batch is not None else n
+        d = self._probs.copy()
+        d[np.arange(n), self._labels] -= 1.0
+        return d / denom

@@ -1,0 +1,214 @@
+"""The model zoo: the networks the paper trains.
+
+Shapes follow the reference Caffe prototxts; parameter counts land on
+the published figures (AlexNet/CaffeNet ~61M params -> ~244 MB fp32 of
+gradients per iteration, the "256 MB buffer" scale of Section 3.4;
+GoogLeNet ~7M params across ~60 parametrized layers — many small
+messages, hence communication-intensive; CIFAR10-quick ~145K params —
+compute-intensive).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .specs import LayerSpec, NetworkSpec, activation_spec, conv_spec, dense_spec
+
+__all__ = ["alexnet", "caffenet", "googlenet", "vgg16", "nin",
+           "cifar10_quick", "lenet", "get_network", "NETWORK_BUILDERS"]
+
+
+def alexnet() -> NetworkSpec:
+    """AlexNet (Krizhevsky 2012), ungrouped shapes — 227x227x3 input."""
+    L: List[LayerSpec] = [
+        conv_spec("conv1", 3, 96, 11, 55, 55),
+        activation_spec("relu1", "relu", 96 * 55 * 55),
+        activation_spec("norm1", "lrn", 96 * 55 * 55, 5.0),
+        activation_spec("pool1", "pool", 96 * 27 * 27),
+        conv_spec("conv2", 96, 256, 5, 27, 27),
+        activation_spec("relu2", "relu", 256 * 27 * 27),
+        activation_spec("norm2", "lrn", 256 * 27 * 27, 5.0),
+        activation_spec("pool2", "pool", 256 * 13 * 13),
+        conv_spec("conv3", 256, 384, 3, 13, 13),
+        activation_spec("relu3", "relu", 384 * 13 * 13),
+        conv_spec("conv4", 384, 384, 3, 13, 13),
+        activation_spec("relu4", "relu", 384 * 13 * 13),
+        conv_spec("conv5", 384, 256, 3, 13, 13),
+        activation_spec("relu5", "relu", 256 * 13 * 13),
+        activation_spec("pool5", "pool", 256 * 6 * 6),
+        dense_spec("fc6", 256 * 6 * 6, 4096),
+        activation_spec("relu6", "relu", 4096),
+        dense_spec("fc7", 4096, 4096),
+        activation_spec("relu7", "relu", 4096),
+        dense_spec("fc8", 4096, 1000),
+        activation_spec("prob", "softmax", 1000, 3.0),
+    ]
+    return NetworkSpec("alexnet", tuple(L), 3 * 227 * 227 * 4)
+
+
+def caffenet() -> NetworkSpec:
+    """CaffeNet: BVLC's single-GPU AlexNet variant (pool/norm swapped);
+    identical communication profile."""
+    base = alexnet()
+    return NetworkSpec("caffenet", base.layers, base.input_bytes_per_sample)
+
+
+def _inception(name: str, hw: int, cin: int, c1: int, c3r: int, c3: int,
+               c5r: int, c5: int, cp: int) -> List[LayerSpec]:
+    """One GoogLeNet inception module (four parallel towers + concat)."""
+    cout = c1 + c3 + c5 + cp
+    return [
+        conv_spec(f"{name}/1x1", cin, c1, 1, hw, hw),
+        conv_spec(f"{name}/3x3_reduce", cin, c3r, 1, hw, hw),
+        conv_spec(f"{name}/3x3", c3r, c3, 3, hw, hw),
+        conv_spec(f"{name}/5x5_reduce", cin, c5r, 1, hw, hw),
+        conv_spec(f"{name}/5x5", c5r, c5, 5, hw, hw),
+        conv_spec(f"{name}/pool_proj", cin, cp, 1, hw, hw),
+        activation_spec(f"{name}/concat", "concat", cout * hw * hw, 0.0),
+    ]
+
+
+def googlenet() -> NetworkSpec:
+    """GoogLeNet (Szegedy 2015) main trunk, 224x224x3 input.
+
+    Auxiliary classifier heads are train-time-only regularizers and are
+    omitted; they carry <1% of the trunk's FLOPs at these batch sizes.
+    """
+    L: List[LayerSpec] = [
+        conv_spec("conv1/7x7_s2", 3, 64, 7, 112, 112),
+        activation_spec("pool1", "pool", 64 * 56 * 56),
+        conv_spec("conv2/3x3_reduce", 64, 64, 1, 56, 56),
+        conv_spec("conv2/3x3", 64, 192, 3, 56, 56),
+        activation_spec("pool2", "pool", 192 * 28 * 28),
+    ]
+    L += _inception("inception_3a", 28, 192, 64, 96, 128, 16, 32, 32)
+    L += _inception("inception_3b", 28, 256, 128, 128, 192, 32, 96, 64)
+    L += [activation_spec("pool3", "pool", 480 * 14 * 14)]
+    L += _inception("inception_4a", 14, 480, 192, 96, 208, 16, 48, 64)
+    L += _inception("inception_4b", 14, 512, 160, 112, 224, 24, 64, 64)
+    L += _inception("inception_4c", 14, 512, 128, 128, 256, 24, 64, 64)
+    L += _inception("inception_4d", 14, 512, 112, 144, 288, 32, 64, 64)
+    L += _inception("inception_4e", 14, 528, 256, 160, 320, 32, 128, 128)
+    L += [activation_spec("pool4", "pool", 832 * 7 * 7)]
+    L += _inception("inception_5a", 7, 832, 256, 160, 320, 32, 128, 128)
+    L += _inception("inception_5b", 7, 832, 384, 192, 384, 48, 128, 128)
+    L += [
+        activation_spec("pool5/avg", "pool", 1024),
+        dense_spec("loss3/classifier", 1024, 1000),
+        activation_spec("prob", "softmax", 1000, 3.0),
+    ]
+    return NetworkSpec("googlenet", tuple(L), 3 * 224 * 224 * 4)
+
+
+def vgg16() -> NetworkSpec:
+    """VGG-16 (Simonyan & Zisserman), 224x224x3 input."""
+    cfg = [  # (cin, cout, hw) per conv block
+        (3, 64, 224), (64, 64, 224),
+        (64, 128, 112), (128, 128, 112),
+        (128, 256, 56), (256, 256, 56), (256, 256, 56),
+        (256, 512, 28), (512, 512, 28), (512, 512, 28),
+        (512, 512, 14), (512, 512, 14), (512, 512, 14),
+    ]
+    L: List[LayerSpec] = []
+    block = 1
+    idx = 1
+    prev_hw = 224
+    for cin, cout, hw in cfg:
+        if hw != prev_hw:
+            L.append(activation_spec(f"pool{block}", "pool",
+                                     cin * hw * hw))
+            block += 1
+            idx = 1
+            prev_hw = hw
+        L.append(conv_spec(f"conv{block}_{idx}", cin, cout, 3, hw, hw))
+        L.append(activation_spec(f"relu{block}_{idx}", "relu",
+                                 cout * hw * hw))
+        idx += 1
+    L += [
+        activation_spec("pool5", "pool", 512 * 7 * 7),
+        dense_spec("fc6", 512 * 7 * 7, 4096),
+        dense_spec("fc7", 4096, 4096),
+        dense_spec("fc8", 4096, 1000),
+        activation_spec("prob", "softmax", 1000, 3.0),
+    ]
+    return NetworkSpec("vgg16", tuple(L), 3 * 224 * 224 * 4)
+
+
+def nin() -> NetworkSpec:
+    """Network in Network (Lin 2013, cited in the paper's intro):
+    conv blocks followed by 1x1 "mlpconv" layers, global average pool,
+    no giant fully-connected layers — ~7.6M parameters."""
+    L: List[LayerSpec] = [
+        conv_spec("conv1", 3, 96, 11, 54, 54),
+        activation_spec("relu0", "relu", 96 * 54 * 54),
+        conv_spec("cccp1", 96, 96, 1, 54, 54),
+        conv_spec("cccp2", 96, 96, 1, 54, 54),
+        activation_spec("pool1", "pool", 96 * 27 * 27),
+        conv_spec("conv2", 96, 256, 5, 27, 27),
+        conv_spec("cccp3", 256, 256, 1, 27, 27),
+        conv_spec("cccp4", 256, 256, 1, 27, 27),
+        activation_spec("pool2", "pool", 256 * 13 * 13),
+        conv_spec("conv3", 256, 384, 3, 13, 13),
+        conv_spec("cccp5", 384, 384, 1, 13, 13),
+        conv_spec("cccp6", 384, 384, 1, 13, 13),
+        activation_spec("pool3", "pool", 384 * 6 * 6),
+        conv_spec("conv4-1024", 384, 1024, 3, 6, 6),
+        conv_spec("cccp7-1024", 1024, 1024, 1, 6, 6),
+        conv_spec("cccp8-1000", 1024, 1000, 1, 6, 6),
+        activation_spec("pool4/avg", "pool", 1000),
+        activation_spec("prob", "softmax", 1000, 3.0),
+    ]
+    return NetworkSpec("nin", tuple(L), 3 * 224 * 224 * 4)
+
+
+def cifar10_quick() -> NetworkSpec:
+    """The CIFAR10 "quick" reference solver network from the Caffe repo."""
+    L = [
+        conv_spec("conv1", 3, 32, 5, 32, 32),
+        activation_spec("pool1", "pool", 32 * 16 * 16),
+        activation_spec("relu1", "relu", 32 * 16 * 16),
+        conv_spec("conv2", 32, 32, 5, 16, 16),
+        activation_spec("relu2", "relu", 32 * 16 * 16),
+        activation_spec("pool2", "pool", 32 * 8 * 8),
+        conv_spec("conv3", 32, 64, 5, 8, 8),
+        activation_spec("relu3", "relu", 64 * 8 * 8),
+        activation_spec("pool3", "pool", 64 * 4 * 4),
+        dense_spec("ip1", 64 * 4 * 4, 64),
+        dense_spec("ip2", 64, 10),
+        activation_spec("prob", "softmax", 10, 3.0),
+    ]
+    return NetworkSpec("cifar10_quick", tuple(L), 3 * 32 * 32 * 4)
+
+
+def lenet() -> NetworkSpec:
+    """LeNet (MNIST), the Caffe tutorial network."""
+    L = [
+        conv_spec("conv1", 1, 20, 5, 24, 24),
+        activation_spec("pool1", "pool", 20 * 12 * 12),
+        conv_spec("conv2", 20, 50, 5, 8, 8),
+        activation_spec("pool2", "pool", 50 * 4 * 4),
+        dense_spec("ip1", 50 * 4 * 4, 500),
+        activation_spec("relu1", "relu", 500),
+        dense_spec("ip2", 500, 10),
+        activation_spec("prob", "softmax", 10, 3.0),
+    ]
+    return NetworkSpec("lenet", tuple(L), 28 * 28 * 4)
+
+
+NETWORK_BUILDERS: Dict[str, Callable[[], NetworkSpec]] = {
+    "alexnet": alexnet,
+    "caffenet": caffenet,
+    "googlenet": googlenet,
+    "vgg16": vgg16,
+    "nin": nin,
+    "cifar10_quick": cifar10_quick,
+    "lenet": lenet,
+}
+
+
+def get_network(name: str) -> NetworkSpec:
+    try:
+        return NETWORK_BUILDERS[name.lower()]()
+    except KeyError:
+        raise KeyError(f"unknown network {name!r}; "
+                       f"have {sorted(NETWORK_BUILDERS)}")

@@ -1,0 +1,151 @@
+"""The Net abstraction over real NumPy layers.
+
+Mirrors Caffe's Net class (Section 2.2): an ordered layer stack with a
+loss head, exposing exactly the two flat views the distributed framework
+communicates — the packed *parameter* vector (data propagation) and the
+packed *gradient* vector (gradient aggregation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .math import (
+    Conv2D, Dense, Flatten, Layer, MaxPool2D, ReLU, SoftmaxCrossEntropy,
+)
+
+__all__ = ["Net", "build_lenet", "build_cifar10_quick", "build_mlp"]
+
+
+class Net:
+    """An ordered stack of real layers + softmax cross-entropy head."""
+
+    def __init__(self, layers: List[Layer], name: str = "net"):
+        if not layers:
+            raise ValueError("a net needs at least one layer")
+        self.name = name
+        self.layers = layers
+        self.loss_head = SoftmaxCrossEntropy()
+
+    # -- compute -------------------------------------------------------------
+    def forward(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Run the forward pass; returns the mean loss."""
+        h = x
+        for layer in self.layers:
+            h = layer.forward(h)
+        return self.loss_head.forward(h, labels)
+
+    def backward(self, global_batch: Optional[int] = None) -> None:
+        """Run the backward pass, accumulating parameter gradients.
+
+        ``global_batch`` normalizes gradients for data-parallel shards:
+        summing shard gradients then equals the full-batch gradient.
+        """
+        d = self.loss_head.backward(global_batch)
+        for layer in reversed(self.layers):
+            d = layer.backward(d)
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            for g in layer.grads().values():
+                g[...] = 0.0
+
+    # -- flat parameter / gradient views ------------------------------------------
+    def _items(self) -> List[Tuple[Layer, str]]:
+        return [(l, k) for l in self.layers for k in sorted(l.params())]
+
+    @property
+    def param_count(self) -> int:
+        return sum(l.params()[k].size for l, k in self._items())
+
+    def get_params(self) -> np.ndarray:
+        """The packed parameter vector (packed_comm_buffer contents)."""
+        return np.concatenate(
+            [l.params()[k].ravel() for l, k in self._items()]) \
+            if self._items() else np.empty(0)
+
+    def set_params(self, flat: np.ndarray) -> None:
+        if flat.size != self.param_count:
+            raise ValueError(
+                f"expected {self.param_count} params, got {flat.size}")
+        off = 0
+        for l, k in self._items():
+            p = l.params()[k]
+            p[...] = flat[off:off + p.size].reshape(p.shape)
+            off += p.size
+
+    def get_grads(self) -> np.ndarray:
+        """The packed gradient vector (packed_reduction_buffer contents)."""
+        return np.concatenate(
+            [l.grads()[k].ravel() for l, k in self._items()]) \
+            if self._items() else np.empty(0)
+
+    def set_grads(self, flat: np.ndarray) -> None:
+        if flat.size != self.param_count:
+            raise ValueError(
+                f"expected {self.param_count} grads, got {flat.size}")
+        off = 0
+        for l, k in self._items():
+            g = l.grads()[k]
+            g[...] = flat[off:off + g.size].reshape(g.shape)
+            off += g.size
+
+    def clone(self) -> "Net":
+        """A structurally identical net with copied parameters (a fresh
+        replica for another solver)."""
+        import copy
+        other = copy.deepcopy(self)
+        other.zero_grads()
+        return other
+
+
+# -- reference builders ---------------------------------------------------------
+
+def build_lenet(rng: Optional[np.random.Generator] = None) -> Net:
+    """Real-math LeNet (28x28x1 MNIST shapes)."""
+    rng = rng or np.random.default_rng(0)
+    return Net([
+        Conv2D(1, 20, 5, rng=rng, name="conv1"),
+        MaxPool2D(2, name="pool1"),
+        Conv2D(20, 50, 5, rng=rng, name="conv2"),
+        MaxPool2D(2, name="pool2"),
+        Flatten(),
+        Dense(50 * 4 * 4, 500, rng=rng, name="ip1"),
+        ReLU(name="relu1"),
+        Dense(500, 10, rng=rng, name="ip2"),
+    ], name="lenet")
+
+
+def build_cifar10_quick(rng: Optional[np.random.Generator] = None) -> Net:
+    """Real-math CIFAR10-quick (32x32x3 shapes)."""
+    rng = rng or np.random.default_rng(0)
+    return Net([
+        Conv2D(3, 32, 5, pad=2, rng=rng, name="conv1"),
+        MaxPool2D(2, name="pool1"),
+        ReLU(name="relu1"),
+        Conv2D(32, 32, 5, pad=2, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(2, name="pool2"),
+        Conv2D(32, 64, 5, pad=2, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        MaxPool2D(2, name="pool3"),
+        Flatten(),
+        Dense(64 * 4 * 4, 64, rng=rng, name="ip1"),
+        Dense(64, 10, rng=rng, name="ip2"),
+    ], name="cifar10_quick")
+
+
+def build_mlp(sizes: List[int],
+              rng: Optional[np.random.Generator] = None) -> Net:
+    """A small MLP for fast property-based tests."""
+    if len(sizes) < 2:
+        raise ValueError("need input and output sizes")
+    rng = rng or np.random.default_rng(0)
+    layers: List[Layer] = []
+    for i, (a, b) in enumerate(zip(sizes, sizes[1:])):
+        layers.append(Dense(a, b, rng=rng, name=f"fc{i}"))
+        if i < len(sizes) - 2:
+            layers.append(ReLU(name=f"relu{i}"))
+    return Net(layers, name="mlp")

@@ -1,0 +1,280 @@
+"""Caffe prototxt parsing.
+
+Caffe's user interface is the protobuf text format: a ``solver.prototxt``
+holding hyper-parameters and a ``train_val.prototxt`` describing the
+network.  This module parses that format (the text syntax, no protobuf
+dependency) and builds the corresponding :class:`SolverConfig` and
+:class:`NetworkSpec` cost models, propagating activation shapes through
+the layer chain exactly as Caffe's shape inference does.
+
+Supported layer types: ``Convolution``, ``InnerProduct``, ``Pooling``,
+``ReLU``, ``LRN``, ``Dropout``, ``Softmax`` / ``SoftmaxWithLoss``,
+``Data`` / ``Input`` (shape source), ``Accuracy`` (ignored).  Layers
+must form a linear chain (multi-branch topologies like GoogLeNet's
+inception modules are built programmatically in
+:mod:`repro.dnn.models`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple, Union
+
+from .solver import SolverConfig
+from .specs import (
+    LayerSpec, NetworkSpec, activation_spec, conv_spec, dense_spec,
+)
+
+__all__ = ["parse_prototxt", "solver_from_prototxt",
+           "network_from_prototxt", "PrototxtError"]
+
+
+class PrototxtError(ValueError):
+    """Malformed prototxt or unsupported construct."""
+
+
+_TOKEN = re.compile(r"""
+    (?P<comment>\#[^\n]*)
+  | (?P<brace>[{}])
+  | (?P<colon>:)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<atom>[A-Za-z0-9_.+-]+)
+  | (?P<ws>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[str]:
+    out = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise PrototxtError(f"bad character at offset {pos}: "
+                                f"{text[pos:pos + 20]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("comment", "ws"):
+            continue
+        out.append(m.group())
+    return out
+
+
+def _coerce(token: str) -> Union[str, int, float, bool]:
+    if token.startswith('"'):
+        return token[1:-1]
+    if token in ("true", "false"):
+        return token == "true"
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def parse_prototxt(text: str) -> Dict[str, Any]:
+    """Parse protobuf text format into nested dicts.
+
+    Repeated keys accumulate into lists; a key appearing once maps to
+    its single value (callers use :func:`_as_list` to normalize).
+    """
+    tokens = _tokenize(text)
+    pos = 0
+
+    def parse_block(depth: int) -> Dict[str, Any]:
+        nonlocal pos
+        block: Dict[str, Any] = {}
+
+        def add(key, value):
+            if key in block:
+                if not isinstance(block[key], list):
+                    block[key] = [block[key]]
+                block[key].append(value)
+            else:
+                block[key] = value
+
+        while pos < len(tokens):
+            tok = tokens[pos]
+            if tok == "}":
+                if depth == 0:
+                    raise PrototxtError("unbalanced '}'")
+                pos += 1
+                return block
+            key = tok
+            pos += 1
+            if pos >= len(tokens):
+                raise PrototxtError(f"dangling key {key!r}")
+            if tokens[pos] == ":":
+                pos += 1
+                if pos >= len(tokens):
+                    raise PrototxtError(f"missing value for {key!r}")
+                if tokens[pos] == "{":
+                    pos += 1
+                    add(key, parse_block(depth + 1))
+                else:
+                    add(key, _coerce(tokens[pos]))
+                    pos += 1
+            elif tokens[pos] == "{":
+                pos += 1
+                add(key, parse_block(depth + 1))
+            else:
+                raise PrototxtError(f"expected ':' or '{{' after {key!r}")
+        if depth != 0:
+            raise PrototxtError("unbalanced '{'")
+        return block
+
+    return parse_block(0)
+
+
+def _as_list(value) -> List:
+    if value is None:
+        return []
+    return value if isinstance(value, list) else [value]
+
+
+def solver_from_prototxt(text: str) -> SolverConfig:
+    """Build a :class:`SolverConfig` from a solver.prototxt."""
+    d = parse_prototxt(text)
+    kwargs: Dict[str, Any] = {}
+    mapping = {
+        "base_lr": "base_lr", "momentum": "momentum",
+        "weight_decay": "weight_decay", "lr_policy": "lr_policy",
+        "gamma": "gamma", "stepsize": "stepsize", "power": "power",
+        "max_iter": "max_iter",
+    }
+    for proto_key, cfg_key in mapping.items():
+        if proto_key in d:
+            kwargs[cfg_key] = d[proto_key]
+    if "stepvalue" in d:
+        kwargs["stepvalues"] = tuple(_as_list(d["stepvalue"]))
+    try:
+        return SolverConfig(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise PrototxtError(f"bad solver definition: {exc}") from None
+
+
+def _conv_out(h: int, k: int, stride: int, pad: int) -> int:
+    out = (h + 2 * pad - k) // stride + 1
+    if out < 1:
+        raise PrototxtError(f"layer shrinks activation below 1 "
+                            f"(h={h}, k={k}, s={stride}, p={pad})")
+    return out
+
+
+def _pool_out(h: int, k: int, stride: int, pad: int) -> int:
+    # Caffe pooling uses ceil division.
+    out = -(-(h + 2 * pad - k) // stride) + 1
+    return max(1, out)
+
+
+def network_from_prototxt(text: str) -> NetworkSpec:
+    """Build a :class:`NetworkSpec` from a net prototxt (linear chains)."""
+    d = parse_prototxt(text)
+    name = d.get("name", "net")
+    layers = _as_list(d.get("layer")) or _as_list(d.get("layers"))
+    if not layers:
+        raise PrototxtError("no layer blocks found")
+
+    # Input shape: input_dim quadruple, input_shape block, or the first
+    # Data/Input layer's shape.
+    c = h = w = None
+    if "input_dim" in d:
+        dims = _as_list(d["input_dim"])
+        if len(dims) != 4:
+            raise PrototxtError("input_dim needs 4 values (N C H W)")
+        _, c, h, w = dims
+    elif "input_shape" in d:
+        dims = _as_list(d["input_shape"]["dim"])
+        if len(dims) != 4:
+            raise PrototxtError("input_shape needs 4 dims")
+        _, c, h, w = dims
+
+    specs: List[LayerSpec] = []
+    for layer in layers:
+        ltype = str(layer.get("type", "")).lower()
+        lname = str(layer.get("name", ltype or "layer"))
+        if ltype in ("data", "input", "imagedata"):
+            shape = layer.get("input_param", {}).get("shape") \
+                or layer.get("shape")
+            if shape:
+                dims = _as_list(shape["dim"])
+                if len(dims) != 4:
+                    raise PrototxtError("input shape needs 4 dims")
+                _, c, h, w = dims
+            continue
+        if ltype in ("accuracy", "silence"):
+            continue
+        if c is None:
+            raise PrototxtError(
+                "no input shape before the first compute layer "
+                "(need input_dim / input_shape / an Input layer)")
+
+        if ltype == "convolution":
+            p = layer.get("convolution_param", {})
+            cout = p.get("num_output")
+            k = p.get("kernel_size")
+            if cout is None or k is None:
+                raise PrototxtError(
+                    f"{lname}: convolution needs num_output+kernel_size")
+            stride = p.get("stride", 1)
+            pad = p.get("pad", 0)
+            h = _conv_out(h, k, stride, pad)
+            w = _conv_out(w, k, stride, pad)
+            specs.append(conv_spec(lname, c, cout, k, h, w,
+                                   bias=p.get("bias_term", True)))
+            c = cout
+        elif ltype == "innerproduct":
+            p = layer.get("inner_product_param", {})
+            nout = p.get("num_output")
+            if nout is None:
+                raise PrototxtError(f"{lname}: needs num_output")
+            nin = c * h * w
+            specs.append(dense_spec(lname, nin, nout,
+                                    bias=p.get("bias_term", True)))
+            c, h, w = nout, 1, 1
+        elif ltype == "pooling":
+            p = layer.get("pooling_param", {})
+            k = p.get("kernel_size", 2)
+            stride = p.get("stride", k)
+            pad = p.get("pad", 0)
+            h = _pool_out(h, k, stride, pad)
+            w = _pool_out(w, k, stride, pad)
+            specs.append(activation_spec(lname, "pool", c * h * w))
+        elif ltype == "relu":
+            specs.append(activation_spec(lname, "relu", c * h * w))
+        elif ltype == "lrn":
+            specs.append(activation_spec(lname, "lrn", c * h * w, 5.0))
+        elif ltype == "dropout":
+            specs.append(activation_spec(lname, "dropout", c * h * w))
+        elif ltype in ("softmax", "softmaxwithloss"):
+            specs.append(activation_spec(lname, "softmax", c * h * w,
+                                         3.0))
+        else:
+            raise PrototxtError(f"unsupported layer type {ltype!r} "
+                                f"({lname})")
+    if not specs:
+        raise PrototxtError("network has no compute layers")
+    input_bytes = None
+    # Recover the input tensor size from the declared input shape.
+    d2 = parse_prototxt(text)
+    if "input_dim" in d2:
+        _, ci, hi, wi = _as_list(d2["input_dim"])
+        input_bytes = ci * hi * wi * 4
+    elif "input_shape" in d2:
+        _, ci, hi, wi = _as_list(d2["input_shape"]["dim"])
+        input_bytes = ci * hi * wi * 4
+    else:
+        for layer in layers:
+            if str(layer.get("type", "")).lower() in ("data", "input",
+                                                      "imagedata"):
+                shape = (layer.get("input_param", {}).get("shape")
+                         or layer.get("shape"))
+                if shape:
+                    _, ci, hi, wi = _as_list(shape["dim"])
+                    input_bytes = ci * hi * wi * 4
+                break
+    if input_bytes is None:
+        raise PrototxtError("could not determine input tensor size")
+    return NetworkSpec(str(name), tuple(specs), input_bytes)

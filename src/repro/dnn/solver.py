@@ -1,0 +1,178 @@
+"""SGD solvers over the real-math Net.
+
+Caffe's Solver abstraction (Section 2.2) orchestrates iterations: fetch a
+batch, Forward, Backward, ApplyUpdate.  :class:`SGDSolver` implements
+the reference solver (momentum + weight decay + fixed/step learning-rate
+policies); the distributed frameworks in :mod:`repro.core` each own one
+solver per GPU and differ only in how gradients are aggregated between
+Backward and ApplyUpdate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .net import Net
+
+__all__ = ["SolverConfig", "SGDSolver", "TestResult"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Reference hyper-parameters (Caffe solver.prototxt fields).
+
+    Learning-rate policies follow Caffe's definitions:
+
+    - ``fixed``:     lr = base_lr
+    - ``step``:      lr = base_lr * gamma ^ floor(iter / stepsize)
+    - ``multistep``: like step but decaying at explicit ``stepvalues``
+    - ``inv``:       lr = base_lr * (1 + gamma * iter) ^ -power
+    - ``poly``:      lr = base_lr * (1 - iter / max_iter) ^ power
+    """
+
+    base_lr: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    lr_policy: str = "fixed"
+    gamma: float = 0.1            # step/inv decay factor
+    stepsize: int = 100           # iterations per step
+    power: float = 1.0            # inv/poly exponent
+    max_iter: int = 1000          # poly horizon
+    stepvalues: tuple = ()        # multistep boundaries (ascending)
+
+    _POLICIES = ("fixed", "step", "multistep", "inv", "poly")
+
+    def __post_init__(self):
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0")
+        if self.lr_policy not in self._POLICIES:
+            raise ValueError(f"unknown lr_policy {self.lr_policy!r}")
+        if self.stepsize < 1:
+            raise ValueError("stepsize must be >= 1")
+        if self.max_iter < 1:
+            raise ValueError("max_iter must be >= 1")
+        if list(self.stepvalues) != sorted(self.stepvalues):
+            raise ValueError("stepvalues must be ascending")
+
+    def lr_at(self, iteration: int) -> float:
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        if self.lr_policy == "fixed":
+            return self.base_lr
+        if self.lr_policy == "step":
+            return self.base_lr * self.gamma ** (iteration
+                                                 // self.stepsize)
+        if self.lr_policy == "multistep":
+            passed = sum(1 for s in self.stepvalues if iteration >= s)
+            return self.base_lr * self.gamma ** passed
+        if self.lr_policy == "inv":
+            return self.base_lr * (1.0 + self.gamma
+                                   * iteration) ** -self.power
+        # poly
+        frac = min(1.0, iteration / self.max_iter)
+        return self.base_lr * (1.0 - frac) ** self.power
+
+
+class SGDSolver:
+    """Stochastic gradient descent with momentum over a real Net."""
+
+    def __init__(self, net: Net, config: Optional[SolverConfig] = None):
+        self.net = net
+        self.config = config or SolverConfig()
+        self.iteration = 0
+        self._velocity = np.zeros(net.param_count)
+
+    def compute_gradients(self, x: np.ndarray, labels: np.ndarray,
+                          global_batch: Optional[int] = None) -> float:
+        """Forward + Backward on a (shard of a) batch; returns the loss.
+
+        Gradients accumulate in the net; callers aggregate across solvers
+        before :meth:`apply_update`.
+        """
+        self.net.zero_grads()
+        loss = self.net.forward(x, labels)
+        self.net.backward(global_batch)
+        return loss
+
+    def apply_update(self) -> None:
+        """ApplyUpdate(): momentum SGD step on the packed vectors."""
+        cfg = self.config
+        params = self.net.get_params()
+        grads = self.net.get_grads()
+        if cfg.weight_decay:
+            grads = grads + cfg.weight_decay * params
+        lr = cfg.lr_at(self.iteration)
+        self._velocity = cfg.momentum * self._velocity - lr * grads
+        self.net.set_params(params + self._velocity)
+        self.iteration += 1
+
+    def step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """A full single-solver iteration (the Caffe baseline loop)."""
+        loss = self.compute_gradients(x, labels)
+        self.apply_update()
+        return loss
+
+    # -- snapshots (Caffe's snapshot/restore) --------------------------------
+    def snapshot(self) -> dict:
+        """Capture the full solver state (weights + momentum + clock).
+
+        Equivalent to Caffe's ``.caffemodel`` + ``.solverstate`` pair.
+        """
+        return {
+            "params": self.net.get_params().copy(),
+            "velocity": self._velocity.copy(),
+            "iteration": self.iteration,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a snapshot; training continues bit-identically."""
+        try:
+            params = state["params"]
+            velocity = state["velocity"]
+            iteration = state["iteration"]
+        except KeyError as exc:
+            raise ValueError(f"snapshot missing field {exc}") from None
+        if velocity.shape != self._velocity.shape:
+            raise ValueError("snapshot is for a different net shape")
+        self.net.set_params(params)
+        self._velocity = velocity.copy()
+        self.iteration = int(iteration)
+
+    def save_snapshot(self, path: str) -> None:
+        """Persist a snapshot as .npz."""
+        np.savez(path, **self.snapshot())
+
+    def load_snapshot(self, path: str) -> None:
+        with np.load(path) as data:
+            self.restore({k: data[k] for k in data.files})
+
+    def test(self, x: np.ndarray, labels: np.ndarray) -> "TestResult":
+        """Caffe's Testing phase: loss + top-1 accuracy, no gradients.
+
+        (Section 6.2: "Caffe reports accuracy during the Testing phase
+        only" — this is that phase.)
+        """
+        h = x
+        for layer in self.net.layers:
+            h = layer.forward(h)
+        loss = self.net.loss_head.forward(h, labels)
+        predictions = h.argmax(axis=1)
+        accuracy = float((predictions == labels).mean())
+        return TestResult(loss=loss, accuracy=accuracy,
+                          n_samples=x.shape[0])
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a Testing-phase pass."""
+
+    loss: float
+    accuracy: float
+    n_samples: int

@@ -1,0 +1,134 @@
+"""Layer-level cost descriptors for DNN workloads.
+
+Training-time behaviour of the distributed framework depends on exactly
+three per-layer quantities: parameter bytes (what data propagation
+broadcasts and gradient aggregation reduces), and forward/backward FLOPs
+per sample (what the GPU computes between communications).  Layer specs
+carry those, derived from first principles:
+
+- conv:    fwd FLOPs = 2 * K*K*Cin * Cout * Hout*Wout  per sample
+- dense:   fwd FLOPs = 2 * Nin * Nout                  per sample
+- bwd ≈ 2x fwd (grad w.r.t. inputs + grad w.r.t. weights)
+
+Parameter-free layers (pool/ReLU/LRN/concat) contribute compute but no
+communication — which is why per-layer multi-stage schemes only post
+collectives for parametrized layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["LayerSpec", "conv_spec", "dense_spec", "activation_spec",
+           "NetworkSpec"]
+
+BYTES_PER_PARAM = 4  # float32 training throughout the paper
+BWD_FWD_RATIO = 2.0
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Cost descriptor for one layer."""
+
+    name: str
+    kind: str
+    param_count: int
+    fwd_flops_per_sample: float
+    bwd_flops_per_sample: float
+    #: Output activation footprint per sample (memory accounting).
+    activation_bytes_per_sample: int
+
+    def __post_init__(self):
+        if self.param_count < 0:
+            raise ValueError("param_count must be >= 0")
+        if self.fwd_flops_per_sample < 0 or self.bwd_flops_per_sample < 0:
+            raise ValueError("flops must be >= 0")
+
+    @property
+    def param_bytes(self) -> int:
+        return self.param_count * BYTES_PER_PARAM
+
+    @property
+    def has_params(self) -> bool:
+        return self.param_count > 0
+
+
+def conv_spec(name: str, cin: int, cout: int, k: int, hout: int, wout: int,
+              *, bias: bool = True) -> LayerSpec:
+    """A convolution layer spec from its shape."""
+    params = k * k * cin * cout + (cout if bias else 0)
+    fwd = 2.0 * k * k * cin * cout * hout * wout
+    return LayerSpec(name, "conv", params, fwd, BWD_FWD_RATIO * fwd,
+                     cout * hout * wout * BYTES_PER_PARAM)
+
+
+def dense_spec(name: str, nin: int, nout: int, *, bias: bool = True
+               ) -> LayerSpec:
+    """A fully-connected layer spec."""
+    params = nin * nout + (nout if bias else 0)
+    fwd = 2.0 * nin * nout
+    return LayerSpec(name, "dense", params, fwd, BWD_FWD_RATIO * fwd,
+                     nout * BYTES_PER_PARAM)
+
+
+def activation_spec(name: str, kind: str, elems: int,
+                    flops_per_elem: float = 1.0) -> LayerSpec:
+    """A parameter-free layer (pool / ReLU / LRN / concat / softmax)."""
+    fwd = flops_per_elem * elems
+    return LayerSpec(name, kind, 0, fwd, BWD_FWD_RATIO * fwd,
+                     elems * BYTES_PER_PARAM)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """An ordered stack of layer specs (the Net / Model abstraction)."""
+
+    name: str
+    layers: Tuple[LayerSpec, ...]
+    input_bytes_per_sample: int
+
+    def __post_init__(self):
+        if not self.layers:
+            raise ValueError("a network needs at least one layer")
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def param_count(self) -> int:
+        return sum(l.param_count for l in self.layers)
+
+    @property
+    def param_bytes(self) -> int:
+        return sum(l.param_bytes for l in self.layers)
+
+    @property
+    def fwd_flops_per_sample(self) -> float:
+        return sum(l.fwd_flops_per_sample for l in self.layers)
+
+    @property
+    def bwd_flops_per_sample(self) -> float:
+        return sum(l.bwd_flops_per_sample for l in self.layers)
+
+    def parametrized_layers(self) -> List[LayerSpec]:
+        """Layers that participate in communication (have weights)."""
+        return [l for l in self.layers if l.has_params]
+
+    def activation_bytes_per_sample(self) -> int:
+        return sum(l.activation_bytes_per_sample for l in self.layers)
+
+    def memory_per_solver(self, batch_per_gpu: int) -> int:
+        """Device-memory footprint of one solver: weights + gradients +
+        parameter staging + activations for the local batch.
+
+        3x parameters: the weights, the gradient buffer, and the packed
+        communication buffer Caffe keeps for propagation/aggregation.
+        """
+        if batch_per_gpu < 1:
+            raise ValueError("batch_per_gpu must be >= 1")
+        return (3 * self.param_bytes
+                + batch_per_gpu * (self.activation_bytes_per_sample()
+                                   + self.input_bytes_per_sample))
+
+    def flops_per_iteration(self, batch_per_gpu: int) -> float:
+        return batch_per_gpu * (self.fwd_flops_per_sample
+                                + self.bwd_flops_per_sample)

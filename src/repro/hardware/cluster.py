@@ -1,0 +1,114 @@
+"""Cluster assembly and the paper's two testbeds.
+
+The paper evaluates on (Section 6.1):
+
+- **Cluster-A** ("KESCH", Cray CS-Storm): 12 nodes x 8 NVIDIA K80 boards.
+  Each K80 is a dual-GPU card, so 16 CUDA devices per node and 192 total.
+  Connect-IB dual-port FDR HCAs.
+- **Cluster-B**: 20 nodes x 1 K80 board (2 CUDA devices per node, 40
+  total), InfiniBand EDR HCAs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator
+from .calibration import DEFAULT_CALIBRATION, Calibration
+from .gpu import GPUDevice, K80
+from .node import NICSpec, Node, NodeSpec
+
+__all__ = ["Cluster", "cluster_a", "cluster_b", "make_cluster"]
+
+
+class Cluster:
+    """A set of nodes on a full-bisection InfiniBand fabric.
+
+    The fabric core is modeled as non-blocking (real CS-Storm deployments
+    are near-full-bisection at this scale); contention arises at NIC ports
+    and PCIe uplinks, which :mod:`repro.mpi.protocol` serializes on.
+    """
+
+    def __init__(self, sim: Simulator, node_spec: NodeSpec, n_nodes: int,
+                 *, cal: Optional[Calibration] = None, name: str = "cluster"):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.sim = sim
+        self.cal = cal or DEFAULT_CALIBRATION
+        self.name = name
+        self.node_spec = node_spec
+        self.nodes: List[Node] = []
+        gi = 0
+        for i in range(n_nodes):
+            self.nodes.append(Node(sim, node_spec, index=i,
+                                   first_gpu_index=gi, cal=self.cal))
+            gi += node_spec.gpus_per_node
+        self.gpus: List[GPUDevice] = [g for nd in self.nodes for g in nd.gpus]
+
+    # -- lookups -----------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def gpus_per_node(self) -> int:
+        return self.node_spec.gpus_per_node
+
+    def gpu(self, global_index: int) -> GPUDevice:
+        return self.gpus[global_index]
+
+    def node_of(self, gpu: GPUDevice) -> Node:
+        return self.nodes[gpu.node_index]
+
+    def same_node(self, a: GPUDevice, b: GPUDevice) -> bool:
+        return a.node_index == b.node_index
+
+    def gpus_for_job(self, n: int) -> List[GPUDevice]:
+        """Block-assign the first ``n`` GPUs (fill nodes in order)."""
+        if not 1 <= n <= self.n_gpus:
+            raise ValueError(
+                f"job size {n} not in [1, {self.n_gpus}] for {self.name}")
+        return self.gpus[:n]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Cluster {self.name}: {self.n_nodes} nodes x "
+                f"{self.gpus_per_node} {self.node_spec.gpu_spec.model}>")
+
+
+def cluster_a(sim: Simulator, *, n_nodes: int = 12,
+              cal: Optional[Calibration] = None) -> Cluster:
+    """Cray CS-Storm "KESCH": 16 K80 CUDA devices/node, dual-port FDR."""
+    cal = cal or DEFAULT_CALIBRATION
+    spec = NodeSpec(
+        gpus_per_node=16,
+        gpu_spec=K80(cal),
+        nics=(NICSpec("ib0", cal.ib_fdr_port_bw, cal.ib_latency),
+              NICSpec("ib1", cal.ib_fdr_port_bw, cal.ib_latency)),
+    )
+    return Cluster(sim, spec, n_nodes, cal=cal, name="Cluster-A")
+
+
+def cluster_b(sim: Simulator, *, n_nodes: int = 20,
+              cal: Optional[Calibration] = None) -> Cluster:
+    """20-node cluster, one K80 board (2 CUDA devices)/node, EDR."""
+    cal = cal or DEFAULT_CALIBRATION
+    spec = NodeSpec(
+        gpus_per_node=2,
+        gpu_spec=K80(cal),
+        nics=(NICSpec("ib0", cal.ib_edr_bw, cal.ib_latency),),
+    )
+    return Cluster(sim, spec, n_nodes, cal=cal, name="Cluster-B")
+
+
+def make_cluster(sim: Simulator, kind: str, **kwargs) -> Cluster:
+    """Factory by name: ``"A"``/``"cluster-a"`` or ``"B"``/``"cluster-b"``."""
+    key = kind.strip().lower().replace("cluster-", "").replace("cluster_", "")
+    if key == "a":
+        return cluster_a(sim, **kwargs)
+    if key == "b":
+        return cluster_b(sim, **kwargs)
+    raise ValueError(f"unknown cluster kind {kind!r} (want 'A' or 'B')")

@@ -1,0 +1,127 @@
+"""GPU device model.
+
+A :class:`GPUDevice` owns three contended facilities, mirroring real
+hardware concurrency:
+
+- ``compute`` — the SM array; one kernel at a time (Resource, capacity 1).
+- ``pcie`` — the device's PCIe gen3 x16 uplink (BandwidthLink).  Both DMA
+  copy engines share this wire, so serializing on it is the correct
+  first-order contention model.
+- a memory allocator with a hard capacity — solvers that receive too large
+  an effective batch raise :class:`OutOfMemoryError`, reproducing the
+  "missing data points ... where solvers ran out of memory" of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import BandwidthLink, Resource, Simulator
+from .calibration import Calibration
+
+__all__ = ["GPUSpec", "GPUDevice", "OutOfMemoryError", "K80", "K20X", "P100"]
+
+
+class OutOfMemoryError(MemoryError):
+    """Device memory allocation exceeded capacity."""
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a GPU model."""
+
+    model: str
+    memory_bytes: int
+    flops: float          # achieved dense-compute FLOPs/s
+    membw: float          # effective device-memory bandwidth, B/s
+    reduce_bw: float      # elementwise-reduction output throughput, B/s
+
+    def compute_time(self, flops: float) -> float:
+        """Duration of a compute kernel performing ``flops`` operations."""
+        if flops < 0:
+            raise ValueError("flops must be >= 0")
+        return flops / self.flops
+
+    def reduce_time(self, nbytes: int) -> float:
+        """Duration of an on-device elementwise reduction over ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return nbytes / self.reduce_bw
+
+
+def _spec(model: str, mem_gib: float, cal: Calibration) -> GPUSpec:
+    return GPUSpec(
+        model=model,
+        memory_bytes=int(mem_gib * (1 << 30)),
+        flops=cal.gpu_flops(model),
+        membw=cal.k80_membw,
+        reduce_bw=cal.gpu_reduce_bw,
+    )
+
+
+def K80(cal: Calibration) -> GPUSpec:
+    """One GK210 die of a Tesla K80 board (12 GiB visible per die)."""
+    return _spec("K80", 12.0, cal)
+
+
+def K20X(cal: Calibration) -> GPUSpec:
+    """Tesla K20x (5 GiB usable, per the GeePS discussion in §7)."""
+    return _spec("K20x", 5.0, cal)
+
+
+def P100(cal: Calibration) -> GPUSpec:
+    return _spec("P100", 16.0, cal)
+
+
+class GPUDevice:
+    """A live GPU in a simulated cluster."""
+
+    def __init__(self, sim: Simulator, spec: GPUSpec, *, node_index: int,
+                 local_index: int, global_index: int, cal: Calibration):
+        self.sim = sim
+        self.spec = spec
+        self.node_index = node_index
+        self.local_index = local_index
+        self.global_index = global_index
+        self.cal = cal
+        self.name = f"gpu{global_index}(n{node_index}.{local_index})"
+        self.compute = Resource(sim, capacity=1, name=f"{self.name}.sm")
+        # PCIe gen3 is full duplex: independent lanes per direction.
+        # Outbound (device -> host/peer/NIC) and inbound carry traffic
+        # concurrently — the property chain pipelines rely on.
+        slow = sim.straggler_factor(cal.straggler_spread)
+        self.pcie_up = BandwidthLink(
+            sim, bandwidth=cal.pcie_bw / slow, latency=cal.pcie_latency,
+            name=f"{self.name}.pcie_up", jitter=cal.network_jitter)
+        self.pcie_down = BandwidthLink(
+            sim, bandwidth=cal.pcie_bw / slow, latency=cal.pcie_latency,
+            name=f"{self.name}.pcie_down", jitter=cal.network_jitter)
+        self._allocated = 0
+
+    # -- memory ------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.memory_bytes - self._allocated
+
+    def reserve(self, nbytes: int) -> None:
+        """Account for a device allocation; raises on OOM."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self._allocated + nbytes > self.spec.memory_bytes:
+            raise OutOfMemoryError(
+                f"{self.name}: cannot allocate {nbytes} bytes "
+                f"({self.free_bytes} free of {self.spec.memory_bytes})")
+        self._allocated += nbytes
+
+    def unreserve(self, nbytes: int) -> None:
+        if nbytes < 0 or nbytes > self._allocated:
+            raise ValueError(
+                f"invalid unreserve of {nbytes} (allocated {self._allocated})")
+        self._allocated -= nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GPUDevice {self.name} {self.spec.model}>"

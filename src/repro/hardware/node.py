@@ -1,0 +1,94 @@
+"""Compute-node model: GPUs + host memory engine + NIC ports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim import BandwidthLink, Simulator
+from .calibration import Calibration
+from .gpu import GPUDevice, GPUSpec
+
+__all__ = ["NICSpec", "NICPort", "NodeSpec", "Node"]
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """An InfiniBand HCA port."""
+
+    name: str
+    bandwidth: float
+    latency: float
+
+
+class NICPort:
+    """A live HCA port: full-duplex, so independent tx and rx links."""
+
+    def __init__(self, sim: Simulator, spec: NICSpec, node_index: int,
+                 jitter: float = 0.0, straggler_spread: float = 0.0):
+        self.spec = spec
+        self.name = f"node{node_index}.{spec.name}"
+        slow = sim.straggler_factor(straggler_spread)
+        self.tx = BandwidthLink(sim, bandwidth=spec.bandwidth / slow,
+                                latency=spec.latency,
+                                name=f"{self.name}.tx", jitter=jitter)
+        self.rx = BandwidthLink(sim, bandwidth=spec.bandwidth / slow,
+                                latency=spec.latency,
+                                name=f"{self.name}.rx", jitter=jitter)
+
+    @property
+    def bandwidth(self) -> float:
+        return self.spec.bandwidth
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a node type."""
+
+    gpus_per_node: int
+    gpu_spec: GPUSpec
+    nics: tuple          # tuple[NICSpec, ...]
+    host_memory_bytes: int = 256 * (1 << 30)
+
+    def __post_init__(self):
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+        if not self.nics:
+            raise ValueError("a node needs at least one NIC")
+
+
+class Node:
+    """A live node: GPU devices, NIC links, and a host staging engine."""
+
+    def __init__(self, sim: Simulator, spec: NodeSpec, *, index: int,
+                 first_gpu_index: int, cal: Calibration):
+        self.sim = sim
+        self.spec = spec
+        self.index = index
+        self.cal = cal
+        self.gpus: List[GPUDevice] = [
+            GPUDevice(sim, spec.gpu_spec, node_index=index, local_index=i,
+                      global_index=first_gpu_index + i, cal=cal)
+            for i in range(spec.gpus_per_node)
+        ]
+        self.nics: List[NICPort] = [
+            NICPort(sim, n, index, jitter=cal.network_jitter,
+                    straggler_spread=cal.straggler_spread)
+            for n in spec.nics
+        ]
+        #: Host DRAM copy engine used by staged (non-GDR) protocols.
+        self.host_memcpy = BandwidthLink(
+            sim, bandwidth=cal.host_memcpy_bw, latency=1e-6,
+            name=f"node{index}.hostmem")
+        #: CPU-side reduction engine (shared by all ranks on the node).
+        self.cpu_reduce = BandwidthLink(
+            sim, bandwidth=cal.cpu_reduce_bw, latency=2e-6,
+            name=f"node{index}.cpured")
+
+    def nic_for(self, gpu: GPUDevice) -> NICPort:
+        """NIC port assigned to a GPU (round-robin over ports)."""
+        return self.nics[gpu.local_index % len(self.nics)]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Node {self.index}: {len(self.gpus)}x"
+                f"{self.spec.gpu_spec.model}, {len(self.nics)} NIC>")

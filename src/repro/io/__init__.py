@@ -1,0 +1,13 @@
+"""I/O substrate: datasets, LMDB, Lustre, data layers, parallel readers."""
+
+from .datalayer import DataLayer, DataReader, PREFETCH_DEPTH, make_backend
+from .dataset import CIFAR10, DatasetSpec, IMAGENET, MNIST, get_dataset
+from .lmdb import SimLMDB
+from .lustre import SimLustre
+from .sampler import ShardedSampler
+
+__all__ = [
+    "DataLayer", "DataReader", "PREFETCH_DEPTH", "make_backend",
+    "CIFAR10", "DatasetSpec", "IMAGENET", "MNIST", "get_dataset",
+    "SimLMDB", "SimLustre", "ShardedSampler",
+]

@@ -1,0 +1,108 @@
+"""Data layers and reader threads.
+
+Caffe's I/O architecture (Section 3.2): a *Data Reader* thread constantly
+pulls records from the store into memory queues; solvers pop decoded
+batches.  Two arrangements are modeled:
+
+- **Shared reader** (original Caffe): one reader thread fills one shared
+  queue that all intra-node solvers pop from — fine in one process,
+  impossible across nodes.
+- **Parallel readers** (S-Caffe, Fig. 3): one reader per solver process,
+  each with its own distributed queue, backed either by LMDB
+  (``S-Caffe-L``) or by Lustre + ImageDataLayer (``S-Caffe``).
+
+A reader prefetches ahead of the solver (bounded queue), so in steady
+state I/O hides behind compute unless the backend's effective bandwidth
+drops below the consumption rate — exactly the LMDB-at-scale failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Protocol, Union
+
+from ..sim import Event, Simulator, Store
+from .dataset import DatasetSpec
+from .lmdb import SimLMDB
+from .lustre import SimLustre
+
+__all__ = ["DataBackend", "DataReader", "DataLayer", "make_backend"]
+
+#: Batches the reader keeps ahead of the consumer.
+PREFETCH_DEPTH = 3
+
+
+class DataBackend(Protocol):
+    """What a reader needs from a storage backend."""
+
+    dataset: DatasetSpec
+
+    def register_reader(self) -> int: ...
+    def read(self, n_samples: int) -> Generator[Event, Any, int]: ...
+
+
+def make_backend(kind: str, sim: Simulator, dataset: DatasetSpec,
+                 cal) -> Union[SimLMDB, SimLustre]:
+    """Backend factory: ``"lmdb"`` or ``"lustre"`` (ImageDataLayer)."""
+    if kind == "lmdb":
+        return SimLMDB(sim, dataset, cal)
+    if kind in ("lustre", "imagedata"):
+        return SimLustre(sim, dataset, cal)
+    raise ValueError(f"unknown backend kind {kind!r}")
+
+
+class DataReader:
+    """A reader thread: read -> decode -> enqueue, forever."""
+
+    def __init__(self, sim: Simulator, backend: DataBackend,
+                 batch_samples: int, *, decode_bw: float,
+                 queue_depth: int = PREFETCH_DEPTH, name: str = "reader"):
+        if batch_samples < 1:
+            raise ValueError("batch_samples must be >= 1")
+        self.sim = sim
+        self.backend = backend
+        self.batch_samples = batch_samples
+        self.decode_bw = decode_bw
+        self.queue: Store = Store(sim, capacity=queue_depth)
+        self.name = name
+        self.batches_produced = 0
+        backend.register_reader()
+        self._proc = sim.process(self._run(), name=name)
+
+    def _run(self):
+        from ..sim import Interrupt
+        try:
+            decode_rate = (self.decode_bw
+                           * self.backend.dataset.decode_speed_factor)
+            while True:
+                nbytes = yield from self.backend.read(self.batch_samples)
+                # JPEG decode / raw unpack on the reader's CPU core.
+                yield self.sim.timeout(nbytes / decode_rate)
+                self.batches_produced += 1
+                yield self.queue.put(self.batch_samples)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+
+class DataLayer:
+    """Solver-facing view: pop the next prepared batch.
+
+    ``next_batch`` returns the number of samples delivered (the reader's
+    batch granularity matches the solver's per-iteration need).
+    """
+
+    def __init__(self, reader: DataReader):
+        self.reader = reader
+        self.batches_consumed = 0
+        #: Cumulative time this solver stalled waiting on I/O.
+        self.stall_time = 0.0
+
+    def next_batch(self) -> Generator[Event, Any, int]:
+        start = self.reader.sim.now
+        n = yield self.reader.queue.get()
+        self.stall_time += self.reader.sim.now - start
+        self.batches_consumed += 1
+        return n

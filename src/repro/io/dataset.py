@@ -1,0 +1,55 @@
+"""Training-set descriptors for the paper's workloads.
+
+Sizes describe the *on-disk, encoded* form (what the I/O subsystem
+streams) and the decoded tensor form (what lands in GPU memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "IMAGENET", "CIFAR10", "MNIST", "get_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A training dataset as seen by the I/O subsystem."""
+
+    name: str
+    n_samples: int
+    #: Average encoded (JPEG/packed) sample size on disk.
+    encoded_bytes: int
+    #: Decoded tensor size (C*H*W*4 bytes) fed to the first layer.
+    decoded_bytes: int
+    n_classes: int
+    #: Decode-cost multiplier on the base JPEG-decode rate: raw/packed
+    #: datasets (CIFAR, MNIST) only deserialize, JPEG datasets decode.
+    decode_speed_factor: float = 1.0
+
+    def __post_init__(self):
+        if min(self.n_samples, self.encoded_bytes,
+               self.decoded_bytes, self.n_classes) <= 0:
+            raise ValueError("dataset dimensions must be positive")
+
+    def epoch_bytes(self) -> int:
+        return self.n_samples * self.encoded_bytes
+
+
+#: ILSVRC 2012 ("over a million images spread across 1,000 categories").
+IMAGENET = DatasetSpec("imagenet", 1_281_167, 110_000, 3 * 224 * 224 * 4,
+                       1000)
+#: CIFAR-10: 50k 32x32x3 training images (raw pixels, no JPEG decode).
+CIFAR10 = DatasetSpec("cifar10", 50_000, 3_100, 3 * 32 * 32 * 4, 10,
+                      decode_speed_factor=8.0)
+#: MNIST: 60k 28x28 grayscale images (raw).
+MNIST = DatasetSpec("mnist", 60_000, 800, 28 * 28 * 4, 10,
+                    decode_speed_factor=8.0)
+
+_DATASETS = {d.name: d for d in (IMAGENET, CIFAR10, MNIST)}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    try:
+        return _DATASETS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; have {sorted(_DATASETS)}")

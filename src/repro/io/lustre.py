@@ -1,0 +1,58 @@
+"""Simulated Lustre parallel file system.
+
+The S-Caffe parallel-reader design (Section 4.1) bets on Lustre: many
+clients streaming image files concurrently from many OSTs scale far
+better than funneling everything through one database.  Model: each
+client streams at up to the per-client rate; the object storage targets
+provide a large aggregate ceiling shared fairly among active readers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hardware.calibration import Calibration
+from ..sim import Event, Simulator
+from .dataset import DatasetSpec
+
+__all__ = ["SimLustre"]
+
+
+class SimLustre:
+    """A Lustre mount shared by all reader threads of a job."""
+
+    #: Metadata (MDS lookup + open) cost per file-open batch.
+    METADATA_OVERHEAD = 150e-6
+
+    def __init__(self, sim: Simulator, dataset: DatasetSpec,
+                 cal: Calibration):
+        self.sim = sim
+        self.dataset = dataset
+        self.cal = cal
+        self._readers = 0
+        self.bytes_read = 0
+
+    @property
+    def n_readers(self) -> int:
+        return self._readers
+
+    def register_reader(self) -> int:
+        self._readers += 1
+        return self._readers - 1
+
+    def effective_reader_bw(self) -> float:
+        """Fair share of the aggregate, capped at the per-client rate."""
+        n = max(1, self._readers)
+        return min(self.cal.lustre_per_client_bw,
+                   self.cal.lustre_aggregate_bw / n)
+
+    def read(self, n_samples: int) -> Generator[Event, Any, int]:
+        """Sub-protocol: stream ``n_samples`` image files (ImageDataLayer
+        access pattern).  Returns bytes read."""
+        if n_samples < 0:
+            raise ValueError("n_samples must be >= 0")
+        nbytes = n_samples * self.dataset.encoded_bytes
+        yield self.sim.timeout(self.METADATA_OVERHEAD)
+        yield self.sim.timeout(nbytes / self.effective_reader_bw())
+        self.bytes_read += nbytes
+        return nbytes

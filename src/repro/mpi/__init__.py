@@ -1,0 +1,18 @@
+"""Simulated CUDA-aware MPI runtime (the co-designed communication layer)."""
+
+from . import collectives, omb
+from .communicator import Communicator, MessageStatus, RankContext
+from .profiles import MPIProfile, MV2, MV2GDR, OPENMPI, get_profile
+from .request import ANY_SOURCE, ANY_TAG, Request, waitall, waitany
+from .rma import Window, create_window
+from .runtime import MPIRuntime
+from .transport import DeviceTransport
+
+__all__ = [
+    "collectives", "omb",
+    "Communicator", "MessageStatus", "RankContext",
+    "MPIProfile", "MV2", "MV2GDR", "OPENMPI", "get_profile",
+    "ANY_SOURCE", "ANY_TAG", "Request", "waitall", "waitany",
+    "MPIRuntime", "DeviceTransport",
+    "Window", "create_window",
+]

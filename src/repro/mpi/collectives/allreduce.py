@@ -1,0 +1,103 @@
+"""Allreduce algorithms.
+
+The CNTK-like comparator framework (Fig. 10) synchronizes workers with an
+allreduce; we provide the classic ring reduce-scatter + allgather (the
+bandwidth-optimal pattern CNTK's 32-bit MPI SGD effectively relies on)
+and a reduce+bcast composition for small messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ...cuda import DeviceBuffer
+from ...sim import Event
+from ..communicator import RankContext
+from .base import apply_reduction, coll_tag_base, local_accumulate_copy
+from .bcast import bcast_binomial
+from .reduce import reduce_binomial
+
+__all__ = ["allreduce_ring", "allreduce_reduce_bcast", "allreduce"]
+
+
+def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
+                   recvbuf: DeviceBuffer,
+                   ) -> Generator[Event, Any, None]:
+    """Ring allreduce: P-1 reduce-scatter steps + P-1 allgather steps.
+
+    The buffer is cut into P near-equal element-aligned blocks; block i
+    accumulates around the ring and ends fully reduced on rank (i+1) mod
+    P, then circulates again to all ranks.
+    """
+    P = ctx.size
+    me = ctx.rank
+    tag0 = coll_tag_base(ctx)
+    if P == 1:
+        if recvbuf is not sendbuf:
+            yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
+        return
+
+    nbytes = sendbuf.nbytes
+    # Element-aligned block partition (4-byte float32 grain).
+    grain = 4
+    per = (nbytes // grain + P - 1) // P * grain
+    blocks = [(i * per, max(0, min(per, nbytes - i * per))) for i in range(P)]
+
+    right = (me + 1) % P
+    left = (me - 1) % P
+    scratch = ctx.scratch_like(sendbuf, "ring.rx")
+    try:
+        yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
+        # Reduce-scatter: at step s, send block (me-s) and receive+reduce
+        # block (me-s-1).
+        for s in range(P - 1):
+            sb = (me - s) % P
+            rb = (me - s - 1) % P
+            soff, slen = blocks[sb]
+            roff, rlen = blocks[rb]
+            sreq = ctx.isend(right, recvbuf, tag=tag0 + s,
+                             offset=soff, nbytes=slen) if slen else None
+            if rlen:
+                yield from ctx.recv(left, scratch, tag=tag0 + s,
+                                    offset=roff, nbytes=rlen)
+                yield from apply_reduction(ctx, recvbuf, scratch, rlen,
+                                           offset=roff)
+            if sreq is not None:
+                yield sreq.wait()
+        # Allgather: circulate the fully-reduced blocks.
+        for s in range(P - 1):
+            sb = (me + 1 - s) % P
+            rb = (me - s) % P
+            soff, slen = blocks[sb]
+            roff, rlen = blocks[rb]
+            sreq = ctx.isend(right, recvbuf, tag=tag0 + 512 + s,
+                             offset=soff, nbytes=slen) if slen else None
+            if rlen:
+                yield from ctx.recv(left, recvbuf, tag=tag0 + 512 + s,
+                                    offset=roff, nbytes=rlen)
+            if sreq is not None:
+                yield sreq.wait()
+    finally:
+        scratch.free()
+
+
+def allreduce_reduce_bcast(ctx: RankContext, sendbuf: DeviceBuffer,
+                           recvbuf: DeviceBuffer, *,
+                           root: int = 0) -> Generator[Event, Any, None]:
+    """Allreduce as Reduce-to-root followed by Bcast (small messages)."""
+    yield from reduce_binomial(ctx, sendbuf,
+                               recvbuf if ctx.rank == root else recvbuf,
+                               root)
+    yield from bcast_binomial(ctx, recvbuf, root)
+
+
+def allreduce(ctx: RankContext, sendbuf: DeviceBuffer,
+              recvbuf: DeviceBuffer, *, algorithm: str = "ring",
+              ) -> Generator[Event, Any, None]:
+    """Blocking MPI_Allreduce (SUM)."""
+    if algorithm == "ring":
+        yield from allreduce_ring(ctx, sendbuf, recvbuf)
+    elif algorithm == "reduce_bcast":
+        yield from allreduce_reduce_bcast(ctx, sendbuf, recvbuf)
+    else:
+        raise KeyError(f"unknown allreduce algorithm {algorithm!r}")

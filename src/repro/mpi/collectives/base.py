@@ -1,0 +1,85 @@
+"""Shared helpers for collective algorithms.
+
+Tag discipline
+--------------
+Collectives allocate tags from a reserved space above user tags.  Every
+rank keeps a per-communicator collective sequence number; since MPI
+requires all ranks to invoke collectives on a communicator in the same
+order, equal sequence numbers across ranks identify the same logical
+collective.  Each collective gets a block of ``TAG_BLOCK`` tags for its
+internal chunk messages.
+
+Reduction arithmetic
+--------------------
+:func:`apply_reduction` charges the profile-appropriate cost: a GPU
+kernel for DL-aware runtimes, or a D2H / CPU-sum / H2D round-trip for
+host-based runtimes (the MV2/OpenMPI behaviour the paper identifies as
+the large-message bottleneck, Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Tuple
+
+from ...cuda import DeviceBuffer
+from ...sim import Event
+from ..communicator import RankContext
+
+__all__ = ["COLL_TAG_BASE", "TAG_BLOCK", "coll_tag_base", "segments",
+           "apply_reduction", "local_accumulate_copy"]
+
+#: User pt2pt tags must stay below this value.
+COLL_TAG_BASE = 1 << 20
+#: Tags reserved per collective invocation (chunk index space).
+TAG_BLOCK = 1 << 12
+
+
+def coll_tag_base(ctx: RankContext) -> int:
+    """Reserve this collective's tag block (same value on every rank)."""
+    comm = ctx.comm
+    if not hasattr(comm, "_coll_seq"):
+        comm._coll_seq = [0] * comm.size
+    seq = comm._coll_seq[ctx.rank]
+    comm._coll_seq[ctx.rank] += 1
+    return COLL_TAG_BASE + seq * TAG_BLOCK
+
+
+def segments(nbytes: int, segment: int) -> List[Tuple[int, int]]:
+    """Split ``nbytes`` into (offset, length) segments of at most
+    ``segment`` bytes — element-aligned as long as ``segment`` is."""
+    if nbytes <= 0:
+        return [(0, nbytes)] if nbytes == 0 else []
+    segment = max(1, segment)
+    out = []
+    off = 0
+    while off < nbytes:
+        out.append((off, min(segment, nbytes - off)))
+        off += segment
+    return out
+
+
+def apply_reduction(ctx: RankContext, acc: DeviceBuffer,
+                    contrib: DeviceBuffer, nbytes: int, *, offset: int = 0,
+                    ) -> Generator[Event, Any, None]:
+    """``acc[offset:offset+n] += contrib[offset:offset+n]`` with
+    profile-appropriate cost and real payload math when present."""
+    if ctx.profile.gpu_reduce:
+        yield from ctx.cuda.reduce_kernel(acc, contrib, nbytes, offset=offset)
+    else:
+        # Host-based reduction: the contribution is already host-resident
+        # (it arrived through staged transport), and the runtime keeps the
+        # accumulator host-side across the algorithm; the charged cost is
+        # the CPU sum plus pushing the updated chunk back to the device.
+        yield from ctx.cuda.cpu_reduce(ctx.gpu.node_index, acc, contrib,
+                                       nbytes, offset=offset)
+        yield from ctx.cuda.memcpy_h2d(acc, None, nbytes)
+
+
+def local_accumulate_copy(ctx: RankContext, dst: DeviceBuffer,
+                          src: DeviceBuffer,
+                          ) -> Generator[Event, Any, None]:
+    """Seed an accumulator: ``dst[:] = src`` on-device (D2D cost)."""
+    if dst.nbytes < src.nbytes:
+        raise ValueError("accumulator smaller than operand")
+    yield from ctx.cuda.memcpy_d2d(ctx.gpu, src.nbytes)
+    dst.copy_payload_from(src, nbytes=src.nbytes)

@@ -1,0 +1,200 @@
+"""Scatter / Gather / Allgather / Reduce-scatter building blocks.
+
+These complete the runtime's collective suite and provide the
+composition pieces classic large-message algorithms are built from —
+most importantly the van-de-Geijn broadcast (scatter + ring allgather)
+in :mod:`.bcast`, which real MVAPICH2 selects for large messages.
+
+Block partitioning convention: a buffer of B bytes over P ranks is cut
+into P element-aligned blocks (4-byte grain); rank i owns block i.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from ...cuda import DeviceBuffer
+from ...sim import Event
+from ..communicator import RankContext
+from .base import apply_reduction, coll_tag_base
+
+__all__ = ["block_partition", "scatter_binomial", "gather_binomial",
+           "allgather_ring", "reduce_scatter_ring"]
+
+GRAIN = 4  # float32 element alignment
+
+
+def block_partition(nbytes: int, P: int) -> List[Tuple[int, int]]:
+    """(offset, length) of each rank's block; element-aligned, covers
+    the buffer exactly, final blocks may be empty for tiny buffers."""
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    if nbytes % GRAIN:
+        raise ValueError(f"buffer must be {GRAIN}-byte aligned")
+    per = (nbytes // GRAIN + P - 1) // P * GRAIN
+    out = []
+    for i in range(P):
+        off = min(i * per, nbytes)
+        out.append((off, max(0, min(per, nbytes - off))))
+    return out
+
+
+def scatter_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
+                     *, tag_base: Optional[int] = None,
+                     ) -> Generator[Event, Any, None]:
+    """Binomial-tree MPI_Scatter of ``buf``'s blocks from ``root``.
+
+    Every rank passes the full-size ``buf``; on completion rank i holds
+    (at least) its own block i.  Interior tree nodes relay the contiguous
+    half-ranges (the standard minimal-data scatter would send only
+    subtree bytes; we relay the subtree's *span*, which for contiguous
+    blocks is the same data volume).
+    """
+    P = ctx.size
+    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    if P == 1:
+        return
+    blocks = block_partition(buf.nbytes, P)
+    vrank = (ctx.rank - root) % P
+
+    def span(v_lo: int, v_hi: int) -> Tuple[int, int]:
+        """Byte range covering blocks of virtual ranks [v_lo, v_hi)."""
+        ranks = [(v + root) % P for v in range(v_lo, min(v_hi, P))]
+        offs = [blocks[r][0] for r in ranks]
+        ends = [blocks[r][0] + blocks[r][1] for r in ranks]
+        return min(offs), max(ends) - min(offs)
+
+    # Receive my subtree's span from the parent (unless root).
+    mask = 1
+    while mask < P:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % P
+            off, n = span(vrank, vrank + mask)
+            if n:
+                yield from ctx.recv(parent, buf, tag=tag, offset=off,
+                                    nbytes=n)
+            break
+        mask <<= 1
+
+    # Forward child subtrees.
+    mask >>= 1
+    sends = []
+    while mask > 0:
+        if vrank + mask < P:
+            child = ((vrank + mask) + root) % P
+            off, n = span(vrank + mask, vrank + 2 * mask)
+            if n:
+                sends.append(ctx.isend(child, buf, tag=tag, offset=off,
+                                       nbytes=n))
+        mask >>= 1
+    for req in sends:
+        yield req.wait()
+
+
+def gather_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
+                    *, tag_base: Optional[int] = None,
+                    ) -> Generator[Event, Any, None]:
+    """Binomial-tree MPI_Gather: rank i's block i ends up at ``root``.
+
+    The mirror image of :func:`scatter_binomial`.
+    """
+    P = ctx.size
+    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    if P == 1:
+        return
+    blocks = block_partition(buf.nbytes, P)
+    vrank = (ctx.rank - root) % P
+
+    def span(v_lo: int, v_hi: int) -> Tuple[int, int]:
+        ranks = [(v + root) % P for v in range(v_lo, min(v_hi, P))]
+        offs = [blocks[r][0] for r in ranks]
+        ends = [blocks[r][0] + blocks[r][1] for r in ranks]
+        return min(offs), max(ends) - min(offs)
+
+    # Collect child subtrees (ascending mask), then send up.
+    mask = 1
+    while mask < P:
+        if vrank & mask:
+            parent = ((vrank - mask) + root) % P
+            off, n = span(vrank, vrank + mask)
+            if n:
+                yield from ctx.send(parent, buf, tag=tag, offset=off,
+                                    nbytes=n)
+            return
+        child_v = vrank | mask
+        if child_v < P:
+            child = (child_v + root) % P
+            off, n = span(child_v, child_v + mask)
+            if n:
+                yield from ctx.recv(child, buf, tag=tag, offset=off,
+                                    nbytes=n)
+        mask <<= 1
+
+
+def allgather_ring(ctx: RankContext, buf: DeviceBuffer,
+                   *, tag_base: Optional[int] = None,
+                   ) -> Generator[Event, Any, None]:
+    """Ring MPI_Allgather: each rank starts holding its block; after
+    P-1 steps every rank holds all blocks (bandwidth-optimal)."""
+    P = ctx.size
+    me = ctx.rank
+    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    if P == 1:
+        return
+    blocks = block_partition(buf.nbytes, P)
+    right = (me + 1) % P
+    left = (me - 1) % P
+    for s in range(P - 1):
+        sb = (me - s) % P
+        rb = (me - s - 1) % P
+        soff, slen = blocks[sb]
+        roff, rlen = blocks[rb]
+        sreq = (ctx.isend(right, buf, tag=tag + s, offset=soff,
+                          nbytes=slen) if slen else None)
+        if rlen:
+            yield from ctx.recv(left, buf, tag=tag + s, offset=roff,
+                                nbytes=rlen)
+        if sreq is not None:
+            yield sreq.wait()
+
+
+def reduce_scatter_ring(ctx: RankContext, sendbuf: DeviceBuffer,
+                        recvbuf: DeviceBuffer,
+                        *, tag_base: Optional[int] = None,
+                        ) -> Generator[Event, Any, None]:
+    """Ring MPI_Reduce_scatter (SUM).
+
+    On completion, rank i holds the fully-reduced block
+    ``(i + 1) % P`` of ``recvbuf`` (the classic ring rotation); other
+    blocks hold partial sums.  ``recvbuf`` must be full-size; callers
+    composing an allreduce follow with :func:`allgather_ring`-style
+    circulation starting from the owned block.
+    """
+    P = ctx.size
+    me = ctx.rank
+    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    from .base import local_accumulate_copy
+    yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
+    if P == 1:
+        return
+    blocks = block_partition(sendbuf.nbytes, P)
+    right = (me + 1) % P
+    left = (me - 1) % P
+    scratch = ctx.scratch_like(sendbuf, "rs.rx")
+    try:
+        for s in range(P - 1):
+            sb = (me - s) % P
+            rb = (me - s - 1) % P
+            soff, slen = blocks[sb]
+            roff, rlen = blocks[rb]
+            sreq = (ctx.isend(right, recvbuf, tag=tag + s, offset=soff,
+                              nbytes=slen) if slen else None)
+            if rlen:
+                yield from ctx.recv(left, scratch, tag=tag + s,
+                                    offset=roff, nbytes=rlen)
+                yield from apply_reduction(ctx, recvbuf, scratch, rlen,
+                                           offset=roff)
+            if sreq is not None:
+                yield sreq.wait()
+    finally:
+        scratch.free()

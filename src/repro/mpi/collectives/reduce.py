@@ -1,0 +1,254 @@
+"""Flat reduction algorithms: binomial tree and chunked chain.
+
+These are the two building blocks of the paper's Section-5 analysis:
+
+- **Binomial tree** (``reduce_binomial``): log2(P) rounds; each round an
+  internal node receives a full buffer and reduces it.  Cost model
+  T(Bin) = log(P) * t(b)   — equation (1).
+- **Chunked chain** (``reduce_chain``): the buffer is cut into n chunks
+  which flow along a directed chain toward the root; each hop overlaps
+  the communication and reduction of successive chunks.  Cost model
+  T(CC) = (n + P - 2) * t(c), c = b/n   — equation (2).
+
+The reduction operator is SUM (gradient aggregation); when buffers carry
+real payloads the arithmetic is actually performed, so correctness tests
+can verify byte-exact results through either algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ...cuda import DeviceBuffer
+from ...sim import Event
+from ..communicator import RankContext
+from ..request import Request
+from .base import apply_reduction, coll_tag_base, local_accumulate_copy, segments
+
+__all__ = ["reduce_binomial", "reduce_chain", "reduce", "ireduce"]
+
+
+def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
+                    recvbuf: Optional[DeviceBuffer], root: int = 0,
+                    *, tag_base: Optional[int] = None,
+                    ) -> Generator[Event, Any, None]:
+    """Binomial-tree MPI_Reduce (SUM) with per-profile segmentation.
+
+    ``recvbuf`` is required at the root and ignored elsewhere.  Internal
+    tree nodes allocate a scratch accumulator and a receive buffer on
+    their GPU for the duration of the call.
+    """
+    P = ctx.size
+    me = ctx.rank
+    tag0 = coll_tag_base(ctx) if tag_base is None else tag_base
+    if me == root and recvbuf is None:
+        raise ValueError("root must supply recvbuf")
+
+    if P == 1:
+        if recvbuf is not None and recvbuf is not sendbuf:
+            yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
+        return
+
+    vrank = (me - root) % P
+    segs = segments(sendbuf.nbytes, ctx.profile.reduce_segment)
+
+    # Accumulator: the root reduces straight into recvbuf; interior nodes
+    # use device scratch.  Leaves send their sendbuf directly.
+    acc: Optional[DeviceBuffer] = None
+    scratch: Optional[DeviceBuffer] = None
+
+    def ensure_acc():
+        nonlocal acc, scratch
+        if acc is None:
+            acc = recvbuf if me == root else ctx.scratch_like(
+                sendbuf, name="binred.acc")
+            scratch = ctx.scratch_like(sendbuf, name="binred.rx")
+
+    try:
+        mask = 1
+        received_any = False
+        while mask < P:
+            if vrank & mask:
+                # Send the accumulated value to the parent and stop.
+                parent = ((vrank & ~mask) + root) % P
+                outbuf = acc if received_any else sendbuf
+                send_reqs = [
+                    ctx.isend(parent, outbuf, tag=tag0 + k,
+                              offset=off, nbytes=n)
+                    for k, (off, n) in enumerate(segs)]
+                for r in send_reqs:
+                    yield r.wait()
+                break
+            child_v = vrank | mask
+            if child_v < P:
+                child = (child_v + root) % P
+                ensure_acc()
+                if not received_any:
+                    yield from local_accumulate_copy(ctx, acc, sendbuf)
+                    received_any = True
+                yield from _segmented_recv_reduce(
+                    ctx, acc, scratch, child, tag0, segs)
+            mask <<= 1
+        else:
+            # Loop completed without break -> this rank is the root.
+            if not received_any:
+                ensure_acc()
+                yield from local_accumulate_copy(ctx, acc, sendbuf)
+    finally:
+        if scratch is not None:
+            scratch.free()
+        if acc is not None and acc is not recvbuf:
+            acc.free()
+
+
+def _segmented_recv_reduce(ctx: RankContext, acc: DeviceBuffer,
+                           scratch: DeviceBuffer, child: int, tag0: int,
+                           segs) -> Generator[Event, Any, None]:
+    """Receive a contribution segment-by-segment and fold it into ``acc``.
+
+    With ``segment_pipelining`` all receives are pre-posted so segment
+    k+1 arrives while segment k is being reduced; otherwise (OpenMPI
+    profile) each segment completes — receive, reduce, synchronize —
+    before the next starts.
+    """
+    if ctx.profile.segment_pipelining:
+        reqs = [ctx.irecv(child, scratch, tag=tag0 + k, offset=off, nbytes=n)
+                for k, (off, n) in enumerate(segs)]
+        for req, (off, n) in zip(reqs, segs):
+            yield req.wait()
+            yield from apply_reduction(ctx, acc, scratch, n, offset=off)
+    else:
+        for k, (off, n) in enumerate(segs):
+            yield from ctx.recv(child, scratch, tag=tag0 + k,
+                                offset=off, nbytes=n)
+            yield from apply_reduction(ctx, acc, scratch, n, offset=off)
+            sync = ctx.profile.segment_sync_time(n)
+            if sync:
+                yield ctx.sim.timeout(sync)
+
+
+def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
+                 recvbuf: Optional[DeviceBuffer], root: int = 0,
+                 *, chunk_bytes: Optional[int] = None,
+                 tag_base: Optional[int] = None,
+                 window: Optional[int] = None,
+                 ) -> Generator[Event, Any, None]:
+    """Chunked-chain MPI_Reduce (SUM).
+
+    The chain is ordered root, root+1, ..., root+P-1 (mod P).  The last
+    process streams its buffer chunk-by-chunk to its left neighbour; each
+    interior process receives chunk k, folds in its own chunk k, and
+    forwards — a single-sided pipeline terminating at the root
+    (Section 5).
+
+    ``window`` bounds the number of pre-posted receives per hop
+    (rendezvous flow control).  ``None`` pre-posts everything — infinite
+    buffering, which absorbs skew; small windows model real runtimes'
+    bounded RNDV buffers, through which pipeline bubbles propagate.
+    """
+    P = ctx.size
+    me = ctx.rank
+    tag0 = coll_tag_base(ctx) if tag_base is None else tag_base
+    if me == root and recvbuf is None:
+        raise ValueError("root must supply recvbuf")
+    if P == 1:
+        if recvbuf is not None and recvbuf is not sendbuf:
+            yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
+        return
+
+    chunk = chunk_bytes or ctx.profile.reduce_segment
+    chunks = segments(sendbuf.nbytes, chunk)
+    pos = (me - root) % P            # 0 = root ... P-1 = chain tail
+    right = ((pos + 1) + root) % P   # upstream neighbour
+    left = ((pos - 1) + root) % P    # downstream neighbour
+
+    if pos == P - 1:
+        # Tail: stream own chunks downstream.
+        reqs = [ctx.isend(left, sendbuf, tag=tag0 + k, offset=off, nbytes=n)
+                for k, (off, n) in enumerate(chunks)]
+        for r in reqs:
+            yield r.wait()
+        return
+
+    # Interior / root: fold the upstream stream into an accumulator.
+    # Receives target a scratch buffer (receiving into ``acc`` directly
+    # would overwrite this rank's own contribution before the add).
+    acc = recvbuf if pos == 0 else ctx.scratch_like(sendbuf, "chain.acc")
+    scratch = ctx.scratch_like(sendbuf, "chain.rx")
+    send_reqs = []
+    try:
+        yield from local_accumulate_copy(ctx, acc, sendbuf)
+        if ctx.profile.segment_pipelining:
+            W = len(chunks) if window is None else max(1, window)
+            rx = [ctx.irecv(right, scratch, tag=tag0 + k, offset=off,
+                            nbytes=n)
+                  for k, (off, n) in enumerate(chunks[:W])]
+            for k, (off, n) in enumerate(chunks):
+                yield rx[k].wait()
+                if k + W < len(chunks):
+                    off2, n2 = chunks[k + W]
+                    rx.append(ctx.irecv(right, scratch, tag=tag0 + k + W,
+                                        offset=off2, nbytes=n2))
+                yield from apply_reduction(ctx, acc, scratch, n, offset=off)
+                if pos != 0:
+                    send_reqs.append(ctx.isend(left, acc, tag=tag0 + k,
+                                               offset=off, nbytes=n))
+        else:
+            for k, (off, n) in enumerate(chunks):
+                yield from ctx.recv(right, scratch, tag=tag0 + k,
+                                    offset=off, nbytes=n)
+                yield from apply_reduction(ctx, acc, scratch, n, offset=off)
+                if pos != 0:
+                    yield from ctx.send(left, acc, tag=tag0 + k,
+                                        offset=off, nbytes=n)
+                sync = ctx.profile.segment_sync_time(n)
+                if sync:
+                    yield ctx.sim.timeout(sync)
+        for r in send_reqs:
+            yield r.wait()
+    finally:
+        scratch.free()
+        if acc is not recvbuf:
+            acc.free()
+
+
+_ALGORITHMS = {"binomial": reduce_binomial, "chain": reduce_chain}
+
+
+def reduce(ctx: RankContext, sendbuf: DeviceBuffer,
+           recvbuf: Optional[DeviceBuffer], root: int = 0, *,
+           algorithm: Optional[str] = None,
+           **kwargs) -> Generator[Event, Any, None]:
+    """Blocking MPI_Reduce with a selectable flat algorithm."""
+    name = algorithm or ctx.profile.flat_reduce_algorithm
+    try:
+        algo = _ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(f"unknown reduce algorithm {name!r}")
+    yield from algo(ctx, sendbuf, recvbuf, root, **kwargs)
+
+
+def ireduce(ctx: RankContext, sendbuf: DeviceBuffer,
+            recvbuf: Optional[DeviceBuffer], root: int = 0, *,
+            algorithm: Optional[str] = None) -> Request:
+    """Non-blocking MPI_Ireduce.
+
+    Regardless of profile, the reduction's *computation* does not
+    progress asynchronously — MPI runtimes rely on the CPU inside
+    MPI_Wait for reduction arithmetic (Section 4.2: "MPI runtimes do not
+    provide efficient NBC reduction primitives ... which clearly
+    nullifies the overlap potential").  Hence the entire operation is
+    deferred to the first ``wait()`` call.  This is precisely why S-Caffe
+    needs the helper-thread co-design (SC-OBR) instead of Ireduce.
+    """
+    req = Request(ctx.sim, label=f"ireduce root={root} r{ctx.rank}")
+
+    def deferred():
+        def run():
+            yield from reduce(ctx, sendbuf, recvbuf, root,
+                              algorithm=algorithm)
+            req.complete(None)
+        ctx.sim.process(run(), name=f"ireduce.r{ctx.rank}")
+
+    req._on_wait = deferred
+    return req

@@ -1,0 +1,273 @@
+"""Communicators, rank contexts, and the point-to-point engine.
+
+Rank programs are SPMD generators: the runtime runs one sim process per
+rank, and each process calls ``yield from`` on collective/pt2pt
+sub-protocols with its own :class:`RankContext`.  Matching follows MPI
+semantics — per-communicator FIFO matching on ``(source, tag)`` with
+``ANY_SOURCE``/``ANY_TAG`` wildcards, eager completion for small messages
+and rendezvous for large ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..cuda import CudaRuntime, DeviceBuffer
+from ..hardware.gpu import GPUDevice
+from ..sim import Barrier, Event, Simulator
+from .profiles import MPIProfile
+from .request import ANY_SOURCE, ANY_TAG, Request
+from .transport import DeviceTransport
+
+__all__ = ["Communicator", "RankContext", "MessageStatus"]
+
+
+@dataclass(frozen=True)
+class MessageStatus:
+    """Receive-completion status (matched envelope)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class _PendingSend:
+    src_rank: int
+    tag: int
+    buf: DeviceBuffer
+    offset: int
+    nbytes: int
+    request: Request
+    eager: bool
+    #: Eager sends complete locally before the transfer runs, so the
+    #: payload must be captured at send time (the caller may legally
+    #: reuse the buffer once the request completes).
+    snapshot: Optional[np.ndarray] = None
+
+
+@dataclass
+class _PostedRecv:
+    source: int
+    tag: int
+    buf: DeviceBuffer
+    offset: int
+    max_nbytes: int
+    request: Request
+
+
+class Communicator:
+    """A group of ranks mapped onto GPUs, with its own matching space.
+
+    Sub-communicators created by :meth:`split` translate their local rank
+    numbering onto the parent's GPUs; the HR designs build their
+    multi-level communicators this way (Section 5).
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, runtime: "MPIRuntime", gpus: List[GPUDevice],
+                 name: str = "world"):
+        if not gpus:
+            raise ValueError("communicator needs at least one rank")
+        self.runtime = runtime
+        self.sim: Simulator = runtime.sim
+        self.gpus = list(gpus)
+        self.name = name
+        self.id = next(self._ids)
+        # Per-destination-rank matching state.
+        self._unexpected: Dict[int, deque] = {
+            r: deque() for r in range(len(gpus))}
+        self._posted: Dict[int, deque] = {
+            r: deque() for r in range(len(gpus))}
+        self._barrier = Barrier(self.sim, len(gpus))
+
+    @property
+    def size(self) -> int:
+        return len(self.gpus)
+
+    def gpu_of(self, rank: int) -> GPUDevice:
+        return self.gpus[rank]
+
+    def context(self, rank: int) -> "RankContext":
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return RankContext(self, rank)
+
+    def split(self, members: List[int], name: str = "") -> "Communicator":
+        """Sub-communicator over ``members`` (parent rank ids, ordered).
+
+        The member at position *i* becomes rank *i* of the new
+        communicator (MPI_Comm_split with explicit ordering).
+        """
+        if len(set(members)) != len(members):
+            raise ValueError("duplicate ranks in split")
+        gpus = [self.gpus[r] for r in members]
+        return Communicator(self.runtime, gpus,
+                            name=name or f"{self.name}.split{len(members)}")
+
+    # -- matching engine ------------------------------------------------------
+    def _match_recv(self, dst: int, recv: _PostedRecv) -> Optional[_PendingSend]:
+        q = self._unexpected[dst]
+        for i, send in enumerate(q):
+            if ((recv.source in (ANY_SOURCE, send.src_rank))
+                    and (recv.tag in (ANY_TAG, send.tag))):
+                del q[i]
+                return send
+        return None
+
+    def _match_send(self, dst: int, send: _PendingSend) -> Optional[_PostedRecv]:
+        q = self._posted[dst]
+        for i, recv in enumerate(q):
+            if ((recv.source in (ANY_SOURCE, send.src_rank))
+                    and (recv.tag in (ANY_TAG, send.tag))):
+                del q[i]
+                return recv
+        return None
+
+    def _start_transfer(self, send: _PendingSend, recv: _PostedRecv,
+                        dst_rank: int) -> None:
+        if send.nbytes > recv.max_nbytes:
+            exc = RuntimeError(
+                f"message truncation: {send.nbytes} > {recv.max_nbytes} "
+                f"(comm {self.name}, {send.src_rank}->{dst_rank}, "
+                f"tag {send.tag})")
+            recv.request.fail(exc)
+            if not send.eager:
+                send.request.fail(exc)
+            return
+
+        transport = self.runtime.transport
+
+        def mover():
+            yield from transport.transfer(
+                send.buf, recv.buf, send.nbytes,
+                src_offset=send.offset, dst_offset=recv.offset)
+            if send.snapshot is not None and recv.buf.data is not None:
+                dst = recv.buf.data.view(np.uint8)
+                dst[recv.offset:recv.offset + send.nbytes] = send.snapshot
+            status = MessageStatus(send.src_rank, send.tag, send.nbytes)
+            if not send.eager:
+                send.request.complete(status)
+            recv.request.complete(status)
+
+        self.sim.process(mover(), name=f"{self.name}.xfer")
+
+    # -- pt2pt entry points ------------------------------------------------------
+    def isend(self, src_rank: int, dst_rank: int, buf: DeviceBuffer,
+              *, tag: int = 0, offset: int = 0,
+              nbytes: Optional[int] = None) -> Request:
+        if not 0 <= dst_rank < self.size:
+            raise ValueError(f"bad destination rank {dst_rank}")
+        if tag < 0:
+            raise ValueError("send tag must be >= 0")
+        n = buf.nbytes - offset if nbytes is None else nbytes
+        req = Request(self.sim, label=f"isend {src_rank}->{dst_rank}#{tag}")
+        profile = self.runtime.profile
+        eager = n <= profile.eager_threshold
+        snapshot = None
+        if eager and buf.has_data:
+            snapshot = buf.data.view(np.uint8)[offset:offset + n].copy()
+        send = _PendingSend(src_rank, tag, buf, offset, n, req, eager,
+                            snapshot)
+        if eager:
+            # Sender-side completion is local: inject-and-forget.
+            def eager_complete():
+                yield self.sim.timeout(
+                    self.runtime.cal.mpi_message_overhead)
+                req.complete(MessageStatus(src_rank, tag, n))
+            self.sim.process(eager_complete())
+        recv = self._match_send(dst_rank, send)
+        if recv is not None:
+            self._start_transfer(send, recv, dst_rank)
+        else:
+            self._unexpected[dst_rank].append(send)
+        return req
+
+    def irecv(self, dst_rank: int, source: int, buf: DeviceBuffer,
+              *, tag: int = ANY_TAG, offset: int = 0,
+              nbytes: Optional[int] = None) -> Request:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"bad source rank {source}")
+        n = buf.nbytes - offset if nbytes is None else nbytes
+        req = Request(self.sim, label=f"irecv {source}->{dst_rank}#{tag}")
+        recv = _PostedRecv(source, tag, buf, offset, n, req)
+        send = self._match_recv(dst_rank, recv)
+        if send is not None:
+            self._start_transfer(send, recv, dst_rank)
+        else:
+            self._posted[dst_rank].append(recv)
+        return req
+
+
+class RankContext:
+    """Everything a rank program needs: identity, pt2pt, scratch memory."""
+
+    def __init__(self, comm: Communicator, rank: int):
+        self.comm = comm
+        self.rank = rank
+        self.sim: Simulator = comm.sim
+        self.gpu: GPUDevice = comm.gpu_of(rank)
+        self.runtime: "MPIRuntime" = comm.runtime
+        self.cuda: CudaRuntime = comm.runtime.cuda
+        self.profile: MPIProfile = comm.runtime.profile
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- pt2pt (bound to this rank) --------------------------------------------
+    def isend(self, dst: int, buf: DeviceBuffer, **kw) -> Request:
+        return self.comm.isend(self.rank, dst, buf, **kw)
+
+    def irecv(self, source: int, buf: DeviceBuffer, **kw) -> Request:
+        return self.comm.irecv(self.rank, source, buf, **kw)
+
+    def send(self, dst: int, buf: DeviceBuffer, **kw
+             ) -> Generator[Event, Any, Any]:
+        req = self.isend(dst, buf, **kw)
+        result = yield req.wait()
+        return result
+
+    def recv(self, source: int, buf: DeviceBuffer, **kw
+             ) -> Generator[Event, Any, Any]:
+        req = self.irecv(source, buf, **kw)
+        result = yield req.wait()
+        return result
+
+    def barrier(self) -> Generator[Event, Any, None]:
+        """Synchronize all ranks of the communicator.
+
+        Charged a dissemination-style latency of ceil(log2(P)) network
+        hops on top of the rendezvous.
+        """
+        import math
+        hops = max(1, math.ceil(math.log2(max(2, self.size))))
+        yield self.sim.timeout(hops * self.runtime.cal.ib_latency)
+        yield self.comm._barrier.arrive()
+
+    # -- scratch device memory -----------------------------------------------------
+    def scratch_like(self, buf: DeviceBuffer, name: str = "scratch"
+                     ) -> DeviceBuffer:
+        """Temporary device buffer shaped like ``buf`` (payload iff buf has
+        payload), on this rank's GPU."""
+        if buf.has_data:
+            return DeviceBuffer(self.gpu, buf.nbytes,
+                                np.zeros_like(buf.data), name=name)
+        return DeviceBuffer(self.gpu, buf.nbytes, name=name)
+
+    def sub_context(self, comm: Communicator) -> Optional["RankContext"]:
+        """This rank's context in a sub-communicator (None if not a member).
+
+        Membership is by GPU identity, which is unambiguous because a GPU
+        hosts exactly one rank in this runtime.
+        """
+        for r, g in enumerate(comm.gpus):
+            if g is self.gpu:
+                return comm.context(r)
+        return None

@@ -1,0 +1,109 @@
+"""MPI request objects (handles for non-blocking operations)."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from ..sim import Event, Simulator
+
+__all__ = ["Request", "waitall", "waitany", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcards for receive matching (mirror MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+class Request:
+    """Handle for an in-flight non-blocking operation.
+
+    ``yield req.wait()`` blocks the calling process until completion;
+    ``req.test()`` polls.  Completion may carry a status payload (e.g. the
+    matched source/tag for receives).
+    """
+
+    __slots__ = ("sim", "_done", "label", "_on_wait")
+
+    def __init__(self, sim: Simulator, label: str = ""):
+        self.sim = sim
+        self.label = label
+        self._done = sim.event()
+        # Request failures are delivered through wait(); the internal
+        # event must not trip the kernel's unhandled-failure check when
+        # the failure lands before any waiter registers.
+        self._done._defused = True
+        #: Optional hook invoked at the first wait() call — used to model
+        #: operations that only progress *inside* MPI_Wait (e.g. Ireduce
+        #: under runtimes with no asynchronous reduction progress).
+        self._on_wait = None
+
+    # -- completion (runtime side) ------------------------------------------
+    def complete(self, status: Any = None) -> None:
+        self._done.succeed(status)
+
+    def fail(self, exc: BaseException) -> None:
+        self._done.fail(exc)
+
+    # -- caller side -----------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        return self._done.triggered
+
+    def test(self) -> bool:
+        """Non-blocking completion check (MPI_Test flavour)."""
+        return self._done.triggered
+
+    @property
+    def status(self) -> Any:
+        return self._done.value
+
+    def wait(self) -> Event:
+        """Event the caller yields to block until completion."""
+        if self._on_wait is not None:
+            hook, self._on_wait = self._on_wait, None
+            hook()
+        if self._done.triggered:
+            ev = self.sim.event()
+            if self._done.ok:
+                ev.succeed(self._done._value)
+            else:
+                ev.fail(self._done._value)
+            return ev
+        ev = self.sim.event()
+
+        def relay(done: Event) -> None:
+            if done.ok:
+                ev.succeed(done._value)
+            else:
+                ev.fail(done._value)
+
+        self._done.add_callback(relay)
+        return ev
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "done" if self.completed else "pending"
+        return f"<Request {self.label or id(self):#x} {state}>"
+
+
+def waitall(sim: Simulator, requests: Iterable[Request]
+            ) -> Generator[Event, Any, List[Any]]:
+    """Sub-protocol: wait for every request; returns their statuses."""
+    reqs = list(requests)
+    yield sim.all_of([r.wait() for r in reqs])
+    return [r.status for r in reqs]
+
+
+def waitany(sim: Simulator, requests: Iterable[Request]
+            ) -> Generator[Event, Any, int]:
+    """Sub-protocol: wait until at least one request completes; returns
+    the index of a completed request (MPI_Waitany flavour)."""
+    reqs = list(requests)
+    if not reqs:
+        raise ValueError("waitany needs at least one request")
+    for i, r in enumerate(reqs):
+        if r.completed:
+            return i
+    yield sim.any_of([r.wait() for r in reqs])
+    for i, r in enumerate(reqs):
+        if r.completed:
+            return i
+    raise RuntimeError("any_of fired with no completed request")

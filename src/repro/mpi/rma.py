@@ -1,0 +1,125 @@
+"""One-sided (RMA) operations: windows, Put/Get, fences, locks.
+
+Section 2.3 notes CUDA-aware MPI covers "point-to-point, one-sided, and
+collective operations", and Section 5 describes the chunked chain as
+"essentially a single-sided pipeline".  This module provides the
+one-sided primitives over the same device transport the rest of the
+runtime uses:
+
+- :class:`Window` — a communicator-wide registration of one device
+  buffer per rank (MPI_Win_create).  Created collectively via
+  :func:`create_window`; attachment completes at the first fence.
+- ``put`` / ``get`` — direct remote writes/reads, moving bytes over the
+  profile's transport (GDR / IPC / staging) without the target's
+  participation.
+- ``fence`` — collective synchronization (MPI_Win_fence).
+- ``lock`` / ``unlock`` — passive-target exclusive access per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from ..cuda import DeviceBuffer
+from ..sim import Barrier, Event, Mutex
+from .communicator import Communicator, RankContext
+
+__all__ = ["Window", "create_window"]
+
+
+class Window:
+    """A one-sided access epoch over per-rank device buffers."""
+
+    def __init__(self, comm: Communicator, name: str):
+        self.comm = comm
+        self.name = name
+        self._buffers: Dict[int, DeviceBuffer] = {}
+        self._fence = Barrier(comm.sim, comm.size)
+        self._locks = {r: Mutex(comm.sim) for r in range(comm.size)}
+        self._lock_grants: Dict[tuple, bool] = {}
+
+    # -- setup ---------------------------------------------------------------
+    def attach(self, rank: int, buf: DeviceBuffer) -> None:
+        if rank in self._buffers:
+            raise ValueError(f"rank {rank} already attached to "
+                             f"window {self.name!r}")
+        self._buffers[rank] = buf
+
+    def buffer_of(self, rank: int) -> DeviceBuffer:
+        try:
+            return self._buffers[rank]
+        except KeyError:
+            raise ValueError(
+                f"rank {rank} has not attached a buffer to window "
+                f"{self.name!r} (missing fence after create_window?)"
+            ) from None
+
+    # -- synchronization ------------------------------------------------------
+    def fence(self, ctx: RankContext) -> Generator[Event, Any, None]:
+        """Collective epoch boundary (all ranks must call)."""
+        yield from ctx.barrier()
+        yield self._fence.arrive()
+
+    def lock(self, ctx: RankContext, target: int
+             ) -> Generator[Event, Any, None]:
+        """Exclusive passive-target lock on ``target``'s window."""
+        key = (ctx.rank, target)
+        if self._lock_grants.get(key):
+            raise RuntimeError(f"rank {ctx.rank} already holds the lock "
+                               f"on {target}")
+        yield self._locks[target].acquire()
+        self._lock_grants[key] = True
+
+    def unlock(self, ctx: RankContext, target: int) -> None:
+        key = (ctx.rank, target)
+        if not self._lock_grants.pop(key, False):
+            raise RuntimeError(f"rank {ctx.rank} does not hold the lock "
+                               f"on {target}")
+        self._locks[target].release()
+
+    # -- data movement -----------------------------------------------------------
+    def put(self, ctx: RankContext, target: int, src: DeviceBuffer, *,
+            nbytes: Optional[int] = None, src_offset: int = 0,
+            target_offset: int = 0) -> Generator[Event, Any, None]:
+        """Write ``src`` bytes into ``target``'s window buffer.
+
+        Completes locally when the transfer finishes (origin-side
+        completion; remote visibility is guaranteed by the next fence or
+        unlock, which these semantics subsume because the transfer is
+        synchronous in simulated time).
+        """
+        dst = self.buffer_of(target)
+        n = (min(src.nbytes - src_offset, dst.nbytes - target_offset)
+             if nbytes is None else nbytes)
+        yield from ctx.runtime.transport.transfer(
+            src, dst, n, src_offset=src_offset, dst_offset=target_offset)
+
+    def get(self, ctx: RankContext, target: int, dst: DeviceBuffer, *,
+            nbytes: Optional[int] = None, target_offset: int = 0,
+            dst_offset: int = 0) -> Generator[Event, Any, None]:
+        """Read from ``target``'s window buffer into ``dst``."""
+        src = self.buffer_of(target)
+        n = (min(src.nbytes - target_offset, dst.nbytes - dst_offset)
+             if nbytes is None else nbytes)
+        yield from ctx.runtime.transport.transfer(
+            src, dst, n, src_offset=target_offset, dst_offset=dst_offset)
+
+
+def create_window(ctx: RankContext, buf: DeviceBuffer,
+                  name: str = "win") -> Window:
+    """Collectively create (or join) a window and attach this rank's
+    buffer.  All ranks must call with the same ``name``, then fence
+    before any put/get targets them::
+
+        win = create_window(ctx, my_buf)
+        yield from win.fence(ctx)
+        yield from win.put(ctx, target, my_buf)
+    """
+    registry = getattr(ctx.comm, "_windows", None)
+    if registry is None:
+        registry = ctx.comm._windows = {}
+    win = registry.get(name)
+    if win is None:
+        win = registry[name] = Window(ctx.comm, name)
+    win.attach(ctx.rank, buf)
+    return win

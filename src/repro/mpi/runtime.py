@@ -1,0 +1,75 @@
+"""The MPI runtime: owns the transport, spawns SPMD rank programs."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Sequence
+
+from ..cuda import CudaRuntime
+from ..hardware import Cluster
+from ..hardware.gpu import GPUDevice
+from ..sim import Process, Simulator
+from .communicator import Communicator, RankContext
+from .profiles import MPIProfile, MV2GDR, get_profile
+from .transport import DeviceTransport
+
+__all__ = ["MPIRuntime"]
+
+
+class MPIRuntime:
+    """A simulated CUDA-aware MPI runtime bound to a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The hardware to run on.
+    profile:
+        Mechanism profile (``mv2gdr``/``mv2``/``openmpi``) — an
+        :class:`~repro.mpi.profiles.MPIProfile` or its name.
+    """
+
+    def __init__(self, cluster: Cluster,
+                 profile: MPIProfile | str = MV2GDR):
+        self.cluster = cluster
+        self.sim: Simulator = cluster.sim
+        self.cal = cluster.cal
+        self.profile = (get_profile(profile) if isinstance(profile, str)
+                        else profile)
+        self.cuda = CudaRuntime(cluster)
+        self.transport = DeviceTransport(cluster, self.cuda, self.profile)
+
+    def world(self, gpus: Optional[Sequence[GPUDevice] | int] = None
+              ) -> Communicator:
+        """COMM_WORLD over ``gpus`` (a list, a count, or the full cluster).
+
+        An integer selects the first N GPUs in block order — one MPI
+        process per GPU, matching the paper's launch configuration.
+        """
+        if gpus is None:
+            members = list(self.cluster.gpus)
+        elif isinstance(gpus, int):
+            members = self.cluster.gpus_for_job(gpus)
+        else:
+            members = list(gpus)
+        return Communicator(self, members, name="world")
+
+    def spawn(self, comm: Communicator,
+              program: Callable[..., Generator], *args, **kwargs
+              ) -> List[Process]:
+        """Start ``program(ctx, *args, **kwargs)`` on every rank of
+        ``comm``; returns the rank processes (each is awaitable)."""
+        procs = []
+        for r in range(comm.size):
+            ctx = comm.context(r)
+            procs.append(self.sim.process(
+                program(ctx, *args, **kwargs),
+                name=f"{comm.name}.rank{r}"))
+        return procs
+
+    def execute(self, comm: Communicator,
+                program: Callable[..., Generator], *args, **kwargs
+                ) -> List[Any]:
+        """Spawn + run the simulator to completion; returns per-rank
+        return values (convenience for tests and micro-benchmarks)."""
+        procs = self.spawn(comm, program, *args, **kwargs)
+        self.sim.run()
+        return [p.value for p in procs]

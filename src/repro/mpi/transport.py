@@ -1,0 +1,185 @@
+"""Device-buffer transport: the CUDA-aware part of the MPI runtime.
+
+This module decides *how bytes move* between two GPU buffers, as a
+function of the runtime profile and the endpoint placement:
+
+=====================  ==========================================
+endpoint placement      mechanism (by profile)
+=====================  ==========================================
+same GPU                device-to-device copy
+same node, ``ipc``      CUDA IPC peer copy over both PCIe uplinks
+same node, no IPC       pipelined D2H -> host -> H2D staging
+other node, ``gdr``     GPUDirect RDMA (PCIe + NIC cut-through,
+                        capped at the GDR read bandwidth)
+other node, no GDR      pipelined D2H -> NIC wire -> H2D staging
+=====================  ==========================================
+
+Pipelined staging is modeled faithfully: one sim process per chunk,
+contending FIFO on the PCIe/NIC/host links, so stage overlap (and its
+absence for tiny chunks, where per-copy overhead dominates) emerges from
+the event model rather than a closed-form guess.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..cuda import CudaRuntime, DeviceBuffer, HostBuffer
+from ..hardware import Cluster, multi_link_transfer
+from ..sim import Event
+from .profiles import MPIProfile
+
+__all__ = ["DeviceTransport"]
+
+
+class DeviceTransport:
+    """Moves bytes between device buffers according to an MPI profile."""
+
+    def __init__(self, cluster: Cluster, cuda: CudaRuntime,
+                 profile: MPIProfile):
+        self.cluster = cluster
+        self.cuda = cuda
+        self.profile = profile
+        self.sim = cluster.sim
+        self.cal = cluster.cal
+
+    # -- public API --------------------------------------------------------
+    def transfer(self, src: DeviceBuffer, dst: DeviceBuffer,
+                 nbytes: Optional[int] = None, *, src_offset: int = 0,
+                 dst_offset: int = 0) -> Generator[Event, Any, None]:
+        """Sub-protocol: move ``nbytes`` from ``src`` to ``dst``.
+
+        Payload bytes (when present) are copied on completion.
+        """
+        n = min(src.nbytes - src_offset,
+                dst.nbytes - dst_offset) if nbytes is None else nbytes
+        if n < 0:
+            raise ValueError("negative transfer size")
+        a, b = src.device, dst.device
+        if a is b:
+            yield from self.cuda.memcpy_d2d(a, n)
+        elif self.cluster.same_node(a, b):
+            if self.profile.ipc:
+                yield from self.cuda.memcpy_p2p(
+                    src, dst, n, src_offset=src_offset, dst_offset=dst_offset)
+                return  # p2p already moved the payload
+            yield from self._staged_intra_node(src, dst, n)
+        else:
+            if self.profile.gdr and n <= self.profile.gdr_threshold:
+                yield from self._gdr_inter_node(src, dst, n)
+            else:
+                yield from self._staged_inter_node(src, dst, n)
+        dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
+                              dst_offset=dst_offset)
+
+    def estimate(self, src_gpu, dst_gpu, nbytes: int) -> float:
+        """Closed-form uncontended estimate (used by tuning tables)."""
+        if src_gpu is dst_gpu:
+            return self.cal.cuda_copy_overhead + nbytes / src_gpu.spec.membw
+        if self.cluster.same_node(src_gpu, dst_gpu):
+            if self.profile.ipc:
+                return (self.cal.cuda_copy_overhead
+                        + 2 * self.cal.pcie_latency
+                        + nbytes / self.cal.pcie_bw)
+            return self._staged_estimate(nbytes, wire_bw=self.cal.pcie_bw)
+        nic_bw = self.cluster.node_of(src_gpu).nic_for(src_gpu).bandwidth
+        if self.profile.gdr and nbytes <= self.profile.gdr_threshold:
+            bw = min(self.cal.pcie_bw, nic_bw, self.cal.gdr_read_bw)
+            return (2 * self.cal.pcie_latency + 2 * self.cal.ib_latency
+                    + nbytes / bw)
+        return self._staged_estimate(nbytes, wire_bw=nic_bw)
+
+    # -- mechanisms ------------------------------------------------------------
+    def _gdr_inter_node(self, src: DeviceBuffer, dst: DeviceBuffer,
+                        nbytes: int) -> Generator[Event, Any, None]:
+        """GPUDirect RDMA: PCIe(src) -> NIC(src) -> NIC(dst) -> PCIe(dst).
+
+        The GDR read-bandwidth cap is modeled by inflating the wire time
+        to ``nbytes / gdr_read_bw`` when that exceeds the raw cut-through.
+        """
+        a, b = src.device, dst.device
+        links = [a.pcie_up, self.cluster.node_of(a).nic_for(a).tx,
+                 self.cluster.node_of(b).nic_for(b).rx, b.pcie_down]
+        raw_bw = min(l.bandwidth for l in links)
+        extra = 0.0
+        if self.cal.gdr_read_bw < raw_bw:
+            extra = nbytes / self.cal.gdr_read_bw - nbytes / raw_bw
+        yield from multi_link_transfer(
+            self.sim, links, nbytes,
+            extra_time=extra + self.cal.mpi_message_overhead)
+
+    def _staged_chunks(self, nbytes: int) -> list:
+        chunk = self.profile.pipeline_chunk
+        offsets = list(range(0, nbytes, chunk)) or [0]
+        return [(off, min(chunk, nbytes - off)) for off in offsets]
+
+    def _staged_pipeline(self, stages, chunks) -> Generator[Event, Any, None]:
+        """Run ``stages`` (list of per-chunk sub-protocol factories) over
+        ``chunks``, one sim process per chunk, contending on shared links.
+
+        Under ``segment_pipelining`` chunks are all in flight at once and
+        the FIFO links produce a software pipeline; without it (the
+        OpenMPI profile) chunks run strictly one after another, plus a
+        per-segment synchronization charge.
+        """
+        if self.profile.segment_pipelining:
+            procs = []
+            for off, n in chunks:
+                def chain(n=n):
+                    for stage in stages:
+                        yield from stage(n)
+                procs.append(self.sim.process(chain()))
+            yield self.sim.all_of(procs)
+        else:
+            for off, n in chunks:
+                for stage in stages:
+                    yield from stage(n)
+                sync = self.profile.segment_sync_time(n)
+                if sync:
+                    yield self.sim.timeout(sync)
+
+    def _staged_intra_node(self, src: DeviceBuffer, dst: DeviceBuffer,
+                           nbytes: int) -> Generator[Event, Any, None]:
+        """No-IPC same-node path: D2H, host memcpy, H2D."""
+        node = self.cluster.node_of(src.device)
+        staging = HostBuffer(0, pinned=self.profile.pinned_staging)
+        stages = [
+            lambda n: self.cuda.memcpy_d2h(src, staging, n),
+            lambda n: node.host_memcpy.transfer(n),
+            lambda n: self.cuda.memcpy_h2d(dst, staging, n),
+        ]
+        yield from self._staged_pipeline(stages, self._staged_chunks(nbytes))
+
+    def _staged_inter_node(self, src: DeviceBuffer, dst: DeviceBuffer,
+                           nbytes: int) -> Generator[Event, Any, None]:
+        """No-GDR cross-node path: D2H, NIC->NIC wire, H2D."""
+        a, b = src.device, dst.device
+        nic_a = self.cluster.node_of(a).nic_for(a)
+        nic_b = self.cluster.node_of(b).nic_for(b)
+        staging = HostBuffer(0, pinned=self.profile.pinned_staging)
+
+        def wire(n):
+            yield from multi_link_transfer(
+                self.sim, [nic_a.tx, nic_b.rx], n,
+                extra_time=self.cal.mpi_message_overhead)
+
+        stages = [
+            lambda n: self.cuda.memcpy_d2h(src, staging, n),
+            wire,
+            lambda n: self.cuda.memcpy_h2d(dst, staging, n),
+        ]
+        yield from self._staged_pipeline(stages, self._staged_chunks(nbytes))
+
+    def _staged_estimate(self, nbytes: int, wire_bw: float) -> float:
+        chunk = min(self.profile.pipeline_chunk, max(1, nbytes))
+        nchunks = max(1, -(-nbytes // chunk))
+        factor = 1.0 if self.profile.pinned_staging else self.cal.unpinned_factor
+        d2h = self.cal.cuda_copy_overhead + chunk / (self.cal.pcie_bw * factor)
+        wire = self.cal.ib_latency + chunk / wire_bw
+        h2d = d2h
+        if self.profile.segment_pipelining:
+            bottleneck = max(d2h, wire, h2d)
+            return d2h + wire + h2d + (nchunks - 1) * bottleneck
+        per = (d2h + wire + h2d
+               + self.profile.segment_sync_time(chunk))
+        return nchunks * per

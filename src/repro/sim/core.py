@@ -1,0 +1,417 @@
+"""Discrete-event simulation kernel.
+
+This module is the foundation of the whole reproduction: every "GPU",
+"MPI rank", "helper thread", and "network link" in the repo is a coroutine
+process scheduled on a single simulated clock.  The design follows the
+classic event/process model (as popularized by SimPy) but is implemented
+from scratch so the repository is self-contained:
+
+- :class:`Event` — a one-shot occurrence with a value (or an exception).
+- :class:`Timeout` — an event that triggers after a simulated delay.
+- :class:`Process` — wraps a generator; the generator *yields* events and
+  is resumed with the event's value once it triggers.  A process is itself
+  an event that triggers when the generator returns.
+- :class:`Simulator` — the event loop: a priority heap ordered by
+  ``(time, priority, sequence)``.
+
+Generators compose with ``yield from``, which is how multi-step operations
+(e.g. a pipelined chunked-chain reduction) are expressed as reusable
+sub-protocols.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def worker(sim, out):
+...     yield sim.timeout(2.5)
+...     out.append(sim.now)
+>>> out = []
+>>> _ = sim.process(worker(sim, out))
+>>> sim.run()
+>>> out
+[2.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Simulator",
+    "SimulationError",
+    "PENDING",
+]
+
+#: Sentinel for an event that has not been triggered yet.
+PENDING = object()
+
+#: Priority used for events scheduled by :meth:`Event.succeed` — they run
+#: before timeouts scheduled at the same instant so that zero-latency
+#: signalling (condition flags, queue hand-offs) is processed promptly.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (double-trigger, deadlock, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value given to ``interrupt()``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence on the simulated timeline.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    schedules it to *trigger*, at which point all registered callbacks run
+    (waiting processes are resumed).  Triggering twice is an error.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
+                 "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event fully happened)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if still pending."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Schedule this event to trigger *now* with ``value``."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, URGENT)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Schedule this event to trigger *now*, raising in waiters."""
+        if self._scheduled:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, URGENT)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event happens (immediately if past)."""
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it finishes."""
+
+    __slots__ = ("gen", "name", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process() requires a generator, got {gen!r}")
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick-start on the next event-loop step at the current time.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} already finished")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = Interrupt(cause)
+        ev.callbacks.append(self._resume)
+        # Interrupts must not trip the unhandled-failure check.
+        ev._defused = True
+        self.sim._schedule(ev, URGENT)
+
+    # -- internal ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event._ok:
+                result = self.gen.send(event._value)
+            else:
+                result = self.gen.throw(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            if not self._scheduled:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if not self._scheduled:
+                self.fail(exc)
+                return
+            raise
+        sim._active_process = None
+
+        if not isinstance(result, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {result!r}; "
+                "processes must yield Event instances")
+        if result.sim is not sim:
+            raise SimulationError("yielded event belongs to another Simulator")
+        self._target = result
+        result.add_callback(self._resume)
+
+
+class Condition(Event):
+    """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict:
+        # Only events that have actually *happened* (callbacks ran) count;
+        # a Timeout is "scheduled" from birth but occurs later.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+
+class AllOf(Condition):
+    """Triggers once *all* component events have triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers once *any* component event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: schedules events on a virtual clock.
+
+    Notes
+    -----
+    Determinism: ties at the same timestamp are broken by scheduling
+    priority and then by insertion order, so repeated runs of the same
+    program produce identical traces (a property the tests rely on).
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._event_count = 0
+        #: Optional noise source for skew modeling.  ``None`` (default)
+        #: means a perfectly quiet machine; a seed gives *deterministic*
+        #: jitter (runs remain reproducible functions of the seed).
+        self.rng: Optional[random.Random] = (
+            random.Random(seed) if seed is not None else None)
+
+    def jitter_factor(self, amount: float) -> float:
+        """Multiplicative service-time noise: uniform in
+        ``[1, 1 + amount)`` when a noise source is armed, else exactly 1.
+
+        Used by links and kernels to model OS noise / DVFS / congestion
+        skew — the effect that bounds chain length on real systems
+        (Section 5's "skew-tolerant" axis).
+        """
+        if amount < 0:
+            raise ValueError("jitter amount must be >= 0")
+        if self.rng is None or amount == 0.0:
+            return 1.0
+        return 1.0 + amount * self.rng.random()
+
+    def straggler_factor(self, spread: float) -> float:
+        """Persistent slow-down factor drawn once per facility at build
+        time: uniform in ``[1, 1 + spread)``.
+
+        Unlike per-message jitter (which averages out over a pipeline),
+        persistent heterogeneity gates chain throughput by the *slowest*
+        member — the skew effect that bounds chain length on real
+        clusters.
+        """
+        return self.jitter_factor(spread)
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed (telemetry/tests)."""
+        return self._event_count
+
+    # -- event factories -----------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event (manual signalling)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        """Start running ``gen`` as a process."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int,
+                  delay: float = 0.0) -> None:
+        event._scheduled = True
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    # -- execution -----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time ran backwards")
+        self._now = when
+        self._event_count += 1
+        callbacks, event.callbacks = event.callbacks, None
+        for fn in callbacks:
+            fn(event)
+        if (not event._ok and not callbacks
+                and not getattr(event, "_defused", False)):
+            # A failed event nobody waited on: surface the error rather
+            # than silently dropping it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap is empty or the clock passes ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                return
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")

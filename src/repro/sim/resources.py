@@ -1,0 +1,192 @@
+"""Shared-resource models: serialized links, engines, and stores.
+
+Physical resources in the cluster model (PCIe links, NIC ports, GPU copy
+engines, LMDB read locks) are contended.  The canonical contention model
+used throughout this repo is *FIFO serialization*: a transfer occupies the
+resource for its full duration, and queued requests observe the backlog.
+This captures the first-order effect the paper's co-designs exploit
+(communication serializes on links; overlap hides it behind compute).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from .core import Event, Simulator
+
+__all__ = ["Resource", "BandwidthLink", "Store"]
+
+
+class Resource:
+    """A capacity-limited resource with FIFO grant order.
+
+    Usage (inside a process generator)::
+
+        grant = yield resource.request()
+        try:
+            yield sim.timeout(duration)
+        finally:
+            resource.release(grant)
+
+    or use :meth:`use` which packages the pattern.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        # Telemetry: cumulative busy time (integrated over grants).
+        self._busy_since: dict[int, float] = {}
+        self._grant_seq = 0
+        self.busy_time = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    def request(self) -> Event:
+        """Event triggering with a grant token once capacity is available."""
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self._new_grant())
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self, grant: int) -> None:
+        start = self._busy_since.pop(grant, None)
+        if start is None:
+            raise ValueError(f"unknown or already-released grant {grant!r}")
+        self.busy_time += self.sim.now - start
+        if self._queue:
+            self._queue.popleft().succeed(self._new_grant())
+        else:
+            self._in_use -= 1
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Sub-protocol: acquire, hold for ``duration``, release."""
+        grant = yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release(grant)
+
+    def _new_grant(self) -> int:
+        self._grant_seq += 1
+        self._busy_since[self._grant_seq] = self.sim.now
+        return self._grant_seq
+
+
+class BandwidthLink:
+    """A point-to-point link with latency + serialized bandwidth.
+
+    A transfer of ``nbytes`` costs ``latency + nbytes / bandwidth`` of link
+    occupancy; concurrent transfers queue FIFO.  This is the LogGP-flavored
+    model used for PCIe lanes, IB ports, and NVLink-less GPU peer paths.
+
+    ``per_message_overhead`` models fixed software cost per message (e.g.
+    a cudaMemcpy launch or an MPI envelope) paid by the transfer but *not*
+    occupying the wire — important for the OpenMPI small-segment pathology
+    in Fig. 12.
+    """
+
+    def __init__(self, sim: Simulator, *, bandwidth: float, latency: float,
+                 name: str = "", per_message_overhead: float = 0.0,
+                 jitter: float = 0.0):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0 or per_message_overhead < 0:
+            raise ValueError("latency/overhead must be >= 0")
+        if jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        self.sim = sim
+        self.bandwidth = bandwidth  # bytes / second
+        self.latency = latency      # seconds
+        self.per_message_overhead = per_message_overhead
+        #: Max fractional service-time noise (active only when the
+        #: simulator was built with a noise seed).
+        self.jitter = jitter
+        self.name = name
+        self._res = Resource(sim, capacity=1, name=name)
+        self.bytes_moved = 0
+        self.messages = 0
+
+    @property
+    def busy_time(self) -> float:
+        return self._res.busy_time
+
+    def occupancy(self, nbytes: int) -> float:
+        """Wire time for a message of ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Sub-protocol: move ``nbytes`` across the link (queues FIFO)."""
+        self.messages += 1
+        self.bytes_moved += nbytes
+        if self.per_message_overhead:
+            yield self.sim.timeout(self.per_message_overhead)
+        yield from self._res.use(self.occupancy(nbytes)
+                                 * self.sim.jitter_factor(self.jitter))
+
+
+class Store:
+    """A bounded FIFO item store (producer/consumer queue).
+
+    Unlike :class:`repro.sim.sync.Channel`, a Store supports non-blocking
+    inspection (``peek``/``__len__``) used by the data-reader free queues.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        self.sim = sim
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise LookupError("store is empty")
+        return self._items[0]
+
+    def put(self, item: Any) -> Event:
+        ev = self.sim.event()
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+            if self._putters:
+                pev, item = self._putters.popleft()
+                self._items.append(item)
+                pev.succeed(None)
+        elif self._putters:
+            pev, item = self._putters.popleft()
+            ev.succeed(item)
+            pev.succeed(None)
+        else:
+            self._getters.append(ev)
+        return ev

@@ -1,0 +1,156 @@
+"""Phase/interval tracing for timing breakdowns.
+
+The paper reports *per-phase* timings — data propagation vs. forward/
+backward compute vs. gradient aggregation (Fig. 13, Table 2).  The
+:class:`Tracer` records named intervals per actor (rank) and aggregates
+them into the phase-breakdown rows those experiments print.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .core import Simulator
+
+__all__ = ["Interval", "Tracer", "PhaseTimer"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval of simulated time attributed to a phase."""
+
+    actor: str
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Records intervals and answers aggregate timing queries."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.intervals: List[Interval] = []
+        self._open: Dict[Tuple[str, str], float] = {}
+
+    def begin(self, actor: str, phase: str) -> None:
+        if not self.enabled:
+            return
+        key = (actor, phase)
+        if key in self._open:
+            raise RuntimeError(f"phase {phase!r} already open for {actor!r}")
+        self._open[key] = self.sim.now
+
+    def end(self, actor: str, phase: str) -> None:
+        if not self.enabled:
+            return
+        key = (actor, phase)
+        start = self._open.pop(key, None)
+        if start is None:
+            raise RuntimeError(f"phase {phase!r} not open for {actor!r}")
+        self.intervals.append(Interval(actor, phase, start, self.sim.now))
+
+    def timer(self, actor: str, phase: str) -> "PhaseTimer":
+        return PhaseTimer(self, actor, phase)
+
+    # -- queries -------------------------------------------------------------
+    def total(self, phase: str, actor: Optional[str] = None) -> float:
+        """Sum of interval durations for ``phase`` (optionally one actor)."""
+        return sum(iv.duration for iv in self.intervals
+                   if iv.phase == phase and (actor is None or iv.actor == actor))
+
+    def busy_union(self, phase: str, actor: Optional[str] = None) -> float:
+        """Length of the union of intervals for ``phase`` (overlap-aware).
+
+        This is the right statistic for "time the run spent in phase X"
+        when many ranks execute the phase concurrently.
+        """
+        ivs = sorted((iv.start, iv.end) for iv in self.intervals
+                     if iv.phase == phase
+                     and (actor is None or iv.actor == actor))
+        total = 0.0
+        cur_s: Optional[float] = None
+        cur_e = 0.0
+        for s, e in ivs:
+            if cur_s is None:
+                cur_s, cur_e = s, e
+            elif s <= cur_e:
+                cur_e = max(cur_e, e)
+            else:
+                total += cur_e - cur_s
+                cur_s, cur_e = s, e
+        if cur_s is not None:
+            total += cur_e - cur_s
+        return total
+
+    def breakdown(self, actor: Optional[str] = None) -> Dict[str, float]:
+        """Map phase -> total duration (per actor or across all)."""
+        out: Dict[str, float] = defaultdict(float)
+        for iv in self.intervals:
+            if actor is None or iv.actor == actor:
+                out[iv.phase] += iv.duration
+        return dict(out)
+
+    def actors(self) -> List[str]:
+        return sorted({iv.actor for iv in self.intervals})
+
+    def phases(self) -> List[str]:
+        return sorted({iv.phase for iv in self.intervals})
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    # -- export ---------------------------------------------------------------
+    def to_chrome_trace(self) -> List[dict]:
+        """Chrome trace-event JSON (load in chrome://tracing / Perfetto).
+
+        Each interval becomes a complete ('X') event; actors map to
+        thread ids so per-rank timelines stack naturally.  Timestamps
+        are microseconds, per the trace-event spec.
+        """
+        actor_tid = {a: i for i, a in enumerate(self.actors())}
+        return [{
+            "name": iv.phase,
+            "cat": "sim",
+            "ph": "X",
+            "pid": 0,
+            "tid": actor_tid[iv.actor],
+            "ts": iv.start * 1e6,
+            "dur": iv.duration * 1e6,
+            "args": {"actor": iv.actor},
+        } for iv in self.intervals]
+
+    def save_chrome_trace(self, path: str) -> None:
+        """Write the trace to a JSON file."""
+        import json
+        with open(path, "w") as f:
+            json.dump({"traceEvents": self.to_chrome_trace()}, f)
+
+
+class PhaseTimer:
+    """Context-manager-flavored helper for generator code.
+
+    Generator processes cannot use ``with`` blocks across yields cleanly,
+    so the pattern is explicit ``t = tracer.timer(a, p); t.begin(); ...;
+    t.end()``; both methods are idempotent-checked by :class:`Tracer`.
+    """
+
+    __slots__ = ("tracer", "actor", "phase")
+
+    def __init__(self, tracer: Tracer, actor: str, phase: str):
+        self.tracer = tracer
+        self.actor = actor
+        self.phase = phase
+
+    def begin(self) -> None:
+        self.tracer.begin(self.actor, self.phase)
+
+    def end(self) -> None:
+        self.tracer.end(self.actor, self.phase)

@@ -1,0 +1,156 @@
+"""Tests for the Section-5 analytical model."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    HopCost, crossover_P, hierarchical_estimate, optimal_chunks,
+    t_binomial, t_chunked_chain,
+)
+
+HOP = HopCost(alpha=20e-6, beta=6e9)
+
+
+class TestHopCost:
+    def test_affine_form(self):
+        assert HOP(0) == pytest.approx(20e-6)
+        assert HOP(6e9) == pytest.approx(20e-6 + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HopCost(-1, 1)
+        with pytest.raises(ValueError):
+            HopCost(0, 0)
+        with pytest.raises(ValueError):
+            HOP(-5)
+
+
+class TestEquations:
+    def test_binomial_matches_eq1(self):
+        b = 64 << 20
+        assert t_binomial(16, b, HOP) == pytest.approx(4 * HOP(b))
+        assert t_binomial(1, b, HOP) == 0.0
+
+    def test_chain_matches_eq2(self):
+        b = 64 << 20
+        n = 16
+        assert t_chunked_chain(8, b, n, HOP) == pytest.approx(
+            (n + 8 - 2) * HOP(b / n))
+        assert t_chunked_chain(1, b, n, HOP) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_binomial(0, 1, HOP)
+        with pytest.raises(ValueError):
+            t_chunked_chain(2, 1, 0, HOP)
+
+    def test_small_P_large_b_chain_wins(self):
+        """Section 5: for small P and large b, T(CC) << T(Bin)."""
+        b = 256 << 20
+        P = 8
+        n = optimal_chunks(P, b, HOP)
+        assert t_chunked_chain(P, b, n, HOP) < 0.5 * t_binomial(P, b, HOP)
+
+    def test_large_P_small_b_binomial_wins(self):
+        """Section 5: for large P and small b, T(CC) >> T(Bin)."""
+        b = 4 << 10
+        P = 160
+        n = optimal_chunks(P, b, HOP)
+        assert t_chunked_chain(P, b, n, HOP) > 2.0 * t_binomial(P, b, HOP)
+
+
+class TestOptimalChunks:
+    def test_matches_analytic_minimum(self):
+        P, b = 16, 64 << 20
+        n_star = optimal_chunks(P, b, HOP)
+        t_star = t_chunked_chain(P, b, n_star, HOP)
+        for n in (max(1, n_star // 2), n_star * 2):
+            assert t_star <= t_chunked_chain(P, b, n, HOP) + 1e-12
+
+    def test_more_bytes_more_chunks(self):
+        assert optimal_chunks(16, 256 << 20, HOP) > \
+            optimal_chunks(16, 8 << 20, HOP)
+
+
+class TestCrossover:
+    def test_crossover_moves_right_with_size(self):
+        """Bigger buffers keep the chain competitive to larger P."""
+        small = crossover_P(1 << 20, HOP)
+        large = crossover_P(256 << 20, HOP)
+        assert small is not None
+        assert large is None or large > small
+
+    def test_tiny_buffer_crosses_early(self):
+        p = crossover_P(16 << 10, HOP, max_P=512)
+        assert p is not None and p < 64
+
+
+class TestHierarchicalEstimate:
+    def test_beats_flat_binomial_at_scale(self):
+        b = 256 << 20
+        P = 160
+        flat = t_binomial(P, b, HOP)
+        cb8 = hierarchical_estimate(P, b, 8, HOP, upper="binomial")
+        assert cb8 < flat
+
+    def test_cc_beats_cb_at_small_scale(self):
+        """Two-level chains win up to ~64 processes (Section 5)."""
+        b = 256 << 20
+        cc = hierarchical_estimate(64, b, 8, HOP, upper="chain")
+        cb = hierarchical_estimate(64, b, 8, HOP, upper="binomial")
+        assert cc <= cb * 1.05
+
+    def test_cb_beats_cc_at_large_scale(self):
+        # Latency-dominated regime: many leaders, modest buffer.
+        b = 1 << 20
+        cc = hierarchical_estimate(512, b, 8, HOP, upper="chain")
+        cb = hierarchical_estimate(512, b, 8, HOP, upper="binomial")
+        assert cb < cc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hierarchical_estimate(16, 1 << 20, 1, HOP)
+        with pytest.raises(ValueError):
+            hierarchical_estimate(16, 1 << 20, 8, HOP, upper="ring")
+
+    def test_degenerate_single_group(self):
+        b = 1 << 20
+        est = hierarchical_estimate(4, b, 8, HOP)
+        n = optimal_chunks(4, b, HOP)
+        assert est == pytest.approx(t_chunked_chain(4, b, n, HOP))
+
+
+class TestFitHopCost:
+    def test_recovers_exact_affine(self):
+        from repro.analysis import fit_hop_cost
+        true = HopCost(alpha=20e-6, beta=6e9)
+        sizes = [1 << k for k in range(10, 27, 2)]
+        fit = fit_hop_cost([(n, true(n)) for n in sizes])
+        assert fit.alpha == pytest.approx(true.alpha, rel=1e-6)
+        assert fit.beta == pytest.approx(true.beta, rel=1e-6)
+
+    def test_fit_from_simulated_latency(self):
+        """Calibrate the model from the simulated system itself: the
+        fitted hop cost predicts unseen sizes within 30%."""
+        from repro.analysis import fit_hop_cost
+        from repro.hardware import cluster_b
+        from repro.mpi.omb import osu_latency
+        from repro.sim import Simulator
+
+        cf = lambda: cluster_b(Simulator(), n_nodes=2)
+        sizes = [64 << 10, 512 << 10, 4 << 20, 16 << 20]
+        samples = [(n, osu_latency(cf, n, ranks=(0, 2))) for n in sizes]
+        fit = fit_hop_cost(samples)
+        probe = 2 << 20
+        measured = osu_latency(cf, probe, ranks=(0, 2))
+        assert fit(probe) == pytest.approx(measured, rel=0.3)
+
+    def test_validation(self):
+        from repro.analysis import fit_hop_cost
+        with pytest.raises(ValueError):
+            fit_hop_cost([(1024, 1e-5)])
+        with pytest.raises(ValueError):
+            fit_hop_cost([(1024, 1e-5), (1024, 2e-5)])
+        with pytest.raises(ValueError):
+            fit_hop_cost([(1024, 2e-5), (2048, 1e-5)])  # negative slope

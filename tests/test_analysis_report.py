@@ -1,0 +1,79 @@
+"""Tests for the report formatters."""
+
+import pytest
+
+from repro.analysis import (
+    format_bytes, format_table, format_time, scaling_table, speedup_series,
+)
+from repro.core import TrainingReport
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table("Title", ["a", "long_header"],
+                            [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "long_header" in lines[2]
+        # All data rows share the same width.
+        assert len(lines[4]) == len(lines[5])
+
+    def test_empty_rows(self):
+        text = format_table("T", ["x"], [])
+        assert "x" in text
+
+
+class TestFormatTime:
+    def test_units(self):
+        assert format_time(2.5).strip() == "2.50 s"
+        assert format_time(0.0125).strip() == "12.50 ms"
+        assert format_time(3.4e-6).strip() == "3.40 us"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1.0)
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(512) == "512"
+        assert format_bytes(64 << 10) == "64K"
+        assert format_bytes(8 << 20) == "8M"
+        assert format_bytes(1 << 30) == "1G"
+        # Non-integral GiB falls back to MiB granularity.
+        assert format_bytes((1 << 30) + (1 << 20)) == "1025M"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+
+def _report(n, t, failure=None):
+    return TrainingReport("fw", "net", n, iterations=10, total_time=t,
+                          global_batch=64, failure=failure)
+
+
+class TestScalingTable:
+    def test_renders_failures(self):
+        table = scaling_table(
+            "scal", {2: [_report(2, 10.0)],
+                     4: [_report(4, 0.0, failure="oom")]},
+            ["fw"])
+        assert "10.00" in table
+        assert "oom" in table
+
+
+class TestSpeedupSeries:
+    def test_relative_to_smallest(self):
+        reports = {1: _report(1, 100.0), 2: _report(2, 50.0),
+                   4: _report(4, 25.0)}
+        series = speedup_series(reports)
+        assert series == [(1, pytest.approx(1.0)), (2, pytest.approx(2.0)),
+                          (4, pytest.approx(4.0))]
+
+    def test_explicit_base_and_failed_points_skipped(self):
+        reports = {2: _report(2, 40.0), 4: _report(4, 20.0),
+                   8: _report(8, 0.0, failure="oom")}
+        series = speedup_series(reports, base_gpus=2)
+        assert series == [(2, pytest.approx(1.0)), (4, pytest.approx(2.0))]

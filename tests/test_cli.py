@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_size, build_parser, main
+
+
+class TestParseSize:
+    def test_suffixes(self):
+        assert _parse_size("64K") == 64 << 10
+        assert _parse_size("8M") == 8 << 20
+        assert _parse_size("1G") == 1 << 30
+        assert _parse_size("1024") == 1024
+        assert _parse_size("0.5M") == 512 << 10
+
+    def test_bad_size(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_size("abc")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.framework == "scaffe"
+        assert args.gpus == 16
+        assert args.scal == "strong"
+
+    def test_invalid_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--framework",
+                                       "tensorflow"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "S-Caffe" in out
+        assert "Inspur-Caffe" in out
+
+    def test_networks(self, capsys):
+        assert main(["networks"]) == 0
+        out = capsys.readouterr().out
+        assert "googlenet" in out and "alexnet" in out
+
+    def test_train_quick(self, capsys):
+        rc = main(["train", "--framework", "scaffe", "--cluster", "A",
+                   "--gpus", "4", "--network", "cifar10_quick",
+                   "--dataset", "cifar10", "--batch-size", "64",
+                   "--iterations", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "S-Caffe" in out
+        assert "time/iteration" in out
+
+    def test_train_failure_exit_code(self, capsys):
+        rc = main(["train", "--framework", "caffe", "--cluster", "B",
+                   "--gpus", "8", "--network", "cifar10_quick",
+                   "--dataset", "cifar10", "--batch-size", "64",
+                   "--iterations", "2"])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_osu(self, capsys):
+        rc = main(["osu", "--procs", "8", "--sizes", "64K,1M",
+                   "--design", "tuned"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "64K" in out and "1M" in out and "us" in out
+
+    def test_osu_hr_design(self, capsys):
+        rc = main(["osu", "--procs", "16", "--sizes", "1M",
+                   "--design", "CB-4"])
+        assert rc == 0
+
+    def test_autotune(self, capsys):
+        rc = main(["autotune", "--procs", "16", "--sizes", "64K,8M",
+                   "--designs", "flat,CB-4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+
+
+class TestPrototxtOption:
+    LENET = '''
+name: "CliNet"
+input_dim: 1 input_dim: 1 input_dim: 28 input_dim: 28
+layer { name: "conv1" type: "Convolution"
+  convolution_param { num_output: 8 kernel_size: 5 } }
+layer { name: "pool1" type: "Pooling"
+  pooling_param { kernel_size: 2 stride: 2 } }
+layer { name: "ip1" type: "InnerProduct"
+  inner_product_param { num_output: 10 } }
+'''
+
+    def test_train_from_prototxt(self, tmp_path, capsys):
+        path = tmp_path / "net.prototxt"
+        path.write_text(self.LENET)
+        rc = main(["train", "--net-prototxt", str(path),
+                   "--dataset", "mnist", "--gpus", "4",
+                   "--batch-size", "64", "--iterations", "4",
+                   "--cluster", "A"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CliNet" in out

@@ -1,0 +1,159 @@
+"""Edge-case tests for the communicator and pt2pt engine."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIRuntime, MV2GDR
+from repro.sim import Simulator
+
+
+def make_world(P):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, MV2GDR)
+    return rt, rt.world(P)
+
+
+class TestSelfSend:
+    def test_rank_can_message_itself(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            if ctx.rank != 0:
+                return None
+            src = DeviceBuffer.from_array(
+                ctx.gpu, np.full(8, 5.0, np.float32))
+            dst = DeviceBuffer.zeros(ctx.gpu, 8)
+            req = ctx.irecv(0, dst, tag=3)
+            yield from ctx.send(0, src, tag=3)
+            yield req.wait()
+            return float(dst.data[0])
+
+        assert rt.execute(comm, program)[0] == 5.0
+
+
+class TestZeroByteMessages:
+    def test_empty_payload_delivers(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            buf = DeviceBuffer(ctx.gpu, 0)
+            if ctx.rank == 0:
+                yield from ctx.send(1, buf, tag=1)
+                return "sent"
+            status = yield from ctx.recv(0, buf, tag=1)
+            return status.nbytes
+
+        results = rt.execute(comm, program)
+        assert results == ["sent", 0]
+
+
+class TestManyOutstanding:
+    def test_hundred_interleaved_messages(self):
+        rt, comm = make_world(2)
+        N = 100
+
+        def program(ctx):
+            if ctx.rank == 0:
+                bufs = [DeviceBuffer.from_array(
+                    ctx.gpu, np.full(4, float(i), np.float32))
+                    for i in range(N)]
+                reqs = [ctx.isend(1, bufs[i], tag=i) for i in range(N)]
+                for r in reqs:
+                    yield r.wait()
+            else:
+                got = []
+                bufs = [DeviceBuffer.zeros(ctx.gpu, 4) for _ in range(N)]
+                # Receive in reverse tag order: exercises the unexpected
+                # queue deeply.
+                for i in reversed(range(N)):
+                    yield from ctx.recv(0, bufs[i], tag=i)
+                    got.append(float(bufs[i].data[0]))
+                return got
+
+        results = rt.execute(comm, program)
+        assert results[1] == [float(i) for i in reversed(range(N))]
+
+
+class TestWildcardOrdering:
+    def test_wildcard_takes_earliest_unexpected(self):
+        """ANY_SOURCE/ANY_TAG matches the first-arrived message (MPI's
+        non-overtaking rule within the matching class)."""
+        rt, comm = make_world(3)
+
+        def program(ctx):
+            if ctx.rank in (1, 2):
+                yield ctx.sim.timeout(float(ctx.rank))  # rank1 first
+                buf = DeviceBuffer.from_array(
+                    ctx.gpu, np.full(4, float(ctx.rank), np.float32))
+                yield from ctx.send(0, buf, tag=7)
+            else:
+                yield ctx.sim.timeout(5.0)  # both already queued
+                buf = DeviceBuffer.zeros(ctx.gpu, 4)
+                st = yield from ctx.recv(ANY_SOURCE, buf, tag=ANY_TAG)
+                return st.source
+
+        assert rt.execute(comm, program)[0] == 1
+
+    def test_specific_recv_skips_nonmatching(self):
+        rt, comm = make_world(3)
+
+        def program(ctx):
+            if ctx.rank in (1, 2):
+                buf = DeviceBuffer.from_array(
+                    ctx.gpu, np.full(4, float(ctx.rank), np.float32))
+                yield from ctx.send(0, buf, tag=ctx.rank)
+            else:
+                yield ctx.sim.timeout(1.0)
+                buf = DeviceBuffer.zeros(ctx.gpu, 4)
+                # Ask for rank 2 explicitly even though rank 1's message
+                # arrived first.
+                st = yield from ctx.recv(2, buf, tag=2)
+                assert st.source == 2
+                st = yield from ctx.recv(1, buf, tag=1)
+                return st.source
+
+        assert rt.execute(comm, program)[0] == 1
+
+
+class TestOffsets:
+    def test_offset_send_recv_windows(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                src = DeviceBuffer.from_array(
+                    ctx.gpu, np.arange(16, dtype=np.float32))
+                # Send elements [4, 8).
+                yield from ctx.send(1, src, tag=0, offset=16, nbytes=16)
+            else:
+                dst = DeviceBuffer.zeros(ctx.gpu, 16)
+                # Land them at elements [8, 12).
+                yield from ctx.recv(0, dst, tag=0, offset=32, nbytes=16)
+                return dst.data.copy()
+
+        result = rt.execute(comm, program)[1]
+        np.testing.assert_array_equal(result[8:12], [4, 5, 6, 7])
+        assert result[:8].sum() == 0 and result[12:].sum() == 0
+
+
+class TestContextHelpers:
+    def test_scratch_like_matches_payload_mode(self):
+        rt, comm = make_world(1)
+        ctx = comm.context(0)
+        plain = DeviceBuffer(ctx.gpu, 64)
+        withdata = DeviceBuffer.zeros(ctx.gpu, 16)
+        s1 = ctx.scratch_like(plain)
+        s2 = ctx.scratch_like(withdata)
+        assert not s1.has_data and s1.nbytes == 64
+        assert s2.has_data and s2.nbytes == 64
+        s1.free(); s2.free(); plain.free(); withdata.free()
+
+    def test_context_rank_bounds(self):
+        rt, comm = make_world(2)
+        with pytest.raises(ValueError):
+            comm.context(2)
+        with pytest.raises(ValueError):
+            comm.context(-1)

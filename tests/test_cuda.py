@@ -1,0 +1,319 @@
+"""Tests for the simulated CUDA runtime."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import CudaRuntime, DeviceBuffer, HostBuffer, Stream
+from repro.hardware import cluster_a, cluster_b
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def cluster(sim):
+    return cluster_a(sim, n_nodes=2)
+
+
+@pytest.fixture
+def rt(cluster):
+    return CudaRuntime(cluster)
+
+
+class TestDeviceBuffer:
+    def test_size_only_allocation_accounts_memory(self, sim, cluster):
+        gpu = cluster.gpu(0)
+        before = gpu.allocated_bytes
+        buf = DeviceBuffer(gpu, 1 << 20)
+        assert gpu.allocated_bytes == before + (1 << 20)
+        assert not buf.has_data
+        buf.free()
+        assert gpu.allocated_bytes == before
+
+    def test_payload_allocation(self, sim, cluster):
+        gpu = cluster.gpu(0)
+        arr = np.arange(16, dtype=np.float32)
+        buf = DeviceBuffer.from_array(gpu, arr)
+        assert buf.has_data
+        assert buf.nbytes == 64
+        np.testing.assert_array_equal(buf.data, arr)
+
+    def test_from_array_copies(self, sim, cluster):
+        gpu = cluster.gpu(0)
+        arr = np.zeros(4, dtype=np.float32)
+        buf = DeviceBuffer.from_array(gpu, arr)
+        arr[:] = 7.0
+        assert buf.data.sum() == 0.0
+
+    def test_double_free_rejected(self, sim, cluster):
+        buf = DeviceBuffer(cluster.gpu(0), 128)
+        buf.free()
+        with pytest.raises(RuntimeError):
+            buf.free()
+
+    def test_payload_size_mismatch_rejected(self, sim, cluster):
+        with pytest.raises(ValueError):
+            DeviceBuffer(cluster.gpu(0), 100, np.zeros(4, dtype=np.float32))
+
+    def test_accumulate_payload(self, sim, cluster):
+        g = cluster.gpu(0)
+        a = DeviceBuffer.from_array(g, np.ones(8, dtype=np.float32))
+        b = DeviceBuffer.from_array(g, np.full(8, 2.0, dtype=np.float32))
+        a.accumulate_payload_from(b)
+        np.testing.assert_allclose(a.data, 3.0)
+
+    def test_accumulate_partial_range(self, sim, cluster):
+        g = cluster.gpu(0)
+        a = DeviceBuffer.from_array(g, np.zeros(8, dtype=np.float32))
+        b = DeviceBuffer.from_array(g, np.ones(8, dtype=np.float32))
+        a.accumulate_payload_from(b, nbytes=16, offset=8)
+        np.testing.assert_allclose(a.data, [0, 0, 1, 1, 1, 1, 0, 0])
+
+    def test_accumulate_misaligned_rejected(self, sim, cluster):
+        g = cluster.gpu(0)
+        a = DeviceBuffer.from_array(g, np.zeros(8, dtype=np.float32))
+        b = DeviceBuffer.from_array(g, np.ones(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            a.accumulate_payload_from(b, nbytes=3)
+
+    def test_accumulate_sizeonly_is_noop(self, sim, cluster):
+        g = cluster.gpu(0)
+        a = DeviceBuffer(g, 64)
+        b = DeviceBuffer(g, 64)
+        a.accumulate_payload_from(b)  # must not raise
+
+
+class TestMemcpy:
+    def test_d2h_timing(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+        buf = DeviceBuffer(gpu, 12 << 20)
+
+        def proc():
+            yield from rt.memcpy_d2h(buf)
+
+        sim.process(proc())
+        sim.run()
+        cal = cluster.cal
+        expected = (cal.cuda_copy_overhead + cal.pcie_latency
+                    + (12 << 20) / cal.pcie_bw)
+        assert sim.now == pytest.approx(expected, rel=1e-6)
+
+    def test_unpinned_staging_slower(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+        buf = DeviceBuffer(gpu, 12 << 20)
+        pinned = HostBuffer(12 << 20, pinned=True)
+        pageable = HostBuffer(12 << 20, pinned=False)
+
+        t = {}
+
+        def copy(tag, host):
+            start = sim.now
+            yield from rt.memcpy_d2h(buf, host)
+            t[tag] = sim.now - start
+
+        def proc():
+            yield from copy("pinned", pinned)
+            yield from copy("pageable", pageable)
+
+        sim.process(proc())
+        sim.run()
+        assert t["pageable"] > t["pinned"] * 1.5
+
+    def test_d2h_moves_payload(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+        src = DeviceBuffer.from_array(gpu, np.arange(8, dtype=np.float32))
+        dst = HostBuffer(32, np.zeros(8, dtype=np.float32))
+
+        def proc():
+            yield from rt.memcpy_d2h(src, dst)
+
+        sim.process(proc())
+        sim.run()
+        np.testing.assert_array_equal(dst.data, np.arange(8))
+
+    def test_p2p_same_node_moves_payload(self, sim, cluster, rt):
+        a = DeviceBuffer.from_array(cluster.gpu(0),
+                                    np.arange(8, dtype=np.float32))
+        b = DeviceBuffer.from_array(cluster.gpu(1),
+                                    np.zeros(8, dtype=np.float32))
+
+        def proc():
+            yield from rt.memcpy_p2p(a, b)
+
+        sim.process(proc())
+        sim.run()
+        np.testing.assert_array_equal(b.data, np.arange(8))
+
+    def test_p2p_cross_node_rejected(self, sim, cluster, rt):
+        a = DeviceBuffer(cluster.gpu(0), 64)
+        b = DeviceBuffer(cluster.gpu(16), 64)
+
+        def proc():
+            yield from rt.memcpy_p2p(a, b)
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="same node"):
+            sim.run()
+
+    def test_p2p_same_device_uses_d2d(self, sim, cluster, rt):
+        g = cluster.gpu(0)
+        a = DeviceBuffer.from_array(g, np.ones(4, dtype=np.float32))
+        b = DeviceBuffer.from_array(g, np.zeros(4, dtype=np.float32))
+
+        def proc():
+            yield from rt.memcpy_p2p(a, b)
+
+        sim.process(proc())
+        sim.run()
+        np.testing.assert_array_equal(b.data, 1.0)
+        # d2d never touches PCIe.
+        assert g.pcie_up.messages == 0 and g.pcie_down.messages == 0
+
+
+class TestKernels:
+    def test_launch_duration(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+
+        def proc():
+            yield from rt.launch(gpu, flops=gpu.spec.flops)  # 1 second
+
+        sim.process(proc())
+        sim.run()
+        assert sim.now == pytest.approx(
+            1.0 + cluster.cal.kernel_launch_overhead)
+
+    def test_kernels_serialize_on_sm(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+
+        def proc():
+            yield from rt.launch(gpu, duration=1.0)
+
+        sim.process(proc())
+        sim.process(proc())
+        sim.run()
+        assert sim.now >= 2.0
+
+    def test_reduce_kernel_accumulates(self, sim, cluster, rt):
+        g = cluster.gpu(0)
+        acc = DeviceBuffer.from_array(g, np.ones(8, dtype=np.float32))
+        con = DeviceBuffer.from_array(g, np.full(8, 3.0, dtype=np.float32))
+
+        def proc():
+            yield from rt.reduce_kernel(acc, con)
+
+        sim.process(proc())
+        sim.run()
+        np.testing.assert_allclose(acc.data, 4.0)
+
+    def test_reduce_kernel_requires_coresidency(self, sim, cluster, rt):
+        a = DeviceBuffer(cluster.gpu(0), 64)
+        b = DeviceBuffer(cluster.gpu(1), 64)
+
+        def proc():
+            yield from rt.reduce_kernel(a, b)
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="co-resident"):
+            sim.run()
+
+    def test_cpu_reduce_slower_than_gpu(self, sim, cluster, rt):
+        g = cluster.gpu(0)
+        nbytes = 64 << 20
+        a = DeviceBuffer(g, nbytes)
+        b = DeviceBuffer(g, nbytes)
+        t = {}
+
+        def proc():
+            start = sim.now
+            yield from rt.reduce_kernel(a, b, nbytes)
+            t["gpu"] = sim.now - start
+            start = sim.now
+            yield from rt.cpu_reduce(0, a, b, nbytes)
+            t["cpu"] = sim.now - start
+
+        sim.process(proc())
+        sim.run()
+        assert t["cpu"] > t["gpu"] * 3
+
+
+class TestStream:
+    def test_in_order_execution(self, sim, cluster, rt):
+        gpu = cluster.gpu(0)
+        stream = Stream(gpu)
+        order = []
+
+        def op(tag, dur):
+            yield sim.timeout(dur)
+            order.append((tag, sim.now))
+
+        def proc():
+            e1 = stream.submit(op("a", 2.0))
+            e2 = stream.submit(op("b", 1.0))
+            yield sim.all_of([e1, e2])
+
+        sim.process(proc())
+        sim.run()
+        assert order == [("a", 2.0), ("b", 3.0)]
+
+    def test_synchronize_waits_for_all(self, sim, cluster, rt):
+        stream = Stream(cluster.gpu(0))
+
+        def op():
+            yield sim.timeout(5.0)
+
+        def proc():
+            stream.submit(op())
+            yield stream.synchronize()
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(5.0)
+
+    def test_synchronize_idle_stream_is_immediate(self, sim, cluster):
+        stream = Stream(cluster.gpu(0))
+
+        def proc():
+            yield stream.synchronize()
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_failed_op_propagates(self, sim, cluster):
+        stream = Stream(cluster.gpu(0))
+
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("kernel fault")
+
+        def proc():
+            ev = stream.submit(bad())
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return str(exc)
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "kernel fault"
+
+    def test_record_event_semantics(self, sim, cluster):
+        stream = Stream(cluster.gpu(0))
+
+        def op():
+            yield sim.timeout(3.0)
+
+        def proc():
+            stream.submit(op())
+            cev = stream.record()
+            yield cev.synchronize()
+            return sim.now
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == pytest.approx(3.0)

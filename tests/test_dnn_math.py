@@ -1,0 +1,397 @@
+"""Tests for the real NumPy DNN engine: gradient checks and SGD."""
+
+import numpy as np
+import pytest
+
+from repro.dnn import Net, SGDSolver, SolverConfig, build_lenet, build_mlp
+from repro.dnn.math import (
+    Conv2D, Dense, Flatten, MaxPool2D, ReLU, SoftmaxCrossEntropy, col2im,
+    im2col,
+)
+from repro.dnn.net import build_cifar10_quick
+
+RNG = np.random.default_rng(42)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f w.r.t. array x."""
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        fp = f()
+        x[idx] = old - eps
+        fm = f()
+        x[idx] = old
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestIm2Col:
+    def test_shapes(self):
+        x = RNG.standard_normal((2, 3, 8, 8))
+        cols, h, w = im2col(x, k=3, stride=1, pad=0)
+        assert (h, w) == (6, 6)
+        assert cols.shape == (2, 36, 27)
+
+    def test_stride_and_pad(self):
+        x = RNG.standard_normal((1, 1, 6, 6))
+        cols, h, w = im2col(x, k=3, stride=2, pad=1)
+        assert (h, w) == (3, 3)
+
+    def test_col2im_is_adjoint(self):
+        """<im2col(x), c> == <x, col2im(c)> — exact adjointness."""
+        x = RNG.standard_normal((2, 3, 6, 6))
+        cols, h, w = im2col(x, 3, 1, 1)
+        c = RNG.standard_normal(cols.shape)
+        lhs = float((cols * c).sum())
+        rhs = float((x * col2im(c, x.shape, 3, 1, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_kernel_too_large(self):
+        x = RNG.standard_normal((1, 1, 2, 2))
+        with pytest.raises(ValueError):
+            im2col(x, k=5, stride=1, pad=0)
+
+
+class TestLayerGradients:
+    """Analytic vs. central-difference gradients for every layer."""
+
+    def check_layer(self, layer, x_shape, param_checks=True):
+        x = RNG.standard_normal(x_shape)
+        y = layer.forward(x)
+        dy = RNG.standard_normal(y.shape)
+
+        def loss():
+            return float((layer.forward(x) * dy).sum())
+
+        # input gradient
+        layer.forward(x)
+        dx = layer.backward(dy)
+        num_dx = numeric_grad(loss, x)
+        np.testing.assert_allclose(dx, num_dx, rtol=1e-5, atol=1e-7)
+
+        if param_checks:
+            for key, p in layer.params().items():
+                for g in layer.grads().values():
+                    g[...] = 0.0
+                layer.forward(x)
+                layer.backward(dy)
+                analytic = layer.grads()[key].copy()
+                num = numeric_grad(loss, p)
+                np.testing.assert_allclose(analytic, num, rtol=1e-5,
+                                           atol=1e-7)
+
+    def test_dense(self):
+        self.check_layer(Dense(5, 4, rng=RNG), (3, 5))
+
+    def test_conv(self):
+        self.check_layer(Conv2D(2, 3, 3, pad=1, rng=RNG), (2, 2, 5, 5))
+
+    def test_conv_strided(self):
+        self.check_layer(Conv2D(1, 2, 3, stride=2, pad=1, rng=RNG),
+                         (1, 1, 6, 6))
+
+    def test_maxpool(self):
+        self.check_layer(MaxPool2D(2), (2, 2, 4, 4), param_checks=False)
+
+    def test_relu(self):
+        self.check_layer(ReLU(), (3, 7), param_checks=False)
+
+    def test_flatten(self):
+        self.check_layer(Flatten(), (2, 3, 2, 2), param_checks=False)
+
+    def test_backward_before_forward_rejected(self):
+        for layer in (Dense(2, 2, rng=RNG), Conv2D(1, 1, 1, rng=RNG),
+                      MaxPool2D(2), ReLU(), Flatten()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 2)))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_value_uniform(self):
+        head = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 1, 2, 3])
+        assert head.forward(logits, labels) == pytest.approx(np.log(10))
+
+    def test_gradient_matches_numeric(self):
+        head = SoftmaxCrossEntropy()
+        logits = RNG.standard_normal((3, 5))
+        labels = np.array([1, 0, 4])
+
+        def loss():
+            return head.forward(logits, labels)
+
+        loss()
+        analytic = head.backward()
+        num = numeric_grad(loss, logits)
+        np.testing.assert_allclose(analytic, num, rtol=1e-6, atol=1e-8)
+
+    def test_global_batch_normalization(self):
+        """Gradients scaled by global batch so shard-sums equal the
+        full-batch gradient."""
+        head = SoftmaxCrossEntropy()
+        logits = RNG.standard_normal((2, 4))
+        labels = np.array([0, 1])
+        head.forward(logits, labels)
+        g_local = head.backward()
+        head.forward(logits, labels)
+        g_global = head.backward(global_batch=8)
+        np.testing.assert_allclose(g_global, g_local * 2 / 8)
+
+
+class TestNet:
+    def test_flat_param_roundtrip(self):
+        net = build_mlp([6, 5, 4], rng=np.random.default_rng(0))
+        flat = net.get_params()
+        assert flat.size == net.param_count
+        net.set_params(flat * 2.0)
+        np.testing.assert_allclose(net.get_params(), flat * 2.0)
+
+    def test_flat_grad_roundtrip(self):
+        net = build_mlp([4, 3], rng=np.random.default_rng(0))
+        g = np.arange(net.param_count, dtype=float)
+        net.set_grads(g)
+        np.testing.assert_allclose(net.get_grads(), g)
+
+    def test_size_mismatch_rejected(self):
+        net = build_mlp([4, 3])
+        with pytest.raises(ValueError):
+            net.set_params(np.zeros(1))
+        with pytest.raises(ValueError):
+            net.set_grads(np.zeros(1))
+
+    def test_clone_is_independent_replica(self):
+        net = build_mlp([4, 4, 2], rng=np.random.default_rng(0))
+        rep = net.clone()
+        np.testing.assert_allclose(rep.get_params(), net.get_params())
+        rep.set_params(rep.get_params() + 1.0)
+        assert not np.allclose(rep.get_params(), net.get_params())
+
+    def test_end_to_end_gradcheck_mlp(self):
+        net = build_mlp([5, 4, 3], rng=np.random.default_rng(1))
+        x = RNG.standard_normal((4, 5))
+        labels = np.array([0, 1, 2, 0])
+
+        def loss():
+            return net.forward(x, labels)
+
+        net.zero_grads()
+        loss()
+        net.backward()
+        analytic = net.get_grads()
+        flat0 = net.get_params()
+        num = np.zeros_like(flat0)
+        eps = 1e-6
+        for i in range(flat0.size):
+            p = flat0.copy(); p[i] += eps; net.set_params(p); fp = loss()
+            p = flat0.copy(); p[i] -= eps; net.set_params(p); fm = loss()
+            num[i] = (fp - fm) / (2 * eps)
+        net.set_params(flat0)
+        np.testing.assert_allclose(analytic, num, rtol=1e-5, atol=1e-7)
+
+    def test_lenet_and_cifar_shapes_run(self):
+        for net, shape in ((build_lenet(), (2, 1, 28, 28)),
+                           (build_cifar10_quick(), (2, 3, 32, 32))):
+            x = RNG.standard_normal(shape)
+            labels = np.array([1, 7])
+            loss = net.forward(x, labels)
+            assert np.isfinite(loss)
+            net.backward()
+            assert np.isfinite(net.get_grads()).all()
+
+
+class TestSGDSolver:
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(3)
+        net = build_mlp([8, 16, 2], rng=rng)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.5))
+        x = rng.standard_normal((64, 8))
+        labels = (x[:, 0] > 0).astype(int)
+        first = solver.step(x, labels)
+        for _ in range(60):
+            last = solver.step(x, labels)
+        assert last < first * 0.5
+
+    def test_lr_policies(self):
+        fixed = SolverConfig(base_lr=0.1)
+        assert fixed.lr_at(0) == fixed.lr_at(1000) == 0.1
+        step = SolverConfig(base_lr=0.1, lr_policy="step", gamma=0.5,
+                            stepsize=10)
+        assert step.lr_at(9) == pytest.approx(0.1)
+        assert step.lr_at(10) == pytest.approx(0.05)
+        assert step.lr_at(25) == pytest.approx(0.025)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SolverConfig(base_lr=0)
+        with pytest.raises(ValueError):
+            SolverConfig(momentum=1.0)
+        with pytest.raises(ValueError):
+            SolverConfig(weight_decay=-1)
+        with pytest.raises(ValueError):
+            SolverConfig(lr_policy="cyclic")
+
+    def test_weight_decay_shrinks_params(self):
+        rng = np.random.default_rng(5)
+        net = build_mlp([4, 2], rng=rng)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.1, momentum=0.0,
+                                             weight_decay=0.5))
+        x = np.zeros((2, 4))
+        labels = np.array([0, 1])
+        norm0 = np.linalg.norm(net.get_params())
+        solver.step(x, labels)
+        # With zero inputs, only fc biases get data gradients; weights
+        # shrink purely from decay.
+        assert np.linalg.norm(net.get_params()) < norm0
+
+    def test_momentum_accumulates(self):
+        rng = np.random.default_rng(7)
+        net = build_mlp([2, 2], rng=rng)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.01, momentum=0.9))
+        x = rng.standard_normal((8, 2))
+        labels = np.array([0, 1] * 4)
+        solver.step(x, labels)
+        v1 = np.linalg.norm(solver._velocity)
+        solver.step(x, labels)
+        v2 = np.linalg.norm(solver._velocity)
+        assert v2 > v1
+
+
+class TestDataParallelEquivalence:
+    """The heart of the paper's correctness claim: data-parallel solvers
+    with summed gradients == single-solver large-batch SGD."""
+
+    def test_shard_gradients_sum_to_full_batch(self):
+        rng = np.random.default_rng(11)
+        master = build_mlp([6, 5, 3], rng=np.random.default_rng(2))
+        x = rng.standard_normal((16, 6))
+        labels = rng.integers(0, 3, 16)
+
+        # Reference: one solver, full batch.
+        ref = master.clone()
+        ref.zero_grads()
+        ref.forward(x, labels)
+        ref.backward()
+        g_ref = ref.get_grads()
+
+        # Four replicas on shards, gradients normalized by global batch.
+        g_sum = np.zeros_like(g_ref)
+        for s in range(4):
+            rep = master.clone()
+            rep.zero_grads()
+            sl = slice(s * 4, (s + 1) * 4)
+            rep.forward(x[sl], labels[sl])
+            rep.backward(global_batch=16)
+            g_sum += rep.get_grads()
+
+        np.testing.assert_allclose(g_sum, g_ref, rtol=1e-10, atol=1e-12)
+
+    def test_distributed_training_trajectory_matches(self):
+        """K solvers with exact gradient aggregation follow the same
+        trajectory as one large-batch solver, step for step."""
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((24, 4))
+        labels = rng.integers(0, 2, 24)
+
+        seed_net = build_mlp([4, 6, 2], rng=np.random.default_rng(9))
+        single = SGDSolver(seed_net.clone(), SolverConfig(base_lr=0.2))
+        replicas = [SGDSolver(seed_net.clone(), SolverConfig(base_lr=0.2))
+                    for _ in range(3)]
+
+        for it in range(5):
+            single.compute_gradients(x, labels)
+            single.apply_update()
+
+            grads = np.zeros(seed_net.param_count)
+            for k, s in enumerate(replicas):
+                sl = slice(k * 8, (k + 1) * 8)
+                s.compute_gradients(x[sl], labels[sl], global_batch=24)
+                grads += s.net.get_grads()
+            for s in replicas:
+                s.net.set_grads(grads)
+                s.apply_update()
+
+        for s in replicas:
+            np.testing.assert_allclose(s.net.get_params(),
+                                       single.net.get_params(),
+                                       rtol=1e-9, atol=1e-11)
+
+
+class TestDropout:
+    def test_identity_in_test_mode(self):
+        from repro.dnn.math import Dropout
+        d = Dropout(0.5, rng=np.random.default_rng(0))
+        d.train = False
+        x = RNG.standard_normal((4, 6))
+        np.testing.assert_array_equal(d.forward(x), x)
+        np.testing.assert_array_equal(d.backward(x), x)
+
+    def test_inverted_scaling_preserves_expectation(self):
+        from repro.dnn.math import Dropout
+        d = Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((200, 200))
+        y = d.forward(x)
+        assert y.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        from repro.dnn.math import Dropout
+        d = Dropout(0.5, rng=np.random.default_rng(2))
+        x = RNG.standard_normal((5, 5))
+        y = d.forward(x)
+        dy = np.ones_like(x)
+        dx = d.backward(dy)
+        # Zeroed activations get zero gradient; kept ones share scaling.
+        np.testing.assert_array_equal(dx == 0, y == 0)
+
+    def test_deterministic_given_seed(self):
+        from repro.dnn.math import Dropout
+        x = RNG.standard_normal((8, 8))
+        y1 = Dropout(0.4, rng=np.random.default_rng(7)).forward(x)
+        y2 = Dropout(0.4, rng=np.random.default_rng(7)).forward(x)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_rate_validation(self):
+        from repro.dnn.math import Dropout
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng=np.random.default_rng(0))
+
+
+class TestLRN:
+    def test_gradient_matches_numeric(self):
+        from repro.dnn.math import LRN
+        layer = LRN(local_size=3, alpha=1e-2, beta=0.75, k=1.0)
+        x = RNG.standard_normal((2, 5, 3, 3))
+        y = layer.forward(x)
+        dy = RNG.standard_normal(y.shape)
+
+        def loss():
+            return float((layer.forward(x) * dy).sum())
+
+        layer.forward(x)
+        dx = layer.backward(dy)
+        num = numeric_grad(loss, x)
+        np.testing.assert_allclose(dx, num, rtol=1e-5, atol=1e-7)
+
+    def test_normalizes_large_responses(self):
+        from repro.dnn.math import LRN
+        layer = LRN(local_size=5, alpha=1.0, beta=0.75, k=1.0)
+        x = np.zeros((1, 5, 1, 1))
+        x[0, 2] = 10.0
+        y = layer.forward(x)
+        assert abs(y[0, 2, 0, 0]) < abs(x[0, 2, 0, 0])
+
+    def test_validation(self):
+        from repro.dnn.math import LRN
+        with pytest.raises(ValueError):
+            LRN(local_size=4)
+        with pytest.raises(ValueError):
+            LRN(local_size=0)
+        with pytest.raises(RuntimeError):
+            LRN().backward(np.zeros((1, 1, 1, 1)))

@@ -1,0 +1,128 @@
+"""Tests for the layer-spec cost models and the model zoo."""
+
+import pytest
+
+from repro.dnn import get_network
+from repro.dnn.specs import (
+    LayerSpec, NetworkSpec, activation_spec, conv_spec, dense_spec,
+)
+
+
+class TestLayerSpecs:
+    def test_conv_params_and_flops(self):
+        # conv: 3 -> 96, k=11, out 55x55 (AlexNet conv1).
+        l = conv_spec("conv1", 3, 96, 11, 55, 55)
+        assert l.param_count == 11 * 11 * 3 * 96 + 96
+        assert l.fwd_flops_per_sample == 2 * 11 * 11 * 3 * 96 * 55 * 55
+        assert l.bwd_flops_per_sample == 2 * l.fwd_flops_per_sample
+        assert l.param_bytes == l.param_count * 4
+        assert l.has_params
+
+    def test_dense_params(self):
+        l = dense_spec("fc", 4096, 1000)
+        assert l.param_count == 4096 * 1000 + 1000
+        assert l.fwd_flops_per_sample == 2 * 4096 * 1000
+
+    def test_no_bias_option(self):
+        assert (conv_spec("c", 3, 8, 3, 4, 4, bias=False).param_count
+                == 3 * 3 * 3 * 8)
+
+    def test_activation_has_no_params(self):
+        l = activation_spec("relu", "relu", 1000)
+        assert not l.has_params
+        assert l.fwd_flops_per_sample == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("x", "conv", -1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            LayerSpec("x", "conv", 0, -1, 0, 0)
+
+
+class TestNetworkSpec:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkSpec("empty", (), 4)
+
+    def test_aggregates(self):
+        net = get_network("lenet")
+        assert net.param_count == sum(
+            l.param_count for l in net.layers)
+        assert net.param_bytes == net.param_count * 4
+
+    def test_parametrized_layers_filter(self):
+        net = get_network("alexnet")
+        assert all(l.has_params for l in net.parametrized_layers())
+        assert len(net.parametrized_layers()) == 8  # 5 conv + 3 fc
+
+    def test_memory_model_scales_with_batch(self):
+        net = get_network("alexnet")
+        m1 = net.memory_per_solver(16)
+        m2 = net.memory_per_solver(32)
+        assert m2 > m1
+        assert m1 > 3 * net.param_bytes
+        with pytest.raises(ValueError):
+            net.memory_per_solver(0)
+
+    def test_flops_per_iteration(self):
+        net = get_network("lenet")
+        assert net.flops_per_iteration(10) == pytest.approx(
+            10 * (net.fwd_flops_per_sample + net.bwd_flops_per_sample))
+
+
+class TestModelZoo:
+    """Pin the zoo to published parameter counts (±5%)."""
+
+    @pytest.mark.parametrize("name,params_m", [
+        ("alexnet", 62.4),       # Krizhevsky 2012 (ungrouped): ~62M
+        ("googlenet", 7.0),      # Szegedy 2015 trunk: ~6.8-7M
+        ("vgg16", 138.4),        # Simonyan 2014: 138M
+        ("cifar10_quick", 0.1455),
+        ("lenet", 0.4307),
+    ])
+    def test_parameter_counts(self, name, params_m):
+        net = get_network(name)
+        assert net.param_count / 1e6 == pytest.approx(params_m, rel=0.05)
+
+    def test_alexnet_gradient_buffer_is_DL_scale(self):
+        """Section 3.4: DL frameworks need reductions on ~256 MB buffers."""
+        net = get_network("alexnet")
+        assert 200 << 20 < net.param_bytes < 300 << 20
+
+    def test_googlenet_is_communication_intensive(self):
+        """GoogLeNet: many parametrized layers, few params each — the
+        communication-intensive profile of Section 6.3."""
+        g = get_network("googlenet")
+        a = get_network("alexnet")
+        assert len(g.parametrized_layers()) > 5 * len(a.parametrized_layers())
+        assert g.param_bytes < a.param_bytes / 5
+
+    def test_cifar10_quick_is_compute_intensive(self):
+        """CIFAR10-quick: tiny communication relative to compute."""
+        c = get_network("cifar10_quick")
+        # bytes moved per sample's worth of compute is far below AlexNet's
+        a = get_network("alexnet")
+        ratio_c = c.param_bytes / c.fwd_flops_per_sample
+        ratio_a = a.param_bytes / a.fwd_flops_per_sample
+        assert ratio_c < ratio_a
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            get_network("resnet50")
+
+    def test_caffenet_matches_alexnet_profile(self):
+        assert (get_network("caffenet").param_count
+                == get_network("alexnet").param_count)
+
+
+class TestNiN:
+    def test_parameter_count(self):
+        # Lin 2013 ImageNet NiN: ~7.6M parameters.
+        net = get_network("nin")
+        assert net.param_count / 1e6 == pytest.approx(7.6, rel=0.1)
+
+    def test_no_giant_fc_layers(self):
+        """NiN's defining property: every weighted layer is a conv."""
+        net = get_network("nin")
+        assert all(l.kind == "conv"
+                   for l in net.parametrized_layers())

@@ -1,0 +1,155 @@
+"""Failure injection: the stack must fail loudly and clean up fully."""
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig, train
+from repro.cuda import DeviceBuffer
+from repro.hardware import Calibration, GPUSpec, NICSpec, NodeSpec, Cluster
+from repro.hardware import cluster_a
+from repro.hardware.gpu import OutOfMemoryError
+from repro.mpi import MPIRuntime, MV2GDR
+from repro.mpi.collectives import reduce_binomial
+from repro.sim import Interrupt, Resource, Simulator
+
+
+class TestOOMPaths:
+    def _tiny_cluster(self, sim, mem_mib=64):
+        cal = Calibration()
+        spec = GPUSpec("K80", mem_mib << 20, cal.k80_flops,
+                       cal.k80_membw, cal.gpu_reduce_bw)
+        node = NodeSpec(gpus_per_node=4, gpu_spec=spec,
+                        nics=(NICSpec("ib0", cal.ib_edr_bw,
+                                      cal.ib_latency),))
+        return Cluster(sim, node, 2, cal=cal, name="tiny")
+
+    def test_scaffe_reports_oom_before_running(self):
+        """Upfront memory check: the report carries the failure, the
+        simulator never runs."""
+        sim = Simulator()
+        cluster = self._tiny_cluster(sim)
+        from repro.core import run_scaffe
+        cfg = TrainConfig(network="alexnet", batch_size=64, iterations=2,
+                          measure_iterations=1)
+        r = run_scaffe(cluster, 4, cfg)
+        assert r.failure == "oom"
+        assert "MiB" in r.notes
+        assert sim.now == 0.0
+
+    def test_collective_scratch_oom_surfaces(self):
+        """A reduction whose scratch buffers exceed device memory raises
+        OutOfMemoryError instead of silently shrinking."""
+        sim = Simulator()
+        cluster = self._tiny_cluster(sim, mem_mib=32)
+        rt = MPIRuntime(cluster, MV2GDR)
+        comm = rt.world(4)
+
+        def program(ctx):
+            # 16 MiB payload: interior ranks need 2 extra scratches on a
+            # 32 MiB device -> the tree cannot allocate.
+            sendbuf = DeviceBuffer(ctx.gpu, 16 << 20)
+            recvbuf = (DeviceBuffer(ctx.gpu, 16 << 20)
+                       if ctx.rank == 0 else None)
+            yield from reduce_binomial(ctx, sendbuf, recvbuf, 0)
+
+        rt.spawn(comm, program)
+        with pytest.raises(OutOfMemoryError):
+            sim.run()
+
+
+class TestInterruptCleanup:
+    def test_resource_released_on_interrupt(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            try:
+                yield from res.use(100.0)
+            except Interrupt:
+                pass
+
+        def waiter():
+            yield from res.use(1.0)
+            return sim.now
+
+        p1 = sim.process(holder())
+
+        def interrupter():
+            yield sim.timeout(2.0)
+            p1.interrupt("cancel")
+
+        sim.process(interrupter())
+        p2 = sim.process(waiter())
+        sim.run()
+        # The interrupted holder released the resource: waiter completed
+        # right after the interrupt, not after 100 s.
+        assert p2.value == pytest.approx(3.0)
+        assert res.in_use == 0
+
+    def test_reader_stop_mid_run_is_clean(self):
+        from repro.hardware import DEFAULT_CALIBRATION
+        from repro.io import CIFAR10, DataReader, SimLustre
+        sim = Simulator()
+        fs = SimLustre(sim, CIFAR10, DEFAULT_CALIBRATION)
+        reader = DataReader(sim, fs, batch_samples=8,
+                            decode_bw=DEFAULT_CALIBRATION.decode_bw)
+        sim.run(until=0.5)
+        reader.stop()
+        sim.run()  # terminates without unhandled failures
+        assert not reader._proc.is_alive
+
+
+class TestProgramExceptions:
+    def test_rank_exception_propagates_from_execute(self):
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=1)
+        rt = MPIRuntime(cluster, MV2GDR)
+        comm = rt.world(2)
+
+        def program(ctx):
+            yield ctx.sim.timeout(1.0)
+            if ctx.rank == 1:
+                raise RuntimeError("solver crashed")
+
+        rt.spawn(comm, program)
+        with pytest.raises(RuntimeError, match="solver crashed"):
+            sim.run()
+
+    def test_strong_scaling_batch_too_small_raises(self):
+        cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                          batch_size=4, iterations=2,
+                          measure_iterations=1)
+        with pytest.raises(ValueError, match="strong scaling"):
+            train("scaffe", n_gpus=8, cluster="A", config=cfg)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_times(self):
+        """The whole stack is deterministic: two fresh runs of the same
+        experiment produce bit-identical simulated times."""
+        def run():
+            cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                              batch_size=256, iterations=10,
+                              measure_iterations=2)
+            return train("scaffe", n_gpus=8, cluster="A",
+                         config=cfg).total_time
+
+        assert run() == run()
+
+    def test_collective_times_deterministic(self):
+        def run():
+            sim = Simulator()
+            cluster = cluster_a(sim, n_nodes=2)
+            rt = MPIRuntime(cluster, MV2GDR)
+            comm = rt.world(24)
+
+            def program(ctx):
+                sendbuf = DeviceBuffer(ctx.gpu, 4 << 20)
+                recvbuf = (DeviceBuffer(ctx.gpu, 4 << 20)
+                           if ctx.rank == 0 else None)
+                yield from reduce_binomial(ctx, sendbuf, recvbuf, 0)
+                return ctx.sim.now
+
+            return rt.execute(comm, program)
+
+        assert run() == run()

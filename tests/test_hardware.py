@@ -1,0 +1,188 @@
+"""Tests for the cluster hardware model."""
+
+import pytest
+
+from repro.hardware import (
+    DEFAULT_CALIBRATION, Calibration, Cluster, K80, NICSpec, NodeSpec,
+    OutOfMemoryError, cluster_a, cluster_b, cut_through_time, make_cluster,
+    multi_link_transfer,
+)
+from repro.sim import BandwidthLink, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCalibration:
+    def test_default_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CALIBRATION.k80_flops = 1.0
+
+    def test_gpu_flops_lookup(self):
+        cal = Calibration()
+        assert cal.gpu_flops("K80") == cal.k80_flops
+        assert cal.gpu_flops("K20x") == cal.k20x_flops
+        with pytest.raises(KeyError):
+            cal.gpu_flops("H100")
+
+    def test_k80_is_faster_than_k20x(self):
+        # Section 6.3 discussion: K80 "at least 3X faster" than K20x.
+        cal = Calibration()
+        assert cal.k80_flops / cal.k20x_flops >= 3.0
+
+
+class TestGPUSpec:
+    def test_compute_time(self):
+        spec = K80(DEFAULT_CALIBRATION)
+        assert spec.compute_time(spec.flops) == pytest.approx(1.0)
+        assert spec.compute_time(0) == 0.0
+        with pytest.raises(ValueError):
+            spec.compute_time(-1)
+
+    def test_reduce_time(self):
+        spec = K80(DEFAULT_CALIBRATION)
+        assert spec.reduce_time(int(spec.reduce_bw)) == pytest.approx(1.0)
+
+
+class TestClusterTopologies:
+    def test_cluster_a_dimensions(self, sim):
+        c = cluster_a(sim)
+        # 12 nodes x 16 CUDA devices = 192 GPUs (Section 6.1).
+        assert c.n_nodes == 12
+        assert c.gpus_per_node == 16
+        assert c.n_gpus == 192
+        assert len(c.nodes[0].nics) == 2  # Connect-IB dual-port
+
+    def test_cluster_b_dimensions(self, sim):
+        c = cluster_b(sim)
+        # 20 nodes x 2 CUDA devices = 40 GPUs (Section 6.1).
+        assert c.n_nodes == 20
+        assert c.gpus_per_node == 2
+        assert c.n_gpus == 40
+        assert len(c.nodes[0].nics) == 1
+
+    def test_make_cluster_factory(self, sim):
+        assert make_cluster(sim, "A").name == "Cluster-A"
+        assert make_cluster(sim, "cluster-b").name == "Cluster-B"
+        with pytest.raises(ValueError):
+            make_cluster(sim, "C")
+
+    def test_global_indexing_is_contiguous(self, sim):
+        c = cluster_a(sim, n_nodes=2)
+        assert [g.global_index for g in c.gpus] == list(range(32))
+        assert c.gpu(17).node_index == 1
+        assert c.gpu(17).local_index == 1
+
+    def test_gpus_for_job_block_assignment(self, sim):
+        c = cluster_a(sim, n_nodes=2)
+        job = c.gpus_for_job(20)
+        assert len(job) == 20
+        assert {g.node_index for g in job} == {0, 1}
+        with pytest.raises(ValueError):
+            c.gpus_for_job(0)
+        with pytest.raises(ValueError):
+            c.gpus_for_job(33)
+
+    def test_same_node_predicate(self, sim):
+        c = cluster_a(sim, n_nodes=2)
+        assert c.same_node(c.gpu(0), c.gpu(15))
+        assert not c.same_node(c.gpu(0), c.gpu(16))
+
+    def test_nic_round_robin(self, sim):
+        c = cluster_a(sim, n_nodes=1)
+        node = c.nodes[0]
+        nic0 = node.nic_for(c.gpu(0))
+        nic1 = node.nic_for(c.gpu(1))
+        nic2 = node.nic_for(c.gpu(2))
+        assert nic0 is not nic1
+        assert nic0 is nic2
+
+
+class TestGPUMemoryAccounting:
+    def test_reserve_and_oom(self, sim):
+        c = cluster_b(sim, n_nodes=1)
+        gpu = c.gpu(0)
+        gpu.reserve(gpu.spec.memory_bytes)
+        assert gpu.free_bytes == 0
+        with pytest.raises(OutOfMemoryError):
+            gpu.reserve(1)
+        gpu.unreserve(gpu.spec.memory_bytes)
+        assert gpu.allocated_bytes == 0
+
+    def test_unreserve_more_than_allocated_rejected(self, sim):
+        gpu = cluster_b(sim, n_nodes=1).gpu(0)
+        gpu.reserve(100)
+        with pytest.raises(ValueError):
+            gpu.unreserve(101)
+
+
+class TestNodeSpecValidation:
+    def test_needs_gpus_and_nics(self, sim):
+        spec = K80(DEFAULT_CALIBRATION)
+        with pytest.raises(ValueError):
+            NodeSpec(gpus_per_node=0, gpu_spec=spec,
+                     nics=(NICSpec("ib0", 1e9, 1e-6),))
+        with pytest.raises(ValueError):
+            NodeSpec(gpus_per_node=1, gpu_spec=spec, nics=())
+
+    def test_cluster_needs_nodes(self, sim):
+        spec = NodeSpec(gpus_per_node=1, gpu_spec=K80(DEFAULT_CALIBRATION),
+                        nics=(NICSpec("ib0", 1e9, 1e-6),))
+        with pytest.raises(ValueError):
+            Cluster(sim, spec, 0)
+
+
+class TestMultiLinkTransfer:
+    def test_cut_through_time(self, sim):
+        a = BandwidthLink(sim, bandwidth=2e9, latency=1e-6, name="a")
+        b = BandwidthLink(sim, bandwidth=1e9, latency=2e-6, name="b")
+        t = cut_through_time([a, b], 1_000_000_000)
+        assert t == pytest.approx(3e-6 + 1.0)  # narrowest link dominates
+
+    def test_holds_all_links(self, sim):
+        a = BandwidthLink(sim, bandwidth=1e6, latency=0.0, name="a")
+        b = BandwidthLink(sim, bandwidth=1e6, latency=0.0, name="b")
+
+        def ab():
+            yield from multi_link_transfer(sim, [a, b], 1_000_000)
+
+        def only_a():
+            yield from a.transfer(1_000_000)
+
+        sim.process(ab())
+        sim.process(only_a())
+        sim.run()
+        # only_a had to wait for ab to release link a: 1s + 1s.
+        assert sim.now == pytest.approx(2.0)
+
+    def test_no_deadlock_on_opposite_order(self, sim):
+        a = BandwidthLink(sim, bandwidth=1e6, latency=0.0, name="a")
+        b = BandwidthLink(sim, bandwidth=1e6, latency=0.0, name="b")
+
+        def fwd():
+            yield from multi_link_transfer(sim, [a, b], 1_000_000)
+
+        def rev():
+            yield from multi_link_transfer(sim, [b, a], 1_000_000)
+
+        for _ in range(5):
+            sim.process(fwd())
+            sim.process(rev())
+        sim.run()
+        assert sim.now == pytest.approx(10.0)
+
+    def test_duplicate_links_collapsed(self, sim):
+        a = BandwidthLink(sim, bandwidth=1e6, latency=0.0, name="a")
+
+        def loop():
+            yield from multi_link_transfer(sim, [a, a], 1_000_000)
+
+        sim.process(loop())
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_empty_path_rejected(self, sim):
+        with pytest.raises(ValueError):
+            cut_through_time([], 10)

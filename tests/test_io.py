@@ -1,0 +1,199 @@
+"""Tests for the I/O substrate: LMDB, Lustre, readers, data layers."""
+
+import pytest
+
+from repro.hardware import DEFAULT_CALIBRATION
+from repro.io import (
+    CIFAR10, DataLayer, DataReader, IMAGENET, SimLMDB, SimLustre,
+    get_dataset, make_backend,
+)
+from repro.sim import Simulator
+
+CAL = DEFAULT_CALIBRATION
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDatasets:
+    def test_registry(self):
+        assert get_dataset("imagenet").n_samples > 1_000_000
+        assert get_dataset("cifar10").n_samples == 50_000
+        with pytest.raises(KeyError):
+            get_dataset("svhn")
+
+    def test_imagenet_classes(self):
+        assert IMAGENET.n_classes == 1000
+
+    def test_epoch_bytes(self):
+        assert CIFAR10.epoch_bytes() == 50_000 * CIFAR10.encoded_bytes
+
+
+class TestSimLMDB:
+    def test_single_reader_rate(self, sim):
+        db = SimLMDB(sim, IMAGENET, CAL)
+        db.register_reader()
+        assert db.effective_reader_bw() == pytest.approx(CAL.lmdb_reader_bw)
+
+    def test_aggregate_saturates_at_limit(self, sim):
+        db = SimLMDB(sim, IMAGENET, CAL)
+        for _ in range(CAL.lmdb_scalability_limit):
+            db.register_reader()
+        at_limit = db.effective_reader_bw() * db.n_readers
+        for _ in range(CAL.lmdb_scalability_limit):
+            db.register_reader()
+        beyond = db.effective_reader_bw() * db.n_readers
+        # Aggregate throughput collapses past the limit (Section 6.3).
+        assert beyond < at_limit * 0.5
+
+    def test_read_advances_time_and_counts_bytes(self, sim):
+        db = SimLMDB(sim, IMAGENET, CAL)
+        db.register_reader()
+
+        def proc():
+            n = yield from db.read(10)
+            return n
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == 10 * IMAGENET.encoded_bytes
+        assert db.bytes_read == p.value
+        assert sim.now > 0
+
+    def test_negative_samples_rejected(self, sim):
+        db = SimLMDB(sim, IMAGENET, CAL)
+
+        def proc():
+            yield from db.read(-1)
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_lock_serializes_readers(self, sim):
+        db = SimLMDB(sim, IMAGENET, CAL)
+        db.register_reader()
+        db.register_reader()
+
+        def proc():
+            yield from db.read(0)
+            return sim.now
+
+        p1 = sim.process(proc())
+        p2 = sim.process(proc())
+        sim.run()
+        assert abs(p1.value - p2.value) >= SimLMDB.LOCK_OVERHEAD * 0.99
+
+
+class TestSimLustre:
+    def test_per_client_cap(self, sim):
+        fs = SimLustre(sim, IMAGENET, CAL)
+        fs.register_reader()
+        assert fs.effective_reader_bw() == pytest.approx(
+            CAL.lustre_per_client_bw)
+
+    def test_aggregate_fair_share_at_scale(self, sim):
+        fs = SimLustre(sim, IMAGENET, CAL)
+        for _ in range(160):
+            fs.register_reader()
+        assert fs.effective_reader_bw() == pytest.approx(
+            CAL.lustre_aggregate_bw / 160)
+
+    def test_lustre_scales_past_lmdb_limit(self, sim):
+        """The Fig. 8 design rationale: at 160 readers, Lustre aggregate
+        throughput far exceeds collapsed LMDB throughput."""
+        db = SimLMDB(sim, IMAGENET, CAL)
+        fs = SimLustre(sim, IMAGENET, CAL)
+        for _ in range(160):
+            db.register_reader()
+            fs.register_reader()
+        agg_lmdb = db.effective_reader_bw() * 160
+        agg_lustre = fs.effective_reader_bw() * 160
+        assert agg_lustre > 3 * agg_lmdb
+
+
+class TestBackendFactory:
+    def test_kinds(self, sim):
+        assert isinstance(make_backend("lmdb", sim, CIFAR10, CAL), SimLMDB)
+        assert isinstance(make_backend("lustre", sim, CIFAR10, CAL),
+                          SimLustre)
+        assert isinstance(make_backend("imagedata", sim, CIFAR10, CAL),
+                          SimLustre)
+        with pytest.raises(ValueError):
+            make_backend("hdf5", sim, CIFAR10, CAL)
+
+
+class TestReaderAndLayer:
+    def test_prefetch_hides_io(self, sim):
+        """With prefetch, the second batch is ready when the consumer
+        returns from 'compute'."""
+        fs = SimLustre(sim, CIFAR10, CAL)
+        reader = DataReader(sim, fs, batch_samples=32,
+                            decode_bw=CAL.decode_bw)
+        layer = DataLayer(reader)
+
+        def consumer():
+            yield from layer.next_batch()          # cold start
+            yield sim.timeout(1.0)                 # long compute
+            yield from layer.next_batch()          # should be instant
+            return layer.stall_time
+
+        p = sim.process(consumer())
+        sim.run()
+        cold_stall = p.value
+        # Only the first batch stalls; the second was prefetched.
+        first_batch_time = (SimLustre.METADATA_OVERHEAD
+                            + 32 * CIFAR10.encoded_bytes
+                            / CAL.lustre_per_client_bw
+                            + 32 * CIFAR10.encoded_bytes
+                            / (CAL.decode_bw
+                               * CIFAR10.decode_speed_factor))
+        assert cold_stall == pytest.approx(first_batch_time, rel=0.01)
+
+    def test_bounded_queue_limits_readahead(self, sim):
+        fs = SimLustre(sim, CIFAR10, CAL)
+        reader = DataReader(sim, fs, batch_samples=8,
+                            decode_bw=CAL.decode_bw, queue_depth=2)
+        sim.run(until=10.0)
+        # Reader produced queue_depth batches (+1 in-flight hand-off at
+        # most) then blocked.
+        assert reader.batches_produced <= 4
+
+    def test_batch_accounting(self, sim):
+        fs = SimLustre(sim, CIFAR10, CAL)
+        reader = DataReader(sim, fs, batch_samples=16,
+                            decode_bw=CAL.decode_bw)
+        layer = DataLayer(reader)
+
+        def consumer():
+            total = 0
+            for _ in range(5):
+                total += yield from layer.next_batch()
+            return total
+
+        p = sim.process(consumer())
+        sim.run()
+        assert p.value == 80
+        assert layer.batches_consumed == 5
+
+    def test_invalid_batch_size(self, sim):
+        fs = SimLustre(sim, CIFAR10, CAL)
+        with pytest.raises(ValueError):
+            DataReader(sim, fs, batch_samples=0, decode_bw=CAL.decode_bw)
+
+    def test_reader_stop(self, sim):
+        fs = SimLustre(sim, CIFAR10, CAL)
+        reader = DataReader(sim, fs, batch_samples=8,
+                            decode_bw=CAL.decode_bw)
+        sim.run(until=1.0)
+        reader.stop()
+        sim.run()  # must terminate cleanly
+
+    def test_parallel_readers_register_independently(self, sim):
+        fs = SimLustre(sim, CIFAR10, CAL)
+        readers = [DataReader(sim, fs, batch_samples=8,
+                              decode_bw=CAL.decode_bw,
+                              name=f"r{i}") for i in range(4)]
+        assert fs.n_readers == 4

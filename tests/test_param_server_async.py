@@ -1,0 +1,65 @@
+"""Tests for the asynchronous (stale-gradient) parameter-server mode."""
+
+import pytest
+
+from repro import TrainConfig
+from repro.core import run_param_server
+from repro.core.param_server import ParameterServerJob
+from repro.core.workload import Workload
+from repro.dnn import get_network
+from repro.hardware import cluster_a
+from repro.sim import Simulator
+
+
+def quick_cfg(**kw):
+    base = dict(network="cifar10_quick", dataset="cifar10",
+                batch_size=256, iterations=10, measure_iterations=2)
+    base.update(kw)
+    return TrainConfig(**base)
+
+
+class TestAsyncMode:
+    def test_async_completes(self):
+        cluster = cluster_a(Simulator())
+        r = run_param_server(cluster, 4, quick_cfg(), mode="async")
+        assert r.ok
+        assert r.framework == "Inspur-Caffe (async)"
+        assert "stale" in r.notes
+
+    def test_dedicated_server_shrinks_global_batch(self):
+        cluster = cluster_a(Simulator())
+        cfg = quick_cfg()
+        r = run_param_server(cluster, 4, cfg, mode="async")
+        # 4 GPUs but only 3 workers: 3 x (256/4) samples per iteration.
+        assert r.global_batch == 3 * cfg.local_batch(4)
+
+    def test_invalid_mode_rejected(self):
+        cluster = cluster_a(Simulator())
+        wl = Workload.from_spec(get_network("cifar10_quick"))
+        with pytest.raises(ValueError, match="sync|async"):
+            ParameterServerJob(cluster, 4, wl, quick_cfg(), mode="ring")
+
+    def test_async_avoids_the_sync_barrier(self):
+        """Without the per-iteration barrier, async worker throughput is
+        at least the synchronous mode's on a communication-heavy model
+        (it trades staleness for iteration rate)."""
+        cfg = TrainConfig(network="alexnet", batch_size=256,
+                          iterations=10, measure_iterations=2)
+        sync = run_param_server(cluster_a(Simulator()), 4, cfg,
+                                mode="sync")
+        async_ = run_param_server(cluster_a(Simulator()), 4, cfg,
+                                  mode="async")
+        # Per-iteration time of one async worker vs the sync lockstep.
+        assert (async_.time_per_iteration
+                <= sync.time_per_iteration * 1.05)
+
+    def test_async_respects_emulated_limits(self):
+        cluster = cluster_a(Simulator())
+        r = run_param_server(cluster, 8, quick_cfg(), mode="async")
+        assert r.failure == "hang"
+
+    def test_async_server_aggregation_traced(self):
+        cluster = cluster_a(Simulator())
+        r = run_param_server(cluster, 4, quick_cfg(), mode="async")
+        assert r.phase("aggregation") > 0
+        assert r.phase("update") > 0

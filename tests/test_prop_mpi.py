@@ -1,0 +1,217 @@
+"""Property-based tests for MPI collectives and supporting pieces.
+
+The central invariant: every reduction algorithm — flat binomial,
+chunked chain, any hierarchical combination — computes the same SUM as
+NumPy, for any rank count, payload size, root, and segmentation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import HopCost, optimal_chunks, t_chunked_chain
+from repro.cuda import DeviceBuffer
+from repro.hardware import DEFAULT_CALIBRATION, cluster_a
+from repro.io import IMAGENET, SimLMDB, SimLustre
+from repro.mpi import MPIRuntime, MV2GDR
+from repro.mpi.collectives import (
+    allreduce_ring, bcast_binomial, hierarchical_reduce, reduce_binomial,
+    reduce_chain, segments, select_reduce_plan,
+)
+from repro.sim import Simulator
+
+
+def make_world(P):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, MV2GDR)
+    return rt, rt.world(P)
+
+
+class TestSegments:
+    @given(st.integers(min_value=0, max_value=1 << 22),
+           st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_partition(self, nbytes, segment):
+        segs = segments(nbytes, segment)
+        if nbytes == 0:
+            assert segs == [(0, 0)]
+            return
+        # Contiguous, non-overlapping, complete coverage.
+        pos = 0
+        for off, n in segs:
+            assert off == pos
+            assert 1 <= n <= segment
+            pos += n
+        assert pos == nbytes
+
+    @given(st.integers(min_value=1, max_value=1 << 22))
+    @settings(max_examples=50, deadline=None)
+    def test_single_segment_when_large_enough(self, nbytes):
+        assert segments(nbytes, nbytes) == [(0, nbytes)]
+
+
+class TestReductionCorrectness:
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=300),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_binomial_any_shape(self, P, n_elems, data):
+        root = data.draw(st.integers(min_value=0, max_value=P - 1))
+        self._check(reduce_binomial, P, n_elems, root)
+
+    @given(st.integers(min_value=1, max_value=10),
+           st.integers(min_value=1, max_value=300),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_chain_any_shape(self, P, n_elems, data):
+        root = data.draw(st.integers(min_value=0, max_value=P - 1))
+        self._check(reduce_chain, P, n_elems, root)
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=200),
+           st.sampled_from(["CB-2", "CB-4", "CC-2", "CC-4", "CB-8"]),
+           st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_hierarchical_any_shape(self, P, n_elems, label, data):
+        root = data.draw(st.integers(min_value=0, max_value=P - 1))
+        algo = lambda ctx, s, r, rt: hierarchical_reduce(
+            ctx, s, r, rt, config=label)
+        self._check(algo, P, n_elems, root)
+
+    def _check(self, algo, P, n_elems, root):
+        rt, comm = make_world(P)
+        rng = np.random.default_rng(P * 1000 + n_elems)
+        payloads = [rng.standard_normal(n_elems).astype(np.float32)
+                    for _ in range(P)]
+        expected = np.sum(payloads, axis=0, dtype=np.float64)
+
+        def program(ctx):
+            sendbuf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+            recvbuf = (DeviceBuffer.zeros(ctx.gpu, n_elems)
+                       if ctx.rank == root else None)
+            yield from algo(ctx, sendbuf, recvbuf, root)
+            if ctx.rank == root:
+                return recvbuf.data.copy()
+
+        results = rt.execute(comm, program)
+        np.testing.assert_allclose(results[root], expected,
+                                   rtol=5e-4, atol=1e-4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_ring_allreduce_any_shape(self, P, n_elems):
+        rt, comm = make_world(P)
+        rng = np.random.default_rng(P * 7 + n_elems)
+        payloads = [rng.standard_normal(n_elems).astype(np.float32)
+                    for _ in range(P)]
+        expected = np.sum(payloads, axis=0, dtype=np.float64)
+
+        def program(ctx):
+            sendbuf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+            recvbuf = DeviceBuffer.zeros(ctx.gpu, n_elems)
+            yield from allreduce_ring(ctx, sendbuf, recvbuf)
+            return recvbuf.data.copy()
+
+        for r in rt.execute(comm, program):
+            np.testing.assert_allclose(r, expected, rtol=5e-4, atol=1e-4)
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=300),
+           st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_bcast_any_shape(self, P, n_elems, data):
+        root = data.draw(st.integers(min_value=0, max_value=P - 1))
+        rt, comm = make_world(P)
+        payload = np.random.default_rng(3).standard_normal(
+            n_elems).astype(np.float32)
+
+        def program(ctx):
+            if ctx.rank == root:
+                buf = DeviceBuffer.from_array(ctx.gpu, payload)
+            else:
+                buf = DeviceBuffer.zeros(ctx.gpu, n_elems)
+            yield from bcast_binomial(ctx, buf, root)
+            return buf.data.copy()
+
+        for r in rt.execute(comm, program):
+            np.testing.assert_array_equal(r, payload)
+
+
+class TestTuningPlanProperties:
+    @given(st.integers(min_value=1, max_value=1024),
+           st.integers(min_value=1, max_value=1 << 28))
+    @settings(max_examples=100, deadline=None)
+    def test_plan_always_valid(self, P, nbytes):
+        plan = select_reduce_plan(P, nbytes)
+        assert plan.kind in ("binomial", "chain", "hierarchical")
+        if plan.kind == "hierarchical":
+            assert plan.hr_label and plan.hr_label[-2:] == "-8"
+
+    @given(st.integers(min_value=9, max_value=1024))
+    @settings(max_examples=50, deadline=None)
+    def test_large_messages_never_flat_at_scale(self, P):
+        plan = select_reduce_plan(P, 64 << 20)
+        assert plan.kind == "hierarchical"
+
+
+class TestAnalysisModelProperties:
+    hops = st.builds(HopCost,
+                     alpha=st.floats(min_value=1e-7, max_value=1e-3),
+                     beta=st.floats(min_value=1e8, max_value=1e11))
+
+    @given(hops, st.integers(min_value=3, max_value=512),
+           st.integers(min_value=1 << 10, max_value=1 << 28))
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_chunks_is_a_local_minimum(self, hop, P, nbytes):
+        n = optimal_chunks(P, nbytes, hop)
+        best = t_chunked_chain(P, nbytes, n, hop)
+        for other in {max(1, n - 1), n + 1}:
+            assert best <= t_chunked_chain(P, nbytes, other, hop) + 1e-12
+
+    @given(hops, st.integers(min_value=2, max_value=256),
+           st.integers(min_value=1, max_value=1 << 28),
+           st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=80, deadline=None)
+    def test_times_positive_and_monotone_in_P(self, hop, P, nbytes, n):
+        from repro.analysis import t_binomial
+        assert t_binomial(P, nbytes, hop) > 0
+        assert t_chunked_chain(P, nbytes, n, hop) > 0
+        assert (t_chunked_chain(P + 1, nbytes, n, hop)
+                >= t_chunked_chain(P, nbytes, n, hop))
+
+
+class TestIOBackendProperties:
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_lmdb_per_reader_bw_bounded_and_fair(self, readers):
+        db = SimLMDB(Simulator(), IMAGENET, DEFAULT_CALIBRATION)
+        for _ in range(readers):
+            db.register_reader()
+        bw = db.effective_reader_bw()
+        assert 0 < bw <= DEFAULT_CALIBRATION.lmdb_reader_bw
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_lustre_aggregate_never_exceeds_ceiling(self, readers):
+        fs = SimLustre(Simulator(), IMAGENET, DEFAULT_CALIBRATION)
+        for _ in range(readers):
+            fs.register_reader()
+        agg = fs.effective_reader_bw() * readers
+        assert agg <= DEFAULT_CALIBRATION.lustre_aggregate_bw * (1 + 1e-9)
+
+    @given(st.integers(min_value=1, max_value=300),
+           st.integers(min_value=1, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_lmdb_aggregate_monotone_until_limit(self, a, b):
+        lo, hi = sorted((a, b))
+        limit = DEFAULT_CALIBRATION.lmdb_scalability_limit
+        if hi > limit:
+            return  # only the pre-cliff region is monotone
+        def agg(n):
+            db = SimLMDB(Simulator(), IMAGENET, DEFAULT_CALIBRATION)
+            for _ in range(n):
+                db.register_reader()
+            return db.effective_reader_bw() * n
+        assert agg(lo) <= agg(hi) + 1e-9

@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    Barrier, BandwidthLink, Channel, Resource, Simulator, Store, Tracer,
+)
+
+durations = st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+
+
+class TestEventOrdering:
+    @given(st.lists(durations, min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_timeouts_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def waiter(d):
+            yield sim.timeout(d)
+            fired.append(sim.now)
+
+        for d in delays:
+            sim.process(waiter(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert sim.now == max(delays)
+
+    @given(st.lists(durations, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_sequential_timeouts_sum(self, delays):
+        sim = Simulator()
+
+        def proc():
+            for d in delays:
+                yield sim.timeout(d)
+
+        sim.process(proc())
+        sim.run()
+        assert abs(sim.now - sum(delays)) < 1e-6 * max(1.0, sum(delays))
+
+
+class TestResourceInvariant:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(st.tuples(durations, durations), min_size=1, max_size=25),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_concurrency_never_exceeds_capacity(self, capacity, jobs):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        active = [0]
+        peak = [0]
+
+        def worker(start, hold):
+            yield sim.timeout(start)
+            grant = yield res.request()
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            try:
+                yield sim.timeout(hold)
+            finally:
+                active[0] -= 1
+                res.release(grant)
+
+        for start, hold in jobs:
+            sim.process(worker(start, hold))
+        sim.run()
+        assert peak[0] <= capacity
+        assert active[0] == 0
+        assert res.in_use == 0 or res.queue_len == 0
+
+    @given(st.lists(durations, min_size=1, max_size=15))
+    @settings(max_examples=30, deadline=None)
+    def test_serialized_resource_time_is_sum(self, holds):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+
+        def worker(h):
+            yield from res.use(h)
+
+        for h in holds:
+            sim.process(worker(h))
+        sim.run()
+        assert abs(sim.now - sum(holds)) < 1e-6 * max(1.0, sum(holds))
+
+
+class TestChannelFIFO:
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_order_preserved(self, items):
+        sim = Simulator()
+        ch = Channel(sim)
+        got = []
+
+        def producer():
+            for x in items:
+                yield ch.put(x)
+
+        def consumer():
+            for _ in items:
+                got.append((yield ch.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == items
+
+    @given(st.lists(st.integers(), min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_channel_order_preserved(self, items, cap):
+        sim = Simulator()
+        ch = Channel(sim, capacity=cap)
+        got = []
+
+        def producer():
+            for x in items:
+                yield ch.put(x)
+
+        def consumer():
+            for _ in items:
+                yield sim.timeout(0.1)
+                got.append((yield ch.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == items
+
+
+class TestBarrierProperty:
+    @given(st.integers(min_value=1, max_value=12),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_all_parties_release_together(self, parties, data):
+        delays = data.draw(st.lists(durations, min_size=parties,
+                                    max_size=parties))
+        sim = Simulator()
+        bar = Barrier(sim, parties)
+        times = []
+
+        def party(d):
+            yield sim.timeout(d)
+            yield bar.arrive()
+            times.append(sim.now)
+
+        for d in delays:
+            sim.process(party(d))
+        sim.run()
+        assert len(times) == parties
+        assert all(abs(t - max(delays)) < 1e-9 for t in times)
+
+
+class TestLinkProperties:
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_monotone_in_bytes(self, a, b):
+        sim = Simulator()
+        link = BandwidthLink(sim, bandwidth=1e9, latency=1e-6)
+        lo, hi = min(a, b), max(a, b)
+        assert link.occupancy(lo) <= link.occupancy(hi)
+
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 20),
+                    min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_serialized_transfers_accumulate(self, sizes):
+        sim = Simulator()
+        link = BandwidthLink(sim, bandwidth=1e6, latency=0.0)
+
+        def xfer(n):
+            yield from link.transfer(n)
+
+        for n in sizes:
+            sim.process(xfer(n))
+        sim.run()
+        assert link.bytes_moved == sum(sizes)
+        assert abs(sim.now - sum(sizes) / 1e6) < 1e-9 * len(sizes) + 1e-12
+
+
+class TestTracerUnion:
+    @given(st.lists(st.tuples(durations, durations), min_size=1,
+                    max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_busy_union_bounds(self, intervals):
+        sim = Simulator()
+        tr = Tracer(sim)
+
+        def worker(i, start, dur):
+            yield sim.timeout(start)
+            tr.begin(f"a{i}", "phase")
+            yield sim.timeout(dur)
+            tr.end(f"a{i}", "phase")
+
+        for i, (s, d) in enumerate(intervals):
+            sim.process(worker(i, s, d))
+        sim.run()
+
+        union = tr.busy_union("phase")
+        total = tr.total("phase")
+        longest = max(d for _, d in intervals)
+        span = (max(s + d for s, d in intervals)
+                - min(s for s, _ in intervals))
+        assert union <= total + 1e-9
+        assert union >= longest - 1e-9
+        assert union <= span + 1e-9
+
+
+class TestStoreProperty:
+    @given(st.lists(st.integers(), min_size=1, max_size=25),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_store_fifo(self, items, cap):
+        sim = Simulator()
+        store = Store(sim, capacity=cap)
+        got = []
+
+        def producer():
+            for x in items:
+                yield store.put(x)
+
+        def consumer():
+            for _ in items:
+                yield sim.timeout(1.0)
+                got.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == items
+        assert len(store) == 0

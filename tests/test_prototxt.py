@@ -1,0 +1,253 @@
+"""Tests for the Caffe prototxt parser and converters."""
+
+import pytest
+
+from repro.dnn import get_network
+from repro.dnn.prototxt import (
+    PrototxtError, network_from_prototxt, parse_prototxt,
+    solver_from_prototxt,
+)
+
+SOLVER_TXT = """
+# The CIFAR10 quick solver, reference hyper-parameters.
+base_lr: 0.001
+momentum: 0.9
+weight_decay: 0.004
+lr_policy: "fixed"
+max_iter: 4000
+snapshot_prefix: "cifar10_quick"
+"""
+
+MULTISTEP_SOLVER = """
+base_lr: 0.1
+lr_policy: "multistep"
+gamma: 0.1
+stepvalue: 100
+stepvalue: 500
+stepvalue: 1000
+"""
+
+LENET_TXT = """
+name: "LeNet"
+input_dim: 1
+input_dim: 1
+input_dim: 28
+input_dim: 28
+layer { name: "conv1" type: "Convolution"
+  convolution_param { num_output: 20 kernel_size: 5 } }
+layer { name: "pool1" type: "Pooling"
+  pooling_param { kernel_size: 2 stride: 2 } }
+layer { name: "conv2" type: "Convolution"
+  convolution_param { num_output: 50 kernel_size: 5 } }
+layer { name: "pool2" type: "Pooling"
+  pooling_param { kernel_size: 2 stride: 2 } }
+layer { name: "ip1" type: "InnerProduct"
+  inner_product_param { num_output: 500 } }
+layer { name: "relu1" type: "ReLU" }
+layer { name: "ip2" type: "InnerProduct"
+  inner_product_param { num_output: 10 } }
+layer { name: "prob" type: "SoftmaxWithLoss" }
+"""
+
+
+class TestParser:
+    def test_scalars_and_strings(self):
+        d = parse_prototxt('a: 3 b: 2.5 c: "text" d: true')
+        assert d == {"a": 3, "b": 2.5, "c": "text", "d": True}
+
+    def test_nested_blocks(self):
+        d = parse_prototxt("outer { inner { x: 1 } y: 2 }")
+        assert d["outer"]["inner"]["x"] == 1
+        assert d["outer"]["y"] == 2
+
+    def test_repeated_keys_accumulate(self):
+        d = parse_prototxt("v: 1 v: 2 v: 3")
+        assert d["v"] == [1, 2, 3]
+
+    def test_comments_ignored(self):
+        d = parse_prototxt("# header\na: 1  # trailing\n")
+        assert d == {"a": 1}
+
+    def test_colon_before_block_allowed(self):
+        d = parse_prototxt("block: { x: 1 }")
+        assert d["block"]["x"] == 1
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(PrototxtError):
+            parse_prototxt("a { b: 1")
+        with pytest.raises(PrototxtError):
+            parse_prototxt("}")
+
+    def test_bad_syntax(self):
+        with pytest.raises(PrototxtError):
+            parse_prototxt("key")
+        with pytest.raises(PrototxtError):
+            parse_prototxt("key ~ value")
+
+
+class TestSolverFromPrototxt:
+    def test_cifar_quick_solver(self):
+        cfg = solver_from_prototxt(SOLVER_TXT)
+        assert cfg.base_lr == 0.001
+        assert cfg.momentum == 0.9
+        assert cfg.weight_decay == 0.004
+        assert cfg.lr_policy == "fixed"
+        assert cfg.max_iter == 4000
+
+    def test_multistep_values(self):
+        cfg = solver_from_prototxt(MULTISTEP_SOLVER)
+        assert cfg.stepvalues == (100, 500, 1000)
+        assert cfg.lr_at(99) == pytest.approx(0.1)
+        assert cfg.lr_at(100) == pytest.approx(0.01)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(PrototxtError):
+            solver_from_prototxt('base_lr: -1.0')
+
+
+class TestNetworkFromPrototxt:
+    def test_lenet_matches_programmatic_zoo(self):
+        net = network_from_prototxt(LENET_TXT)
+        zoo = get_network("lenet")
+        assert net.name == "LeNet"
+        assert net.param_count == zoo.param_count
+        assert net.input_bytes_per_sample == zoo.input_bytes_per_sample
+        assert len(net.parametrized_layers()) == 4
+
+    def test_shape_propagation(self):
+        txt = """
+        input_dim: 1 input_dim: 3 input_dim: 32 input_dim: 32
+        layer { name: "c" type: "Convolution"
+          convolution_param { num_output: 8 kernel_size: 3 pad: 1
+                              stride: 2 } }
+        layer { name: "fc" type: "InnerProduct"
+          inner_product_param { num_output: 10 } }
+        """
+        net = network_from_prototxt(txt)
+        conv, fc = net.parametrized_layers()
+        # 32x32, k=3, p=1, s=2 -> 16x16; fc input = 8*16*16.
+        assert conv.param_count == 3 * 3 * 3 * 8 + 8
+        assert fc.param_count == 8 * 16 * 16 * 10 + 10
+
+    def test_input_layer_shape_source(self):
+        txt = """
+        layer { name: "data" type: "Input"
+          input_param { shape { dim: 1 dim: 1 dim: 8 dim: 8 } } }
+        layer { name: "fc" type: "InnerProduct"
+          inner_product_param { num_output: 4 } }
+        """
+        net = network_from_prototxt(txt)
+        assert net.parametrized_layers()[0].param_count == 64 * 4 + 4
+        assert net.input_bytes_per_sample == 64 * 4
+
+    def test_missing_shape_rejected(self):
+        with pytest.raises(PrototxtError, match="input shape"):
+            network_from_prototxt(
+                'layer { name: "fc" type: "InnerProduct"'
+                ' inner_product_param { num_output: 4 } }')
+
+    def test_unsupported_layer_rejected(self):
+        txt = """
+        input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8
+        layer { name: "x" type: "Deconvolution" }
+        """
+        with pytest.raises(PrototxtError, match="unsupported"):
+            network_from_prototxt(txt)
+
+    def test_kernel_too_large_rejected(self):
+        txt = """
+        input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+        layer { name: "c" type: "Convolution"
+          convolution_param { num_output: 2 kernel_size: 9 } }
+        """
+        with pytest.raises(PrototxtError, match="shrinks"):
+            network_from_prototxt(txt)
+
+    def test_prototxt_net_trains_through_scaffe(self):
+        """End-to-end: a prototxt-defined network drives a simulated
+        distributed training run."""
+        from repro import TrainConfig
+        from repro.core import SCaffeJob, Workload
+        from repro.hardware import cluster_a
+        from repro.sim import Simulator
+
+        net = network_from_prototxt(LENET_TXT)
+        wl = Workload.from_spec(net)
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=1)
+        cfg = TrainConfig(network="LeNet", dataset="mnist",
+                          batch_size=64, iterations=3,
+                          measure_iterations=2)
+        report = SCaffeJob(cluster, 4, wl, cfg).run()
+        assert report.ok
+
+
+
+class TestPrototxtFuzz:
+    """Property-based: random linear conv/fc stacks rendered to prototxt
+    parse back to the independently-computed parameter counts."""
+
+    from hypothesis import given, settings, strategies as st
+
+    convs = st.lists(
+        st.tuples(st.integers(min_value=1, max_value=32),   # num_output
+                  st.sampled_from([1, 3, 5]),               # kernel
+                  st.sampled_from([0, 1, 2])),              # pad
+        min_size=0, max_size=4)
+    fcs = st.lists(st.integers(min_value=1, max_value=64),
+                   min_size=1, max_size=3)
+
+    @given(convs, fcs)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_param_counts(self, convs, fcs):
+        from hypothesis import assume
+        c, h, w = 3, 16, 16
+        lines = ["input_dim: 1", f"input_dim: {c}", f"input_dim: {h}",
+                 f"input_dim: {w}"]
+        expected = 0
+        ci, hi = c, h
+        ok = True
+        for i, (cout, k, pad) in enumerate(convs):
+            out = hi + 2 * pad - k + 1
+            if out < 1:
+                ok = False
+                break
+            lines.append(
+                f'layer {{ name: "c{i}" type: "Convolution" '
+                f"convolution_param {{ num_output: {cout} "
+                f"kernel_size: {k} pad: {pad} }} }}")
+            expected += k * k * ci * cout + cout
+            ci, hi = cout, out
+        assume(ok)
+        nin = ci * hi * hi
+        for i, nout in enumerate(fcs):
+            lines.append(
+                f'layer {{ name: "f{i}" type: "InnerProduct" '
+                f"inner_product_param {{ num_output: {nout} }} }}")
+            expected += nin * nout + nout
+            nin = nout
+        net = network_from_prototxt("\n".join(lines))
+        assert net.param_count == expected
+
+
+class TestParserRobustness:
+    """The parser must fail with PrototxtError (never an internal
+    exception) on arbitrary garbage."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @given(st.text(alphabet='abc{}:"# \n0123456789._', max_size=200))
+    @settings(max_examples=200, deadline=None)
+    def test_never_raises_foreign_exceptions(self, text):
+        try:
+            parse_prototxt(text)
+        except PrototxtError:
+            pass
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_unicode_is_handled(self, text):
+        try:
+            parse_prototxt(text)
+        except PrototxtError:
+            pass

@@ -1,0 +1,112 @@
+"""Tests for 1-bit gradient quantization (CNTK's 1-bit SGD)."""
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.core import run_cntk
+from repro.dnn import SGDSolver, SolverConfig, build_mlp
+from repro.dnn.quantization import OneBitQuantizer, quantized_nbytes
+from repro.hardware import cluster_b
+from repro.sim import Simulator
+
+
+class TestWireSize:
+    def test_one_bit_is_32x_smaller(self):
+        n = 1 << 20
+        assert quantized_nbytes(n, bits=32) == 4 * n
+        ratio = quantized_nbytes(n, bits=32) / quantized_nbytes(n, bits=1)
+        assert 30 < ratio <= 32
+
+    def test_only_supported_widths(self):
+        with pytest.raises(ValueError):
+            quantized_nbytes(100, bits=8)
+
+
+class TestOneBitQuantizer:
+    def test_roundtrip_preserves_signs(self):
+        rng = np.random.default_rng(0)
+        q = OneBitQuantizer(64)
+        g = rng.standard_normal(64)
+        out = q.roundtrip(g)
+        np.testing.assert_array_equal(np.sign(out), np.sign(out))
+        assert set(np.unique(out)).issubset(
+            {out.max(), out.min()})  # exactly two levels
+
+    def test_levels_are_sign_class_means(self):
+        q = OneBitQuantizer(4)
+        g = np.array([1.0, 3.0, -2.0, -4.0])
+        signs, pos, neg = q.encode(g)
+        assert pos == pytest.approx(2.0)
+        assert neg == pytest.approx(-3.0)
+
+    def test_error_feedback_carries_residual(self):
+        q = OneBitQuantizer(4)
+        g = np.array([1.0, 3.0, -2.0, -4.0])
+        out = q.roundtrip(g)
+        np.testing.assert_allclose(q.residual, g - out)
+        # What was dropped comes back: quantizing zeros next round
+        # reinjects the residual.
+        out2 = q.roundtrip(np.zeros(4))
+        assert np.abs(out2).sum() > 0
+
+    def test_cumulative_error_is_bounded(self):
+        """Error feedback keeps the *accumulated* transmitted gradient
+        near the accumulated true gradient — the 1-bit SGD invariant."""
+        rng = np.random.default_rng(1)
+        q = OneBitQuantizer(128)
+        true_sum = np.zeros(128)
+        sent_sum = np.zeros(128)
+        for _ in range(200):
+            g = rng.standard_normal(128)
+            true_sum += g
+            sent_sum += q.roundtrip(g)
+        # Residual == accumulated difference; it does not grow with T.
+        np.testing.assert_allclose(true_sum - sent_sum, q.residual,
+                                   atol=1e-9)
+        assert np.abs(q.residual).max() < 20  # O(1), not O(T)
+
+    def test_shape_validation(self):
+        q = OneBitQuantizer(8)
+        with pytest.raises(ValueError):
+            q.encode(np.zeros(9))
+        with pytest.raises(ValueError):
+            OneBitQuantizer(0)
+
+    def test_training_with_quantized_gradients_converges(self):
+        """1-bit SGD with error feedback still learns the toy task."""
+        rng = np.random.default_rng(5)
+        net = build_mlp([8, 16, 2], rng=np.random.default_rng(6))
+        solver = SGDSolver(net, SolverConfig(base_lr=0.3, momentum=0.0))
+        q = OneBitQuantizer(net.param_count)
+        x = rng.standard_normal((128, 8))
+        labels = (x[:, 0] > 0).astype(int)
+        first = solver.compute_gradients(x, labels)
+        for _ in range(120):
+            solver.compute_gradients(x, labels)
+            net.set_grads(q.roundtrip(net.get_grads()))
+            solver.apply_update()
+        last = solver.compute_gradients(x, labels)
+        assert last < first * 0.5
+
+
+class TestCNTKOneBit:
+    def cfg(self):
+        return TrainConfig(network="alexnet", dataset="imagenet",
+                           batch_size=256, iterations=10,
+                           measure_iterations=2)
+
+    def test_one_bit_reduces_aggregation_time(self):
+        """On the parameter-heavy AlexNet, shrinking gradient traffic
+        32x collapses the allreduce cost."""
+        full = run_cntk(cluster_b(Simulator()), 8, self.cfg())
+        onebit = run_cntk(cluster_b(Simulator()), 8, self.cfg(),
+                          quantization_bits=1)
+        assert onebit.framework == "CNTK (1-bit SGD)"
+        assert onebit.phase("aggregation") < 0.3 * full.phase("aggregation")
+        assert onebit.total_time < full.total_time
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            run_cntk(cluster_b(Simulator()), 4, self.cfg(),
+                     quantization_bits=8)

@@ -1,0 +1,328 @@
+"""Tests for synchronization primitives and resources."""
+
+import pytest
+
+from repro.sim import (
+    Barrier, BandwidthLink, Channel, Flag, Mutex, Resource, Semaphore,
+    Simulator, Store,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFlag:
+    def test_wait_blocks_until_set(self, sim):
+        flag = Flag(sim)
+        log = []
+
+        def waiter():
+            yield flag.wait()
+            log.append(sim.now)
+
+        def setter():
+            yield sim.timeout(2.0)
+            flag.set()
+
+        sim.process(waiter())
+        sim.process(setter())
+        sim.run()
+        assert log == [2.0]
+
+    def test_wait_on_set_flag_is_immediate(self, sim):
+        flag = Flag(sim, value=True)
+
+        def waiter():
+            yield flag.wait()
+            return sim.now
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == 0.0
+
+    def test_clear_rearms(self, sim):
+        flag = Flag(sim)
+        times = []
+
+        def waiter():
+            yield flag.wait()
+            times.append(sim.now)
+            flag.clear()
+            yield flag.wait()
+            times.append(sim.now)
+
+        def setter():
+            yield sim.timeout(1.0)
+            flag.set()
+            yield sim.timeout(1.0)
+            flag.set()
+
+        sim.process(waiter())
+        sim.process(setter())
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_set_releases_all_waiters(self, sim):
+        flag = Flag(sim)
+        released = []
+
+        def waiter(i):
+            yield flag.wait()
+            released.append(i)
+
+        for i in range(3):
+            sim.process(waiter(i))
+        flag.set()
+        sim.run()
+        assert sorted(released) == [0, 1, 2]
+
+
+class TestSemaphore:
+    def test_fifo_order(self, sim):
+        sem = Semaphore(sim, value=1)
+        order = []
+
+        def worker(i):
+            yield sem.acquire()
+            order.append(i)
+            yield sim.timeout(1.0)
+            sem.release()
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert order == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_counting(self, sim):
+        sem = Semaphore(sim, value=2)
+        concurrency = []
+
+        def worker():
+            yield sem.acquire()
+            concurrency.append(2 - sem.value)
+            yield sim.timeout(1.0)
+            sem.release()
+
+        for _ in range(4):
+            sim.process(worker())
+        sim.run()
+        assert sim.now == 2.0  # two batches of two
+
+    def test_negative_value_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Semaphore(sim, value=-1)
+
+
+class TestBarrier:
+    def test_releases_all_at_once(self, sim):
+        bar = Barrier(sim, parties=3)
+        times = []
+
+        def party(delay):
+            yield sim.timeout(delay)
+            yield bar.arrive()
+            times.append(sim.now)
+
+        for d in (1.0, 2.0, 3.0):
+            sim.process(party(d))
+        sim.run()
+        assert times == [3.0, 3.0, 3.0]
+
+    def test_reusable_generations(self, sim):
+        bar = Barrier(sim, parties=2)
+        gens = []
+
+        def party():
+            g0 = yield bar.arrive()
+            g1 = yield bar.arrive()
+            gens.append((g0, g1))
+
+        sim.process(party())
+        sim.process(party())
+        sim.run()
+        assert gens == [(0, 1), (0, 1)]
+
+    def test_single_party_never_blocks(self, sim):
+        bar = Barrier(sim, parties=1)
+
+        def party():
+            yield bar.arrive()
+            return sim.now
+
+        p = sim.process(party())
+        sim.run()
+        assert p.value == 0.0
+
+
+class TestChannel:
+    def test_put_get_order(self, sim):
+        ch = Channel(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield ch.get()))
+
+        def producer():
+            for i in range(3):
+                yield ch.put(i)
+                yield sim.timeout(1.0)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_on_empty(self, sim):
+        ch = Channel(sim)
+
+        def consumer():
+            v = yield ch.get()
+            return (v, sim.now)
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield ch.put("x")
+
+        p = sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert p.value == ("x", 5.0)
+
+    def test_bounded_put_blocks(self, sim):
+        ch = Channel(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield ch.put(1)
+            log.append(("put1", sim.now))
+            yield ch.put(2)
+            log.append(("put2", sim.now))
+
+        def consumer():
+            yield sim.timeout(3.0)
+            yield ch.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log == [("put1", 0.0), ("put2", 3.0)]
+
+
+class TestResource:
+    def test_serializes(self, sim):
+        res = Resource(sim, capacity=1)
+        done = []
+
+        def worker(i):
+            yield from res.use(2.0)
+            done.append((i, sim.now))
+
+        for i in range(3):
+            sim.process(worker(i))
+        sim.run()
+        assert done == [(0, 2.0), (1, 4.0), (2, 6.0)]
+
+    def test_busy_time_accounting(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def worker():
+            yield from res.use(2.0)
+            yield sim.timeout(5.0)
+            yield from res.use(3.0)
+
+        sim.process(worker())
+        sim.run()
+        assert res.busy_time == pytest.approx(5.0)
+
+    def test_release_unknown_grant_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(ValueError):
+            res.release(999)
+
+    def test_capacity_two_runs_pairs(self, sim):
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def worker(i):
+            yield from res.use(1.0)
+            done.append(sim.now)
+
+        for i in range(4):
+            sim.process(worker(i))
+        sim.run()
+        assert done == [1.0, 1.0, 2.0, 2.0]
+
+
+class TestBandwidthLink:
+    def test_occupancy_formula(self, sim):
+        link = BandwidthLink(sim, bandwidth=1e9, latency=1e-6)
+        assert link.occupancy(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_transfers_serialize(self, sim):
+        link = BandwidthLink(sim, bandwidth=1e6, latency=0.0)
+
+        def xfer():
+            yield from link.transfer(1_000_000)  # 1 second each
+
+        sim.process(xfer())
+        sim.process(xfer())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert link.bytes_moved == 2_000_000
+        assert link.messages == 2
+
+    def test_per_message_overhead(self, sim):
+        link = BandwidthLink(sim, bandwidth=1e9, latency=0.0,
+                             per_message_overhead=0.5)
+
+        def xfer():
+            yield from link.transfer(0)
+
+        sim.process(xfer())
+        sim.run()
+        assert sim.now == pytest.approx(0.5)
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            BandwidthLink(sim, bandwidth=0, latency=0)
+        with pytest.raises(ValueError):
+            BandwidthLink(sim, bandwidth=1, latency=-1)
+        link = BandwidthLink(sim, bandwidth=1, latency=0)
+        with pytest.raises(ValueError):
+            link.occupancy(-1)
+
+
+class TestStore:
+    def test_peek_and_len(self, sim):
+        st = Store(sim)
+        st.put("a")
+        st.put("b")
+        assert len(st) == 2
+        assert st.peek() == "a"
+
+    def test_peek_empty_raises(self, sim):
+        st = Store(sim)
+        with pytest.raises(LookupError):
+            st.peek()
+
+    def test_bounded_capacity(self, sim):
+        st = Store(sim, capacity=2)
+        log = []
+
+        def producer():
+            for i in range(3):
+                yield st.put(i)
+                log.append((i, sim.now))
+
+        def consumer():
+            yield sim.timeout(1.0)
+            yield st.get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert log == [(0, 0.0), (1, 0.0), (2, 1.0)]

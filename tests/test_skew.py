@@ -1,0 +1,107 @@
+"""Tests for the skew/noise model (jitter + stragglers)."""
+
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.hardware import Calibration, cluster_a
+from repro.mpi import MPIRuntime, MV2GDR
+from repro.mpi.collectives import reduce_chain
+from repro.sim import BandwidthLink, Simulator
+
+
+def reduce_time(design_cal, seed, nbytes=8 << 20, P=16):
+    sim = Simulator(seed=seed)
+    cluster = cluster_a(sim, n_nodes=1, cal=design_cal)
+    rt = MPIRuntime(cluster, MV2GDR)
+    comm = rt.world(P)
+
+    def program(ctx):
+        s = DeviceBuffer(ctx.gpu, nbytes)
+        r = DeviceBuffer(ctx.gpu, nbytes) if ctx.rank == 0 else None
+        yield from reduce_chain(ctx, s, r, 0)
+        return ctx.sim.now
+
+    return max(rt.execute(comm, program))
+
+
+class TestJitterFactor:
+    def test_quiet_by_default(self):
+        sim = Simulator()
+        assert sim.jitter_factor(0.5) == 1.0
+        assert sim.straggler_factor(0.5) == 1.0
+
+    def test_armed_with_seed(self):
+        sim = Simulator(seed=42)
+        f = sim.jitter_factor(0.5)
+        assert 1.0 <= f < 1.5
+
+    def test_zero_amount_is_exact(self):
+        sim = Simulator(seed=42)
+        assert sim.jitter_factor(0.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(seed=1).jitter_factor(-0.1)
+
+    def test_deterministic_per_seed(self):
+        a = [Simulator(seed=7).jitter_factor(0.3) for _ in range(3)]
+        b = [Simulator(seed=7).jitter_factor(0.3) for _ in range(3)]
+        assert a == b
+
+
+class TestLinkJitter:
+    def test_transfers_vary_under_noise(self):
+        sim = Simulator(seed=1)
+        link = BandwidthLink(sim, bandwidth=1e6, latency=0.0, jitter=0.5)
+        times = []
+
+        def xfers():
+            for _ in range(4):
+                t0 = sim.now
+                yield from link.transfer(1_000_000)
+                times.append(sim.now - t0)
+
+        sim.process(xfers())
+        sim.run()
+        assert len(set(round(t, 9) for t in times)) > 1
+        assert all(1.0 <= t < 1.5 for t in times)
+
+    def test_no_seed_means_exact_times(self):
+        sim = Simulator()
+        link = BandwidthLink(sim, bandwidth=1e6, latency=0.0, jitter=0.5)
+
+        def xfer():
+            yield from link.transfer(1_000_000)
+
+        sim.process(xfer())
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthLink(Simulator(), bandwidth=1, latency=0, jitter=-1)
+
+
+class TestSkewedReductions:
+    def test_noise_slows_collectives_within_bounds(self):
+        quiet = reduce_time(Calibration(), seed=None)
+        noisy = reduce_time(
+            Calibration(network_jitter=0.3, compute_jitter=0.3), seed=3)
+        # Slower than quiet, but bounded by the worst-case factor.
+        assert quiet < noisy < quiet * 1.4
+
+    def test_stragglers_gate_chain_throughput(self):
+        quiet = reduce_time(Calibration(), seed=None)
+        strag = reduce_time(Calibration(straggler_spread=1.0), seed=5)
+        # A chain is gated by its slowest member: the degradation
+        # reflects the max (not the mean) of the drawn factors.
+        assert strag > quiet * 1.2
+        assert strag < quiet * 2.3
+
+    def test_seeded_runs_reproducible_end_to_end(self):
+        cal = Calibration(network_jitter=0.2, straggler_spread=0.5)
+        assert reduce_time(cal, seed=9) == reduce_time(cal, seed=9)
+
+    def test_different_seeds_differ(self):
+        cal = Calibration(network_jitter=0.2, straggler_spread=0.5)
+        assert reduce_time(cal, seed=1) != reduce_time(cal, seed=2)

@@ -1,0 +1,109 @@
+"""Tests for the Testing (accuracy) phase of distributed training."""
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.core import SCaffeJob, Workload, run_scaffe
+from repro.core.workload import RealCompute
+from repro.dnn import SolverConfig, build_mlp
+from repro.hardware import cluster_a
+from repro.sim import Simulator
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(test_interval=-1)
+    with pytest.raises(ValueError):
+        TrainConfig(test_batch=0)
+
+
+def test_timed_testing_phase_recorded():
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=1)
+    cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                      batch_size=256, iterations=6, measure_iterations=5,
+                      test_interval=2)
+    report = run_scaffe(cluster, 4, cfg)
+    assert report.ok
+    # 6 iterations, testing every 2 -> three Testing passes recorded.
+    assert [it for it, _ in report.test_results] == [2, 4, 6]
+    assert report.phase("test") > 0
+    # No adapter: timed-only testing, no accuracy value.
+    assert report.final_test_accuracy is None
+
+
+def test_no_testing_by_default():
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=1)
+    cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                      batch_size=256, iterations=4, measure_iterations=3)
+    report = run_scaffe(cluster, 4, cfg)
+    assert report.test_results == []
+    assert report.phase("test") == 0.0
+
+
+def test_distributed_accuracy_improves():
+    """The paper's §6.2 validation end-to-end: distributed S-Caffe
+    training drives held-out accuracy up, measured through the real
+    Testing phase on the root solver."""
+    rng = np.random.default_rng(21)
+    x = rng.standard_normal((256, 8))
+    labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+    master = build_mlp([8, 16, 2], rng=np.random.default_rng(22))
+    adapter = RealCompute(master, x[:192], labels[:192],
+                          global_batch=32, n_ranks=4,
+                          solver_config=SolverConfig(base_lr=0.3),
+                          test_x=x[192:], test_labels=labels[192:])
+
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=1)
+    iters = 24
+    cfg = TrainConfig(network="mlp", dataset="mnist", batch_size=32,
+                      iterations=iters, measure_iterations=iters - 1,
+                      variant="SC-OBR", test_interval=6)
+    job = SCaffeJob(cluster, 4, Workload.from_net(master), cfg,
+                    adapter=adapter)
+    report = job.run()
+    assert report.ok
+
+    accs = [r.accuracy for _, r in report.test_results if r is not None]
+    assert len(accs) == 4
+    assert accs[-1] > accs[0] or accs[0] > 0.9
+    assert report.final_test_accuracy == accs[-1]
+    assert report.final_test_accuracy > 0.8
+
+
+def test_distributed_accuracy_matches_sequential():
+    """Same accuracy as single-solver training on the same schedule —
+    the literal "no difference in accuracy" claim."""
+    rng = np.random.default_rng(31)
+    x = rng.standard_normal((128, 6))
+    labels = (x[:, 2] > 0).astype(int)
+    master = build_mlp([6, 12, 2], rng=np.random.default_rng(32))
+    solver_cfg = SolverConfig(base_lr=0.2)
+
+    adapter = RealCompute(master, x, labels, global_batch=16, n_ranks=4,
+                          solver_config=solver_cfg,
+                          test_x=x, test_labels=labels)
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=1)
+    iters = 10
+    cfg = TrainConfig(network="mlp", dataset="mnist", batch_size=16,
+                      iterations=iters, measure_iterations=iters - 1,
+                      test_interval=iters)
+    job = SCaffeJob(cluster, 4, Workload.from_net(master), cfg,
+                    adapter=adapter)
+    report = job.run()
+
+    from repro.dnn import SGDSolver
+    seq = SGDSolver(master.clone(), solver_cfg)
+    n = x.shape[0]
+    for it in range(iters):
+        start = (it * 16) % n
+        idx = [(start + i) % n for i in range(16)]
+        seq.compute_gradients(x[idx], labels[idx])
+        seq.apply_update()
+    seq_acc = seq.test(x, labels).accuracy
+
+    assert report.final_test_accuracy == pytest.approx(seq_acc, abs=1e-9)

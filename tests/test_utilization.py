@@ -1,0 +1,89 @@
+"""Tests for the cluster-utilization analysis."""
+
+import pytest
+
+from repro import TrainConfig
+from repro.analysis import (
+    CategoryUtilization, cluster_utilization, utilization_report,
+)
+from repro.core import run_scaffe
+from repro.hardware import cluster_a
+from repro.sim import Simulator
+
+
+def run_training(variant="SC-B", n_gpus=8, profile="mv2gdr"):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=1)
+    cfg = TrainConfig(network="alexnet", dataset="imagenet",
+                      batch_size=256, iterations=5, measure_iterations=4,
+                      variant=variant)
+    report = run_scaffe(cluster, n_gpus, cfg, profile=profile)
+    assert report.ok
+    return sim, cluster, report
+
+
+class TestCategoryUtilization:
+    def test_fractions(self):
+        cat = CategoryUtilization("x", count=2, total_busy=1.0,
+                                  max_busy=0.8, bytes_moved=100)
+        assert cat.mean_utilization(1.0) == pytest.approx(0.5)
+        assert cat.peak_utilization(1.0) == pytest.approx(0.8)
+        with pytest.raises(ValueError):
+            cat.mean_utilization(0.0)
+        with pytest.raises(ValueError):
+            cat.peak_utilization(-1.0)
+
+
+class TestClusterUtilization:
+    def test_idle_cluster_is_all_zero(self):
+        cluster = cluster_a(Simulator(), n_nodes=1)
+        stats = cluster_utilization(cluster)
+        assert set(stats) == {"gpu_compute", "pcie_up", "pcie_down",
+                              "nic_tx", "nic_rx", "host_memcpy",
+                              "cpu_reduce"}
+        for cat in stats.values():
+            assert cat.total_busy == 0.0
+            assert cat.bytes_moved == 0
+
+    def test_training_run_exercises_expected_facilities(self):
+        sim, cluster, _ = run_training()
+        stats = cluster_utilization(cluster)
+        assert stats["gpu_compute"].total_busy > 0
+        assert stats["pcie_up"].bytes_moved > 0    # intra-node P2P/IPC
+        assert stats["pcie_down"].bytes_moved > 0  # input uploads too
+        # Single-node job: the InfiniBand ports stay idle.
+        assert stats["nic_tx"].bytes_moved == 0
+        # mv2gdr profile reduces on GPU kernels, never on the host CPU.
+        assert stats["cpu_reduce"].bytes_moved == 0
+
+    def test_host_reduce_profile_uses_cpu_engine(self):
+        sim, cluster, _ = run_training(profile="mv2")
+        stats = cluster_utilization(cluster)
+        assert stats["cpu_reduce"].bytes_moved > 0
+
+    def test_utilization_fractions_bounded(self):
+        sim, cluster, _ = run_training()
+        span = sim.now
+        for cat in cluster_utilization(cluster).values():
+            assert 0.0 <= cat.peak_utilization(span) <= 1.0 + 1e-9
+            assert 0.0 <= cat.mean_utilization(span) <= 1.0 + 1e-9
+
+    def test_overlap_raises_compute_utilization(self):
+        """The co-design effect, measured: SC-OBR keeps the SMs at least
+        as busy per unit time as the phase-sequential SC-B."""
+        sim_b, cluster_b_, _ = run_training("SC-B")
+        sim_o, cluster_o, _ = run_training("SC-OBR")
+        util_b = cluster_utilization(cluster_b_)[
+            "gpu_compute"].mean_utilization(sim_b.now)
+        util_o = cluster_utilization(cluster_o)[
+            "gpu_compute"].mean_utilization(sim_o.now)
+        assert util_o >= util_b * 0.99
+
+
+class TestUtilizationReport:
+    def test_renders(self):
+        sim, cluster, _ = run_training()
+        text = utilization_report(cluster, sim.now)
+        assert "gpu_compute" in text
+        assert "GiB" in text
+        assert "%" in text
