@@ -5,7 +5,8 @@ from .model import (
     optimal_chunks, t_binomial, t_chunked_chain,
 )
 from .report import (
-    format_bytes, format_table, format_time, scaling_table, speedup_series,
+    format_bytes, format_fault_report, format_table, format_time,
+    scaling_table, speedup_series,
 )
 from .utilization import (
     CategoryUtilization, cluster_utilization, utilization_report,
@@ -15,7 +16,8 @@ __all__ = [
     "HopCost", "crossover_P", "fit_hop_cost", "hierarchical_estimate",
     "optimal_chunks",
     "t_binomial", "t_chunked_chain",
-    "format_bytes", "format_table", "format_time", "scaling_table",
+    "format_bytes", "format_fault_report", "format_table", "format_time",
+    "scaling_table",
     "speedup_series",
     "CategoryUtilization", "cluster_utilization", "utilization_report",
 ]

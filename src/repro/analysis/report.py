@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Iterable, List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_time", "format_bytes",
-           "scaling_table", "speedup_series"]
+           "format_fault_report", "scaling_table", "speedup_series"]
 
 KiB = 1 << 10
 MiB = 1 << 20
@@ -53,6 +53,41 @@ def format_bytes(n: int) -> str:
     if n >= KiB:
         return f"{n // KiB}K"
     return str(n)
+
+
+def format_fault_report(fr) -> str:
+    """Render a :class:`~repro.core.metrics.FaultReport` as plain text.
+
+    Quiet sections collapse to one line; a faulted run prints the
+    injection tally, runtime resilience counters, and the modeled
+    checkpoint/recovery costs.
+    """
+    if fr is None:
+        return "faults: (not tracked)"
+    if fr.clean and fr.checkpoints == 0:
+        return "faults: none injected, none observed"
+    lines = ["faults:"]
+    if fr.injected:
+        tally = ", ".join(f"{k}x{v}" for k, v in sorted(fr.injected.items()))
+        lines.append(f"  injected        {fr.total_injected:4d}  ({tally})")
+    else:
+        lines.append("  injected           0")
+    if fr.crashed_ranks:
+        ranks = ", ".join(str(r) for r in fr.crashed_ranks)
+        lines.append(f"  crashed ranks         [{ranks}] "
+                     f"({fr.detected_failures} detected)")
+    lines.append(f"  transport       {fr.retries:4d} retries, "
+                 f"{fr.timeouts} timeouts, {fr.messages_dropped} drops, "
+                 f"{fr.link_down_hits} link-down hits")
+    if fr.checkpoints or fr.restores:
+        lines.append(f"  checkpoints     {fr.checkpoints:4d} saved "
+                     f"({format_time(fr.checkpoint_time).strip()}), "
+                     f"{fr.restores} restored "
+                     f"({format_time(fr.restore_time).strip()})")
+    if fr.recoveries:
+        lines.append(f"  recoveries      {fr.recoveries:4d} "
+                     f"({format_time(fr.recovery_time).strip()} total)")
+    return "\n".join(lines)
 
 
 def scaling_table(title: str, reports_by_gpus: Mapping[int, Iterable],

@@ -79,6 +79,28 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--sizes", default="64K,1M,8M,64M")
     a.add_argument("--designs", default="flat,CB-8,CC-8")
 
+    c = sub.add_parser(
+        "chaos",
+        help="run training under a named fault plan (chaos experiment)")
+    c.add_argument("--plan", default="flaky",
+                   help="named fault plan: quiet | flaky-nic | straggler "
+                        "| flaky | rank-crash | chaos")
+    c.add_argument("--cluster", default="A", choices=["A", "B"])
+    c.add_argument("--gpus", type=int, default=16)
+    c.add_argument("--network", default="alexnet")
+    c.add_argument("--batch-size", type=int, default=256)
+    c.add_argument("--iterations", type=int, default=20)
+    c.add_argument("--seed", type=int, default=1)
+    c.add_argument("--checkpoint-interval", type=int, default=5,
+                   help="solver-state snapshot every K iterations "
+                        "(0 disables)")
+    c.add_argument("--variant", default="SC-OBR",
+                   choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
+    c.add_argument("--profile", default="mv2gdr",
+                   choices=["mv2gdr", "mv2", "openmpi"])
+    c.add_argument("--describe", action="store_true",
+                   help="print the fault schedule before running")
+
     sub.add_parser("table1", help="print the Table-1 feature matrix")
     sub.add_parser("networks", help="list the model zoo")
     return p
@@ -114,6 +136,59 @@ def _cmd_train(args) -> int:
         return 0
     print(f"  note: {report.notes}")
     return 1
+
+
+def _cmd_chaos(args) -> int:
+    from .analysis import format_fault_report
+    from .core import TrainConfig, run_scaffe
+    from .faults import PLAN_NAMES, named_plan
+    from .hardware import make_cluster
+    from .sim import Simulator
+
+    if args.plan not in PLAN_NAMES:
+        print(f"unknown plan {args.plan!r}; choose from "
+              f"{', '.join(PLAN_NAMES)}", file=sys.stderr)
+        return 2
+
+    def mkcfg(ckpt: int) -> TrainConfig:
+        return TrainConfig(network=args.network,
+                           batch_size=args.batch_size,
+                           iterations=args.iterations,
+                           variant=args.variant,
+                           measure_iterations=min(4, args.iterations),
+                           checkpoint_interval=ckpt)
+
+    # Quiet probe run: estimate the horizon so the plan's fault windows
+    # land inside the run rather than after it finishes.
+    probe_cluster = make_cluster(Simulator(), args.cluster)
+    probe = run_scaffe(probe_cluster, args.gpus, mkcfg(0),
+                       profile=args.profile)
+    if not probe.ok:
+        print(f"probe run failed: {probe.failure} ({probe.notes})")
+        return 1
+    # Schedule faults over the span that is actually simulated, not the
+    # extrapolated total — events past the simulated window never fire.
+    horizon = probe.simulated_time or probe.total_time
+
+    cluster = make_cluster(Simulator(), args.cluster)
+    plan = named_plan(args.plan, seed=args.seed, horizon=horizon,
+                      n_ranks=args.gpus,
+                      n_nodes=len(cluster.nodes),
+                      gpus_per_node=cluster.gpus_per_node,
+                      nics_per_node=len(cluster.nodes[0].nics))
+    if args.describe:
+        print(plan.describe())
+        print()
+    report = run_scaffe(cluster, args.gpus, mkcfg(args.checkpoint_interval),
+                        profile=args.profile, fault_plan=plan)
+    print(f"plan {plan.name!r} ({len(plan)} events), "
+          f"quiet baseline {probe.total_time:.2f}s")
+    print(report.summary())
+    if report.ok:
+        overhead = report.total_time / probe.total_time - 1.0
+        print(f"  overhead vs quiet: {overhead * 100:+.1f}%")
+    print(format_fault_report(report.faults))
+    return 0 if report.ok else 1
 
 
 def _fmt_bytes(n: int) -> str:
@@ -215,6 +290,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "train": _cmd_train,
+        "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,
         "table1": _cmd_table1,

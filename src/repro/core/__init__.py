@@ -4,7 +4,7 @@ from .caffe import CaffeJob, run_caffe
 from .cntk import CNTKJob, run_cntk
 from .config import TrainConfig
 from .frameworks import FRAMEWORKS, FrameworkFeatures, table1_rows
-from .metrics import TrainingReport, speedup
+from .metrics import FaultReport, TrainingReport, speedup
 from .mpi_caffe import MPICaffeJob, run_mpi_caffe
 from .param_server import ParameterServerJob, run_param_server
 from .scaffe import SCaffeJob, run_scaffe
@@ -16,7 +16,7 @@ __all__ = [
     "CNTKJob", "run_cntk",
     "TrainConfig",
     "FRAMEWORKS", "FrameworkFeatures", "table1_rows",
-    "TrainingReport", "speedup",
+    "FaultReport", "TrainingReport", "speedup",
     "MPICaffeJob", "run_mpi_caffe",
     "ParameterServerJob", "run_param_server",
     "SCaffeJob", "run_scaffe",

@@ -46,6 +46,10 @@ class TrainConfig:
     test_interval: int = 0
     #: Samples per Testing pass.
     test_batch: int = 64
+    #: Snapshot solver state every K iterations (0 disables, like
+    #: Caffe's ``snapshot`` solver parameter).  Required for restart
+    #: after a rank crash; without it recovery recomputes from scratch.
+    checkpoint_interval: int = 0
 
     def __post_init__(self):
         if self.batch_size < 1:
@@ -62,6 +66,8 @@ class TrainConfig:
             raise ValueError("need 1 <= measure_iterations <= iterations")
         if self.test_interval < 0 or self.test_batch < 1:
             raise ValueError("bad testing configuration")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
 
     def local_batch(self, n_gpus: int) -> int:
         """Per-solver batch size under the configured scaling mode.

@@ -11,7 +11,53 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["TrainingReport", "speedup"]
+__all__ = ["FaultReport", "TrainingReport", "speedup"]
+
+
+@dataclass
+class FaultReport:
+    """Fault/robustness outcome of one training run.
+
+    ``injected`` counts scheduled fault events that actually fired
+    (by event-class name); the remaining counters come from the runtime
+    (transport metrics, failure detector, checkpoint store).
+    """
+
+    #: Fault-event class name -> times applied by the injector.
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: Rank deaths observed by the failure detector.
+    detected_failures: int = 0
+    #: World ranks that crashed.
+    crashed_ranks: list = field(default_factory=list)
+    #: pt2pt transfer attempts retried after a transient link fault.
+    retries: int = 0
+    #: Transfers that exhausted their retry budget.
+    timeouts: int = 0
+    #: Forced message drops observed by the transport.
+    messages_dropped: int = 0
+    #: Transfers that hit a down link.
+    link_down_hits: int = 0
+    #: Successful shrink-and-resume recoveries (counted once per
+    #: recovery episode, on the root rank).
+    recoveries: int = 0
+    #: Simulated wall-clock spent in recovery (revocation -> resumed
+    #: training), root rank.
+    recovery_time: float = 0.0
+    #: Checkpoint saves / restores and their total simulated cost.
+    checkpoints: int = 0
+    checkpoint_time: float = 0.0
+    restores: int = 0
+    restore_time: float = 0.0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was injected and nothing failed."""
+        return (self.total_injected == 0 and self.detected_failures == 0
+                and self.retries == 0 and self.timeouts == 0)
 
 
 @dataclass
@@ -26,6 +72,10 @@ class TrainingReport:
     total_time: float
     #: Samples consumed per iteration across all solvers.
     global_batch: int
+    #: Wall-clock actually simulated (the measurement window
+    #: ``total_time`` extrapolates from); 0.0 when not tracked.  Fault
+    #: plans should be scheduled over THIS horizon, not ``total_time``.
+    simulated_time: float = 0.0
     #: Phase name -> per-iteration time on the critical path (root rank).
     phase_breakdown: Dict[str, float] = field(default_factory=dict)
     #: Run refused/failed: "oom", "unsupported", "hang", or None.
@@ -35,6 +85,9 @@ class TrainingReport:
     #: Testing-phase outcomes [(iteration, TestResult-or-None), ...]
     #: when the run was configured with a test_interval.
     test_results: list = field(default_factory=list)
+    #: Robustness outcome (present when the run was fault-injected or
+    #: checkpointed; None for plain quiet runs).
+    faults: Optional[FaultReport] = None
     notes: str = ""
 
     @property

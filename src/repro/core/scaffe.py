@@ -28,19 +28,27 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from ..cuda import DeviceBuffer
+from ..faults import CrashRank, FaultInjector, FaultPlan
 from ..hardware import Cluster, OutOfMemoryError
-from ..io import DataLayer, DataReader, get_dataset, make_backend
-from ..mpi import MPIRuntime, MPIProfile, MV2GDR, RankContext
+from ..io import CheckpointStore, DataLayer, DataReader, get_dataset, \
+    make_backend
+from ..mpi import (
+    CommRevoked, MPIRuntime, MPIProfile, MV2GDR, RankContext, RankFailure,
+    RequestTimeout, TransportTimeout,
+)
 from ..mpi.collectives import (
     bcast_binomial, hierarchical_reduce, ibcast, reduce_binomial,
     tuned_reduce,
 )
-from ..sim import Channel, Event, Tracer
+from ..sim import Channel, Event, Interrupt, Tracer
 from .config import TrainConfig
-from .metrics import TrainingReport
+from .metrics import FaultReport, TrainingReport
 from .workload import RealCompute, SolverBuffers, Workload
 
 __all__ = ["SCaffeJob", "run_scaffe"]
+
+#: Failures a surviving rank recovers from by shrinking + restarting.
+_RECOVERABLE = (RankFailure, CommRevoked, TransportTimeout, RequestTimeout)
 
 
 class SCaffeJob:
@@ -50,7 +58,8 @@ class SCaffeJob:
                  cfg: TrainConfig, *,
                  profile: MPIProfile | str = MV2GDR,
                  adapter: Optional[RealCompute] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 fault_plan: Optional[FaultPlan] = None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.cal = cluster.cal
@@ -62,6 +71,17 @@ class SCaffeJob:
         self.tracer = tracer or Tracer(self.sim, enabled=True)
         self.local_batch = cfg.local_batch(n_gpus)
         self.sim_iterations = min(cfg.iterations, cfg.measure_iterations + 1)
+        self.injector = (FaultInjector(cluster, fault_plan)
+                         if fault_plan is not None else None)
+        self.checkpoint = CheckpointStore(self.sim, self.cal)
+        # Survivor agreement at loop end is only needed when a crash can
+        # strand finished ranks; gating it on the plan keeps quiet-plan
+        # runs event-for-event identical to uninjected ones.
+        self._crash_possible = fault_plan is not None and any(
+            isinstance(ev, CrashRank) for ev in fault_plan.events)
+        self._root_gpu = None
+        self._recoveries = 0
+        self._recovery_time = 0.0
         self._iter_ends: List[float] = []
         self._io_stalls: List[float] = []
         self._test_results: List = []
@@ -84,28 +104,56 @@ class SCaffeJob:
             report.failure = "oom"
             report.notes = (f"needs {need >> 20} MiB/GPU, "
                             f"capacity {capacity >> 20} MiB")
+            if self.injector is not None or cfg.checkpoint_interval:
+                report.faults = self._fault_report()
             return report
 
         comm = self.runtime.world(self.n_gpus)
+        self._root_gpu = comm.gpus[0]
         dataset = get_dataset(cfg.dataset)
         backend = make_backend(
             "lustre" if cfg.data_backend in ("lustre", "imagedata")
             else "lmdb", self.sim, dataset, self.cal)
 
         procs = self.runtime.spawn(comm, self._rank_program, backend)
+        if self.injector is not None:
+            self.injector.arm(runtime=self.runtime, procs=procs,
+                              gpus=comm.gpus)
         self.sim.run()
         for p in procs:
             if not p.ok:  # pragma: no cover - defensive
                 raise p.value
 
         report.total_time = self._extrapolated_total()
+        report.simulated_time = self._iter_ends[-1]
         report.phase_breakdown = self._per_iteration_phases()
         report.test_results = list(self._test_results)
         if self._io_stalls:
             report.io_stall_per_iteration = (
                 sum(self._io_stalls) / len(self._io_stalls)
                 / self.sim_iterations)
+        if self.injector is not None or cfg.checkpoint_interval:
+            report.faults = self._fault_report()
         return report
+
+    def _fault_report(self) -> FaultReport:
+        fr = FaultReport()
+        tm = self.runtime.transport.metrics
+        fr.retries = tm.retries
+        fr.timeouts = tm.timeouts
+        fr.messages_dropped = tm.drops_detected
+        fr.link_down_hits = tm.link_down_detected
+        fr.detected_failures = self.runtime.failure_detector.detections
+        if self.injector is not None:
+            fr.injected = dict(self.injector.injected)
+            fr.crashed_ranks = list(self.injector.crashed_ranks)
+        fr.recoveries = self._recoveries
+        fr.recovery_time = self._recovery_time
+        fr.checkpoints = self.checkpoint.saves
+        fr.checkpoint_time = self.checkpoint.save_time
+        fr.restores = self.checkpoint.restores
+        fr.restore_time = self.checkpoint.restore_time
+        return fr
 
     def _extrapolated_total(self) -> float:
         """Total time for cfg.iterations from the simulated window.
@@ -165,18 +213,105 @@ class SCaffeJob:
         if with_payload and me == 0:
             buffers.write_params(self.adapter.get_params(0))
 
-        yield from ctx.barrier()  # align the start of timing
-
+        pending_exc: Optional[BaseException] = None
         try:
-            for it in range(self.sim_iterations):
-                yield from self._iteration(ctx, actor, buffers, layer, it)
-                if me == 0:
-                    self._iter_ends.append(self.sim.now)
+            while True:
+                try:
+                    if pending_exc is not None:
+                        exc, pending_exc = pending_exc, None
+                        ctx = yield from self._recover(ctx, exc)
+                        actor = f"r{ctx.rank}"
+                    # Alignment barrier: start of timing on the first
+                    # pass, restart agreement after a recovery.
+                    yield from ctx.barrier()
+                    yield from self._solve_loop(ctx, actor, buffers, layer)
+                    if self._crash_possible:
+                        # Completion agreement: nobody returns while a
+                        # late death is pulling others into recovery —
+                        # revocation breaks this barrier.
+                        yield from ctx.barrier()
+                    break
+                except Interrupt as exc:
+                    if isinstance(exc.cause, CrashRank):
+                        # Dead: drop half-open phases (a survivor may
+                        # inherit this rank number after the shrink).
+                        self.tracer.abandon(actor)
+                        return  # cleanup below
+                    raise
+                except _RECOVERABLE as exc:
+                    # The fault unwound us mid-iteration: drop any
+                    # half-open trace phases before the replay re-opens
+                    # them.
+                    self.tracer.abandon(actor)
+                    pending_exc = exc
         finally:
             reader.stop()
             self._io_stalls.append(layer.stall_time)
             buffers.free()
             ctx.gpu.unreserve(extra)
+
+    def _solve_loop(self, ctx: RankContext, actor: str,
+                    buffers: SolverBuffers, layer: DataLayer
+                    ) -> Generator[Event, Any, None]:
+        """The iteration loop, resuming after the last persisted state."""
+        cfg = self.cfg
+        start = self.checkpoint.completed_iterations
+        for it in range(start, self.sim_iterations):
+            yield from self._iteration(ctx, actor, buffers, layer, it)
+            if ctx.gpu is self._root_gpu:
+                self._record_iter_end(it)
+                if (cfg.checkpoint_interval
+                        and (it + 1) % cfg.checkpoint_interval == 0):
+                    yield from self._save_checkpoint(ctx, it + 1)
+
+    def _record_iter_end(self, it: int) -> None:
+        # Index-assigned so iterations replayed after a rollback
+        # overwrite their pre-crash timestamps.
+        ends = self._iter_ends
+        if it < len(ends):
+            ends[it] = self.sim.now
+        else:
+            ends.append(self.sim.now)
+
+    def _save_checkpoint(self, ctx: RankContext, completed: int
+                         ) -> Generator[Event, Any, None]:
+        """Root-solver snapshot: parameters + momentum (Caffe's
+        ``.solverstate``), D2H + parallel-FS write cost."""
+        payload = (self.adapter.get_params(0)
+                   if self.adapter is not None else None)
+        yield from self.checkpoint.save(
+            ctx.gpu, 2 * self.workload.param_bytes, completed,
+            payload=payload)
+
+    def _recover(self, ctx: RankContext, exc: BaseException
+                 ) -> Generator[Event, Any, RankContext]:
+        """Shrink-and-restart after a detected rank failure (survivors).
+
+        The root solver restores the last snapshot (parameters propagate
+        to the other survivors through the next iteration's bcast, whose
+        modeled cost is identical); every survivor rolls its iteration
+        counter back to the persisted count via ``_solve_loop``.
+        """
+        t0 = self.sim.now
+        members = tuple(id(g) for g in ctx.comm.gpus)
+        live = ctx.comm.shrink()
+        if tuple(id(g) for g in live.gpus) == members:
+            # Nothing died — a bare transport timeout is not survivable
+            # by shrinking, and retrying the same membership forever
+            # would hang: fail the job loudly instead.
+            raise RuntimeError(
+                f"unrecoverable failure on {ctx.comm.name}: {exc}") from exc
+        new_ctx = ctx.sub_context(live)
+        if new_ctx is None:  # pragma: no cover - crashes exit via Interrupt
+            raise RuntimeError("dead rank cannot recover") from exc
+        if new_ctx.gpu is self._root_gpu:
+            snap = yield from self.checkpoint.restore(new_ctx.gpu)
+            if (snap is not None and snap.payload is not None
+                    and self.adapter is not None):
+                self.adapter.set_params(0, snap.payload)
+            self._recoveries += 1
+            self._recovery_time += self.sim.now - t0
+        return new_ctx
 
     def _iteration(self, ctx: RankContext, actor: str,
                    buffers: SolverBuffers, layer: DataLayer, it: int
@@ -285,22 +420,32 @@ class SCaffeJob:
         helper_actor = f"{actor}.helper"
 
         def helper():
-            for g in reversed(range(len(wl.groups))):
-                tr.begin(helper_actor, "bwd")
-                yield self.sim.timeout(self.cal.layer_dispatch_overhead)
-                yield from ctx.cuda.launch(
-                    ctx.gpu,
-                    flops=wl.groups[g].bwd_flops_per_sample * lb / eff)
-                tr.end(helper_actor, "bwd")
-                yield done_ch.put(g)
+            try:
+                for g in reversed(range(len(wl.groups))):
+                    tr.begin(helper_actor, "bwd")
+                    yield self.sim.timeout(self.cal.layer_dispatch_overhead)
+                    yield from ctx.cuda.launch(
+                        ctx.gpu,
+                        flops=wl.groups[g].bwd_flops_per_sample * lb / eff)
+                    tr.end(helper_actor, "bwd")
+                    yield done_ch.put(g)
+            except Interrupt:
+                return  # main thread died or entered recovery
 
         helper_proc = self.sim.process(helper(), name=helper_actor)
-        for _ in range(len(wl.groups)):
-            g = yield done_ch.get()
-            tr.begin(actor, "aggregation")
-            yield from self._reduce(ctx, buffers.grad_bufs[g])
-            tr.end(actor, "aggregation")
-        yield helper_proc
+        try:
+            for _ in range(len(wl.groups)):
+                g = yield done_ch.get()
+                tr.begin(actor, "aggregation")
+                yield from self._reduce(ctx, buffers.grad_bufs[g])
+                tr.end(actor, "aggregation")
+            yield helper_proc
+        except BaseException:
+            # Don't leave an orphan helper computing into a dead/recovering
+            # iteration (its done_ch puts would never be drained).
+            if helper_proc.is_alive:
+                helper_proc.interrupt()
+            raise
 
     def _reduce(self, ctx: RankContext, buf: DeviceBuffer
                 ) -> Generator[Event, Any, None]:
@@ -320,11 +465,12 @@ def run_scaffe(cluster: Cluster, n_gpus: int, cfg: TrainConfig, *,
                profile: MPIProfile | str = MV2GDR,
                workload: Optional[Workload] = None,
                adapter: Optional[RealCompute] = None,
-               tracer: Optional[Tracer] = None) -> TrainingReport:
+               tracer: Optional[Tracer] = None,
+               fault_plan: Optional[FaultPlan] = None) -> TrainingReport:
     """Convenience wrapper: build the workload from the config and run."""
     if workload is None:
         from ..dnn import get_network
         workload = Workload.from_spec(get_network(cfg.network))
     job = SCaffeJob(cluster, n_gpus, workload, cfg, profile=profile,
-                    adapter=adapter, tracer=tracer)
+                    adapter=adapter, tracer=tracer, fault_plan=fault_plan)
     return job.run()

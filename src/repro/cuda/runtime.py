@@ -91,6 +91,7 @@ class CudaRuntime:
         dur = (device.spec.compute_time(flops) if duration is None
                else duration)
         dur *= self.sim.jitter_factor(self.cal.compute_jitter)
+        dur *= device.compute_slowdown
         yield from device.compute.use(self.cal.kernel_launch_overhead + dur)
 
     def reduce_kernel(self, acc: DeviceBuffer, contrib: DeviceBuffer,

@@ -1,0 +1,13 @@
+"""Deterministic fault injection for simulated training runs."""
+
+from .injector import DEFAULT_DETECT_LATENCY, FaultInjector
+from .plan import (
+    CrashRank, DropMessages, FaultEvent, FaultPlan, GpuSlow, LinkDegrade,
+    LinkFlap, PLAN_NAMES, named_plan,
+)
+
+__all__ = [
+    "DEFAULT_DETECT_LATENCY", "FaultInjector",
+    "CrashRank", "DropMessages", "FaultEvent", "FaultPlan", "GpuSlow",
+    "LinkDegrade", "LinkFlap", "PLAN_NAMES", "named_plan",
+]

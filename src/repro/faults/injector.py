@@ -1,0 +1,128 @@
+"""Fault delivery: resolve a plan against a live cluster and drive it.
+
+The injector owns no policy — it swaps
+:class:`~repro.hardware.faults.FaultyLink` wrappers onto the targeted
+links, flips their fault state at the scheduled times, throttles
+straggler GPUs, and crashes rank processes via
+:meth:`~repro.sim.Process.interrupt`.  Detection of a crash reaches the
+:class:`~repro.mpi.failure.FailureDetector` one ``detect_latency``
+later, which is when survivors' pending operations start failing.
+
+An injector armed with a quiet plan spawns no processes and touches no
+links: the simulation is event-for-event identical to an uninjected run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hardware import Cluster
+from ..hardware.faults import FaultyLink
+from ..sim import Event, Process
+from .plan import (
+    CrashRank, DropMessages, FaultPlan, GpuSlow, LinkDegrade, LinkFlap,
+)
+
+__all__ = ["FaultInjector", "DEFAULT_DETECT_LATENCY"]
+
+#: Failure-detector latency: heartbeat period + suspicion threshold.
+DEFAULT_DETECT_LATENCY = 2e-3
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` against a cluster (and optionally a set
+    of rank processes + MPI runtime for crash delivery/detection)."""
+
+    def __init__(self, cluster: Cluster, plan: FaultPlan):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.plan = plan
+        #: Telemetry: events actually applied, by kind.
+        self.injected: Dict[str, int] = {}
+        self.crashed_ranks: List[int] = []
+
+    # -- target resolution -------------------------------------------------
+    def _resolve_link(self, target) -> FaultyLink:
+        """The FaultyLink for a symbolic target, swapping one in on
+        first use.  Transfer paths fetch link attributes per message, so
+        an arm-time swap is observed by all subsequent traffic."""
+        kind = target[0]
+        if kind == "pcie":
+            _, gpu_index, direction = target
+            owner = self.cluster.gpus[gpu_index]
+            attr = f"pcie_{direction}"
+        elif kind == "nic":
+            _, node_index, nic_index, direction = target
+            owner = self.cluster.nodes[node_index].nics[nic_index]
+            attr = direction
+        else:
+            raise KeyError(f"unknown link target kind {kind!r}")
+        link = getattr(owner, attr)
+        if not isinstance(link, FaultyLink):
+            link = FaultyLink.from_link(link)
+            setattr(owner, attr, link)
+        return link
+
+    # -- arming ------------------------------------------------------------
+    def arm(self, *, runtime=None, procs: Optional[List[Process]] = None,
+            gpus=None,
+            detect_latency: float = DEFAULT_DETECT_LATENCY) -> None:
+        """Spawn one driver process per scheduled event.
+
+        ``runtime``/``procs``/``gpus`` are needed only for
+        :class:`CrashRank` events (who to interrupt, which GPU to report
+        dead); link/GPU faults need just the cluster.
+        """
+        for ev in self.plan.events:
+            self.sim.process(
+                self._drive(ev, runtime, procs, gpus, detect_latency),
+                name=f"fault.{type(ev).__name__}")
+
+    def _count(self, ev) -> None:
+        key = type(ev).__name__
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _drive(self, ev, runtime, procs, gpus, detect_latency
+               ) -> Generator[Event, Any, None]:
+        if isinstance(ev, LinkDegrade):
+            link = self._resolve_link(ev.target)
+            yield self.sim.timeout(ev.start)
+            link.degrade(ev.factor)
+            self._count(ev)
+            yield self.sim.timeout(ev.duration)
+            link.restore()
+        elif isinstance(ev, LinkFlap):
+            link = self._resolve_link(ev.target)
+            yield self.sim.timeout(ev.start)
+            link.set_down(True)
+            self._count(ev)
+            yield self.sim.timeout(ev.duration)
+            link.set_down(False)
+        elif isinstance(ev, DropMessages):
+            link = self._resolve_link(ev.target)
+            yield self.sim.timeout(ev.time)
+            link.drop_next(ev.count)
+            self._count(ev)
+        elif isinstance(ev, GpuSlow):
+            gpu = self.cluster.gpus[ev.gpu]
+            yield self.sim.timeout(ev.start)
+            gpu.compute_slowdown = ev.factor
+            self._count(ev)
+        elif isinstance(ev, CrashRank):
+            yield self.sim.timeout(ev.time)
+            proc = procs[ev.rank] if procs else None
+            if proc is not None and not proc.is_alive:
+                return  # rank already finished: nothing to crash
+            if proc is not None:
+                proc.interrupt(ev)
+            self._count(ev)
+            self.crashed_ranks.append(ev.rank)
+            if runtime is not None and gpus is not None:
+                yield self.sim.timeout(detect_latency)
+                runtime.failure_detector.mark_dead(gpus[ev.rank])
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown fault event {ev!r}")

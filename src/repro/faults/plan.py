@@ -1,0 +1,185 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a frozen schedule of fault events at simulated
+times — a pure function of its seed, exactly like
+:meth:`~repro.sim.Simulator.jitter_factor`: the same (seed, topology,
+horizon) always produces the byte-identical schedule, so runs under
+fault injection remain reproducible.
+
+Link targets are symbolic (the plan is built before any cluster
+exists) and resolved by the injector at arm time:
+
+- ``("pcie", gpu_index, "up" | "down")`` — a GPU's PCIe lane;
+- ``("nic", node_index, nic_index, "tx" | "rx")`` — an HCA port link.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = ["LinkDegrade", "LinkFlap", "GpuSlow", "DropMessages",
+           "CrashRank", "FaultEvent", "FaultPlan", "named_plan",
+           "PLAN_NAMES"]
+
+LinkTarget = Tuple
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Bandwidth divided by ``factor`` during [start, start+duration)."""
+
+    start: float
+    duration: float
+    target: LinkTarget
+    factor: float
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Link fully down during [start, start+duration) — transfers fail."""
+
+    start: float
+    duration: float
+    target: LinkTarget
+
+
+@dataclass(frozen=True)
+class GpuSlow:
+    """Permanent compute slowdown of one device from ``start`` on."""
+
+    start: float
+    gpu: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class DropMessages:
+    """The next ``count`` transfers on the link are lost at ``time``."""
+
+    time: float
+    target: LinkTarget
+    count: int
+
+
+@dataclass(frozen=True)
+class CrashRank:
+    """Rank ``rank``'s process dies at ``time`` (fail-stop)."""
+
+    time: float
+    rank: int
+
+
+FaultEvent = Union[LinkDegrade, LinkFlap, GpuSlow, DropMessages, CrashRank]
+
+
+def _sort_key(ev: FaultEvent):
+    t = ev.start if hasattr(ev, "start") else ev.time
+    return (t, type(ev).__name__, repr(ev))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered schedule of fault events."""
+
+    name: str
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=_sort_key)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_quiet(self) -> bool:
+        return not self.events
+
+    @classmethod
+    def quiet(cls, name: str = "quiet") -> "FaultPlan":
+        return cls(name=name)
+
+    def describe(self) -> str:
+        """Deterministic textual schedule (the determinism test compares
+        this byte-for-byte across runs)."""
+        lines = [f"plan {self.name}: {len(self.events)} events"]
+        for ev in self.events:
+            lines.append(f"  t={_sort_key(ev)[0]:.6f} {ev!r}")
+        return "\n".join(lines)
+
+
+#: Names accepted by :func:`named_plan` (CLI ``repro chaos --plan``).
+PLAN_NAMES = ("quiet", "flaky-nic", "straggler", "flaky", "rank-crash",
+              "chaos")
+
+
+def named_plan(name: str, *, seed: int, horizon: float, n_ranks: int,
+               n_nodes: int, gpus_per_node: int,
+               nics_per_node: int = 1) -> FaultPlan:
+    """Build one of the canonical plans for a given topology/horizon.
+
+    All randomness comes from ``random.Random(seed)``, so the schedule
+    is a pure function of the arguments.  Crash plans never pick rank 0
+    (the root solver holds the checkpoint store and the reduced model;
+    root failure is job death, which is out of scope for n-1 training).
+    """
+    if name not in PLAN_NAMES:
+        raise KeyError(f"unknown fault plan {name!r} (have {PLAN_NAMES})")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(seed)
+    events: list = []
+
+    def rank_link(rank: int) -> Tuple:
+        if n_ranks <= gpus_per_node or n_nodes <= 1:
+            # Single-node job: no inter-node traffic ever touches a NIC,
+            # so fault the victim's PCIe lane instead.
+            return ("pcie", rank, rng.choice(("up", "down")))
+        node = (rank // gpus_per_node) % max(1, n_nodes)
+        nic = (rank % gpus_per_node) % max(1, nics_per_node)
+        return ("nic", node, nic, rng.choice(("tx", "rx")))
+
+    def flaky_nic():
+        victim = rng.randrange(n_ranks)
+        target = rank_link(victim)
+        # A degradation window, a short flap, and a burst of drops.
+        t0 = rng.uniform(0.05, 0.4) * horizon
+        events.append(LinkDegrade(start=t0, duration=0.2 * horizon,
+                                  target=target,
+                                  factor=rng.uniform(2.0, 8.0)))
+        t1 = rng.uniform(0.45, 0.7) * horizon
+        # A flap is momentary: capped below the transport's cumulative
+        # retry-backoff window so retries can bridge it.
+        events.append(LinkFlap(start=t1,
+                               duration=min(0.02 * horizon, 0.01),
+                               target=target))
+        t2 = rng.uniform(0.72, 0.9) * horizon
+        events.append(DropMessages(time=t2, target=target,
+                                   count=rng.randrange(1, 4)))
+
+    def straggler():
+        victim = rng.randrange(n_ranks)
+        events.append(GpuSlow(start=rng.uniform(0.0, 0.3) * horizon,
+                              gpu=victim,
+                              factor=rng.uniform(1.2, 1.8)))
+
+    def rank_crash():
+        victim = rng.randrange(1, max(2, n_ranks))
+        events.append(CrashRank(time=0.5 * horizon, rank=victim))
+
+    if name == "flaky-nic":
+        flaky_nic()
+    elif name == "straggler":
+        straggler()
+    elif name == "flaky":
+        flaky_nic()
+        straggler()
+    elif name == "rank-crash":
+        rank_crash()
+    elif name == "chaos":
+        flaky_nic()
+        straggler()
+        rank_crash()
+    return FaultPlan(name=name, events=tuple(events))

@@ -2,6 +2,7 @@
 
 from .calibration import DEFAULT_CALIBRATION, Calibration
 from .cluster import Cluster, cluster_a, cluster_b, make_cluster
+from .faults import FaultyLink, LinkDownError, MessageDropped, TransportFault
 from .gpu import GPUDevice, GPUSpec, K20X, K80, OutOfMemoryError, P100
 from .node import NICSpec, Node, NodeSpec
 from .topology import cut_through_time, multi_link_transfer
@@ -9,6 +10,7 @@ from .topology import cut_through_time, multi_link_transfer
 __all__ = [
     "Calibration", "DEFAULT_CALIBRATION",
     "Cluster", "cluster_a", "cluster_b", "make_cluster",
+    "FaultyLink", "LinkDownError", "MessageDropped", "TransportFault",
     "GPUDevice", "GPUSpec", "K80", "K20X", "P100", "OutOfMemoryError",
     "NICSpec", "Node", "NodeSpec",
     "cut_through_time", "multi_link_transfer",

@@ -96,6 +96,10 @@ class GPUDevice:
         self.pcie_down = BandwidthLink(
             sim, bandwidth=cal.pcie_bw / slow, latency=cal.pcie_latency,
             name=f"{self.name}.pcie_down", jitter=cal.network_jitter)
+        #: Runtime-mutable compute degradation (fault injection: a
+        #: permanently throttled straggler device).  1.0 is float-exact,
+        #: so an uninjected device keeps byte-identical kernel timing.
+        self.compute_slowdown = 1.0
         self._allocated = 0
 
     # -- memory ------------------------------------------------------------

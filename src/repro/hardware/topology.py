@@ -36,6 +36,12 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
 
     Duplicate links in the path (loopback-style transfers) are collapsed
     to a single acquisition.
+
+    Fault semantics: any :class:`~repro.hardware.faults.FaultyLink` on
+    the path is checked up front — a down link or a pending forced drop
+    raises before any wire is held, so the transport retry path observes
+    a clean failure.  Interrupt-safe: an interrupt while queued on a
+    link withdraws the pending request instead of leaking the grant.
     """
     uniq: List[BandwidthLink] = []
     seen = set()
@@ -45,13 +51,23 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
             uniq.append(l)
     uniq.sort(key=lambda l: l.name)
 
+    for l in uniq:
+        check = getattr(l, "check_fault", None)
+        if check is not None:
+            check()
+
     jitter = max(l.jitter for l in uniq)
     duration = (cut_through_time(links, nbytes)
                 * sim.jitter_factor(jitter) + extra_time)
     grants = []
     try:
         for l in uniq:
-            grant = yield l._res.request()
+            req = l._res.request()
+            try:
+                grant = yield req
+            except BaseException:
+                l._res.cancel(req)
+                raise
             grants.append((l, grant))
             l.messages += 1
             l.bytes_moved += nbytes

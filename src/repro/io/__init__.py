@@ -1,5 +1,6 @@
 """I/O substrate: datasets, LMDB, Lustre, data layers, parallel readers."""
 
+from .checkpoint import CheckpointStore, Snapshot
 from .datalayer import DataLayer, DataReader, PREFETCH_DEPTH, make_backend
 from .dataset import CIFAR10, DatasetSpec, IMAGENET, MNIST, get_dataset
 from .lmdb import SimLMDB
@@ -7,6 +8,7 @@ from .lustre import SimLustre
 from .sampler import ShardedSampler
 
 __all__ = [
+    "CheckpointStore", "Snapshot",
     "DataLayer", "DataReader", "PREFETCH_DEPTH", "make_backend",
     "CIFAR10", "DatasetSpec", "IMAGENET", "MNIST", "get_dataset",
     "SimLMDB", "SimLustre", "ShardedSampler",

@@ -1,0 +1,107 @@
+"""Solver-state checkpointing with modeled D2H + parallel-FS write cost.
+
+Long training runs on failure-prone clusters periodically snapshot the
+solver state (parameters + momentum, like Caffe's ``.solverstate``) so a
+rank crash costs at most one checkpoint interval of recomputation.  The
+cost model has three parts:
+
+1. **D2H drain** — the packed state crosses the root GPU's PCIe uplink
+   (contending with training traffic, which is why checkpointing is not
+   free even though it happens between iterations);
+2. **metadata** — one MDS open/commit round-trip;
+3. **stream-out** — the byte stream at the per-client Lustre write rate.
+
+Restore is the mirror image (stream-in + H2D).  The store keeps only the
+latest snapshot — the restart protocol never reaches further back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..hardware.calibration import Calibration
+from ..hardware.gpu import GPUDevice
+from ..sim import Event, Simulator
+
+__all__ = ["Snapshot", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One persisted solver state."""
+
+    #: Number of *completed* iterations at save time (restart resumes
+    #: at this iteration index).
+    iteration: int
+    nbytes: int
+    #: Simulated time the save committed.
+    time: float
+    #: Optional real payload (adapter parameter vector) for real-math runs.
+    payload: Optional[Any] = None
+
+
+class CheckpointStore:
+    """Latest-snapshot store with calibrated save/restore cost."""
+
+    #: MDS open + commit cost per snapshot operation.
+    METADATA_OVERHEAD = 150e-6
+
+    def __init__(self, sim: Simulator, cal: Calibration, *,
+                 write_bw: Optional[float] = None,
+                 read_bw: Optional[float] = None):
+        self.sim = sim
+        self.cal = cal
+        self._write_bw = write_bw or cal.lustre_per_client_bw
+        self._read_bw = read_bw or cal.lustre_per_client_bw
+        self._latest: Optional[Snapshot] = None
+        # Telemetry
+        self.saves = 0
+        self.restores = 0
+        self.save_time = 0.0
+        self.restore_time = 0.0
+        self.bytes_written = 0
+
+    @property
+    def latest(self) -> Optional[Snapshot]:
+        return self._latest
+
+    @property
+    def completed_iterations(self) -> int:
+        """Iterations safely persisted (0 before the first snapshot)."""
+        return 0 if self._latest is None else self._latest.iteration
+
+    def save(self, gpu: GPUDevice, nbytes: int, iteration: int,
+             payload: Optional[Any] = None) -> Generator[Event, Any, None]:
+        """Sub-protocol: persist ``nbytes`` of solver state from ``gpu``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        t0 = self.sim.now
+        yield self.sim.timeout(self.cal.cuda_copy_overhead)
+        yield from gpu.pcie_up.transfer(nbytes)
+        yield self.sim.timeout(self.METADATA_OVERHEAD)
+        yield self.sim.timeout(nbytes / self._write_bw)
+        self._latest = Snapshot(iteration=iteration, nbytes=nbytes,
+                                time=self.sim.now, payload=payload)
+        self.saves += 1
+        self.bytes_written += nbytes
+        self.save_time += self.sim.now - t0
+
+    def restore(self, gpu: GPUDevice
+                ) -> Generator[Event, Any, Optional[Snapshot]]:
+        """Sub-protocol: stream the latest snapshot back onto ``gpu``.
+
+        Returns the snapshot, or None when nothing was ever saved (the
+        restart then recomputes from iteration 0).
+        """
+        snap = self._latest
+        if snap is None:
+            return None
+        t0 = self.sim.now
+        yield self.sim.timeout(self.METADATA_OVERHEAD)
+        yield self.sim.timeout(snap.nbytes / self._read_bw)
+        yield self.sim.timeout(self.cal.cuda_copy_overhead)
+        yield from gpu.pcie_down.transfer(snap.nbytes)
+        self.restores += 1
+        self.restore_time += self.sim.now - t0
+        return snap

@@ -31,6 +31,7 @@ class SimLustre:
         self.cal = cal
         self._readers = 0
         self.bytes_read = 0
+        self.bytes_written = 0
 
     @property
     def n_readers(self) -> int:
@@ -56,3 +57,15 @@ class SimLustre:
         yield self.sim.timeout(nbytes / self.effective_reader_bw())
         self.bytes_read += nbytes
         return nbytes
+
+    def write(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Sub-protocol: stream ``nbytes`` out (checkpoint traffic).
+
+        Writes share the same fair-share rate model as reads: an active
+        checkpoint competes with the job's own data readers for the OSTs.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        yield self.sim.timeout(self.METADATA_OVERHEAD)
+        yield self.sim.timeout(nbytes / self.effective_reader_bw())
+        self.bytes_written += nbytes

@@ -2,17 +2,22 @@
 
 from . import collectives, omb
 from .communicator import Communicator, MessageStatus, RankContext
+from .failure import CommRevoked, FailureDetector, RankFailure
 from .profiles import MPIProfile, MV2, MV2GDR, OPENMPI, get_profile
-from .request import ANY_SOURCE, ANY_TAG, Request, waitall, waitany
+from .request import (
+    ANY_SOURCE, ANY_TAG, Request, RequestTimeout, waitall, waitany,
+)
 from .rma import Window, create_window
 from .runtime import MPIRuntime
-from .transport import DeviceTransport
+from .transport import DeviceTransport, TransportMetrics, TransportTimeout
 
 __all__ = [
     "collectives", "omb",
     "Communicator", "MessageStatus", "RankContext",
+    "CommRevoked", "FailureDetector", "RankFailure",
     "MPIProfile", "MV2", "MV2GDR", "OPENMPI", "get_profile",
-    "ANY_SOURCE", "ANY_TAG", "Request", "waitall", "waitany",
-    "MPIRuntime", "DeviceTransport",
+    "ANY_SOURCE", "ANY_TAG", "Request", "RequestTimeout",
+    "waitall", "waitany",
+    "MPIRuntime", "DeviceTransport", "TransportMetrics", "TransportTimeout",
     "Window", "create_window",
 ]

@@ -13,6 +13,7 @@ from .hierarchical import (
     HRConfig, hierarchical_reduce, hr_plan, parse_hr_config,
 )
 from .reduce import ireduce, reduce, reduce_binomial, reduce_chain
+from .resilient import resilient_reduce, shrink_context
 from .tuning import (
     CC_SCALING_LIMIT, CHAIN_THRESHOLD_BYTES, IDEAL_CHAIN_SIZE, ReducePlan,
     TuningTable, autotune, select_reduce_plan, tuned_reduce,
@@ -27,6 +28,7 @@ __all__ = [
     "reduce_scatter_ring", "scatter_binomial",
     "HRConfig", "hierarchical_reduce", "hr_plan", "parse_hr_config",
     "ireduce", "reduce", "reduce_binomial", "reduce_chain",
+    "resilient_reduce", "shrink_context",
     "CC_SCALING_LIMIT", "CHAIN_THRESHOLD_BYTES", "IDEAL_CHAIN_SIZE",
     "ReducePlan", "TuningTable", "autotune", "select_reduce_plan",
     "tuned_reduce",

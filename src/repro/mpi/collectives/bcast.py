@@ -114,7 +114,14 @@ def ibcast(ctx: RankContext, buf: DeviceBuffer, root: int = 0) -> Request:
     tag = coll_tag_base(ctx)
 
     def run():
-        yield from bcast_binomial(ctx, buf, root, tag_base=tag)
+        try:
+            yield from bcast_binomial(ctx, buf, root, tag_base=tag)
+        except Exception as exc:
+            # Deliver failures (revocation, dead peer, transport
+            # timeout) through the request; an unwaited failed process
+            # would crash the simulation instead.
+            req.fail(exc)
+            return
         req.complete(None)
 
     if ctx.profile.async_progress:

@@ -245,8 +245,15 @@ def ireduce(ctx: RankContext, sendbuf: DeviceBuffer,
 
     def deferred():
         def run():
-            yield from reduce(ctx, sendbuf, recvbuf, root,
-                              algorithm=algorithm)
+            try:
+                yield from reduce(ctx, sendbuf, recvbuf, root,
+                                  algorithm=algorithm)
+            except Exception as exc:
+                # Deliver failures (revocation, dead peer, transport
+                # timeout) through the request; an unwaited failed
+                # process would crash the simulation instead.
+                req.fail(exc)
+                return
             req.complete(None)
         ctx.sim.process(run(), name=f"ireduce.r{ctx.rank}")
 

@@ -1,0 +1,93 @@
+"""Fault-tolerant collective wrappers (shrink-and-retry recovery).
+
+The flat/hierarchical reduction algorithms in this package assume every
+rank answers; a dead peer would park the tree in a receive forever.  The
+failure detector breaks that wait (revocation fails the pending
+requests), and the wrappers here turn the resulting exception into the
+ULFM recovery idiom:
+
+    shrink the communicator over the survivors -> rerun the collective
+    on the shrunk communicator -> agree via a commit barrier.
+
+Retrying always happens on a *fresh* shrunk communicator (fresh
+collective-tag sequence space), never on the revoked one — so survivor
+tag sequences cannot diverge across attempts.  A failure that does not
+change the survivor set (e.g. a pure transport timeout with no death)
+re-raises instead of retrying forever.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ...cuda import DeviceBuffer
+from ...sim import Event
+from ..communicator import RankContext
+from ..failure import CommRevoked, RankFailure
+from ..transport import TransportTimeout
+from .reduce import reduce
+
+__all__ = ["resilient_reduce", "shrink_context"]
+
+#: Exceptions that trigger the shrink-and-retry path.
+RECOVERABLE = (RankFailure, CommRevoked, TransportTimeout)
+
+
+def shrink_context(ctx: RankContext) -> RankContext:
+    """This rank's context on the shrunk (survivors-only) communicator.
+
+    Raises :class:`RankFailure` if the calling rank itself is dead (its
+    GPU is on the failed list) — a crashed rank has no surviving context.
+    """
+    sub = ctx.comm.shrink()
+    if sub is ctx.comm:
+        return ctx
+    new = ctx.sub_context(sub)
+    if new is None:
+        raise RankFailure(f"rank {ctx.rank} of {ctx.comm.name} is dead")
+    return new
+
+
+def resilient_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
+                     recvbuf: Optional[DeviceBuffer], root: int = 0, *,
+                     algorithm: Optional[str] = None,
+                     ) -> Generator[Event, Any, RankContext]:
+    """MPI_Reduce that survives rank failures: on a detected death the
+    surviving ranks rebuild the tree over the shrunk communicator and
+    rerun the reduction (n-1 training semantics).
+
+    ``root`` names a rank of the *original* ``ctx.comm``; it must
+    survive (the trainer's fault plans never crash rank 0).  Returns the
+    context the reduction finally completed on — callers continue on
+    that (possibly shrunk) communicator.
+
+    Accumulators are (re)seeded from ``sendbuf`` inside every attempt,
+    so a retried reduction produces exactly the reduction over the
+    survivors' contributions — byte-identical to a fault-free run on
+    the surviving ranks alone.
+    """
+    root_gpu = ctx.comm.gpu_of(root)
+    while True:
+        cur = shrink_context(ctx)
+        sub_root = None
+        for r, g in enumerate(cur.comm.gpus):
+            if g is root_gpu:
+                sub_root = r
+                break
+        if sub_root is None:
+            raise RankFailure(
+                f"reduce root {root} of {ctx.comm.name} is dead")
+        members = tuple(id(g) for g in cur.comm.gpus)
+        try:
+            yield from reduce(cur, sendbuf, recvbuf, sub_root,
+                              algorithm=algorithm)
+            # Commit barrier: all survivors agree the attempt finished.
+            # A late-detected death fails the barrier and re-enters
+            # recovery, so no rank returns while others retry.
+            yield from cur.barrier()
+            return cur
+        except RECOVERABLE as exc:
+            nxt = shrink_context(ctx)
+            if tuple(id(g) for g in nxt.comm.gpus) == members:
+                # Nothing actually died: retrying would loop forever.
+                raise exc

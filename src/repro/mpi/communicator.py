@@ -20,9 +20,10 @@ import numpy as np
 from ..cuda import CudaRuntime, DeviceBuffer
 from ..hardware.gpu import GPUDevice
 from ..sim import Barrier, Event, Simulator
+from .failure import CommRevoked, RankFailure
 from .profiles import MPIProfile
 from .request import ANY_SOURCE, ANY_TAG, Request
-from .transport import DeviceTransport
+from .transport import DeviceTransport, TransportTimeout
 
 __all__ = ["Communicator", "RankContext", "MessageStatus"]
 
@@ -86,10 +87,67 @@ class Communicator:
         self._posted: Dict[int, deque] = {
             r: deque() for r in range(len(gpus))}
         self._barrier = Barrier(self.sim, len(gpus))
+        self._revoked: Optional[BaseException] = None
+        self._shrunk: Dict[Tuple[int, ...], "Communicator"] = {}
+        runtime.failure_detector.register_comm(self)
 
     @property
     def size(self) -> int:
         return len(self.gpus)
+
+    @property
+    def revoked(self) -> bool:
+        return self._revoked is not None
+
+    # -- fault tolerance (ULFM flavour) ------------------------------------
+    def revoke(self, exc: BaseException) -> None:
+        """Invalidate the communicator after a rank failure.
+
+        Every posted receive and pending (non-eager) send fails with
+        :class:`CommRevoked`, the barrier is broken, and all future
+        pt2pt entry calls fail fast — survivors blocked on a dead peer
+        unwind into their recovery path instead of deadlocking.
+        Idempotent.
+        """
+        if self._revoked is not None:
+            return
+        wrapped = CommRevoked(f"communicator {self.name} revoked ({exc})")
+        wrapped.__cause__ = exc
+        self._revoked = wrapped
+        for q in self._posted.values():
+            for recv in q:
+                if not recv.request.completed:
+                    recv.request.fail(wrapped)
+            q.clear()
+        for q in self._unexpected.values():
+            for send in q:
+                if not send.eager and not send.request.completed:
+                    send.request.fail(wrapped)
+            q.clear()
+        self._barrier.abort(wrapped)
+
+    def shrink(self) -> "Communicator":
+        """A communicator over the surviving ranks (MPIX_Comm_shrink).
+
+        Survivor order follows this communicator's rank order, so every
+        caller derives the same numbering.  Results are cached by
+        membership: concurrent recovery on all survivors agrees on one
+        replacement communicator.  Returns ``self`` when nothing died
+        and the communicator is not revoked.
+        """
+        det = self.runtime.failure_detector
+        alive = [r for r, g in enumerate(self.gpus) if not det.is_dead(g)]
+        if len(alive) == self.size and self._revoked is None:
+            return self
+        if not alive:
+            raise RankFailure(f"communicator {self.name}: no survivors")
+        key = tuple(alive)
+        cached = self._shrunk.get(key)
+        if cached is not None and not cached.revoked:
+            return cached
+        sub = self.split(alive, name=f"{self.name}~{len(alive)}")
+        self._shrunk[key] = sub
+        return sub
 
     def gpu_of(self, rank: int) -> GPUDevice:
         return self.gpus[rank]
@@ -145,16 +203,28 @@ class Communicator:
         transport = self.runtime.transport
 
         def mover():
-            yield from transport.transfer(
-                send.buf, recv.buf, send.nbytes,
-                src_offset=send.offset, dst_offset=recv.offset)
+            try:
+                yield from transport.transfer(
+                    send.buf, recv.buf, send.nbytes,
+                    src_offset=send.offset, dst_offset=recv.offset)
+            except TransportTimeout as exc:
+                # Deliver through the requests instead of crashing the
+                # simulation from an unwaited mover process.
+                if not send.eager and not send.request.completed:
+                    send.request.fail(exc)
+                if not recv.request.completed:
+                    recv.request.fail(exc)
+                return
             if send.snapshot is not None and recv.buf.data is not None:
                 dst = recv.buf.data.view(np.uint8)
                 dst[recv.offset:recv.offset + send.nbytes] = send.snapshot
             status = MessageStatus(send.src_rank, send.tag, send.nbytes)
-            if not send.eager:
+            # Revocation may have failed the requests while the bytes
+            # were in flight; completion is then a no-op.
+            if not send.eager and not send.request.completed:
                 send.request.complete(status)
-            recv.request.complete(status)
+            if not recv.request.completed:
+                recv.request.complete(status)
 
         self.sim.process(mover(), name=f"{self.name}.xfer")
 
@@ -168,6 +238,14 @@ class Communicator:
             raise ValueError("send tag must be >= 0")
         n = buf.nbytes - offset if nbytes is None else nbytes
         req = Request(self.sim, label=f"isend {src_rank}->{dst_rank}#{tag}")
+        if self._revoked is not None:
+            req.fail(self._revoked)
+            return req
+        det = self.runtime.failure_detector
+        if det.any_dead() and det.is_dead(self.gpus[dst_rank]):
+            req.fail(RankFailure(
+                f"send to dead rank {dst_rank} on {self.name}"))
+            return req
         profile = self.runtime.profile
         eager = n <= profile.eager_threshold
         snapshot = None
@@ -180,7 +258,8 @@ class Communicator:
             def eager_complete():
                 yield self.sim.timeout(
                     self.runtime.cal.mpi_message_overhead)
-                req.complete(MessageStatus(src_rank, tag, n))
+                if not req.completed:  # revocation may beat us here
+                    req.complete(MessageStatus(src_rank, tag, n))
             self.sim.process(eager_complete())
         recv = self._match_send(dst_rank, send)
         if recv is not None:
@@ -196,6 +275,15 @@ class Communicator:
             raise ValueError(f"bad source rank {source}")
         n = buf.nbytes - offset if nbytes is None else nbytes
         req = Request(self.sim, label=f"irecv {source}->{dst_rank}#{tag}")
+        if self._revoked is not None:
+            req.fail(self._revoked)
+            return req
+        det = self.runtime.failure_detector
+        if (source != ANY_SOURCE and det.any_dead()
+                and det.is_dead(self.gpus[source])):
+            req.fail(RankFailure(
+                f"recv from dead rank {source} on {self.name}"))
+            return req
         recv = _PostedRecv(source, tag, buf, offset, n, req)
         send = self._match_recv(dst_rank, recv)
         if send is not None:

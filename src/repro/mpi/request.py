@@ -6,11 +6,16 @@ from typing import Any, Generator, Iterable, List, Optional
 
 from ..sim import Event, Simulator
 
-__all__ = ["Request", "waitall", "waitany", "ANY_SOURCE", "ANY_TAG"]
+__all__ = ["Request", "RequestTimeout", "waitall", "waitany",
+           "ANY_SOURCE", "ANY_TAG"]
 
 #: Wildcards for receive matching (mirror MPI_ANY_SOURCE / MPI_ANY_TAG).
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+
+class RequestTimeout(RuntimeError):
+    """A ``wait(timeout=...)`` deadline expired before completion."""
 
 
 class Request:
@@ -56,27 +61,51 @@ class Request:
     def status(self) -> Any:
         return self._done.value
 
-    def wait(self) -> Event:
-        """Event the caller yields to block until completion."""
+    def wait(self, timeout: Optional[float] = None) -> Event:
+        """Event the caller yields to block until completion.
+
+        With ``timeout`` (simulated seconds), the event instead fails
+        with :class:`RequestTimeout` if the operation has not completed
+        by the deadline; the underlying operation is *not* cancelled
+        (MPI semantics: the request stays matchable).  The default path
+        (``timeout=None``) schedules no extra simulator events.
+        """
         if self._on_wait is not None:
             hook, self._on_wait = self._on_wait, None
             hook()
         if self._done.triggered:
             ev = self.sim.event()
+            ev._defused = True
             if self._done.ok:
                 ev.succeed(self._done._value)
             else:
                 ev.fail(self._done._value)
             return ev
         ev = self.sim.event()
+        # The waiter may die (rank crash) between registering and the
+        # failure landing; a failed wait-event with no waiter must not
+        # trip the kernel's unhandled-failure check.
+        ev._defused = True
 
         def relay(done: Event) -> None:
+            if ev.triggered:
+                return
             if done.ok:
                 ev.succeed(done._value)
             else:
                 ev.fail(done._value)
 
         self._done.add_callback(relay)
+        if timeout is not None:
+            deadline = self.sim.timeout(timeout)
+
+            def expire(_t: Event) -> None:
+                if not ev.triggered:
+                    ev.fail(RequestTimeout(
+                        f"request {self.label or hex(id(self))} timed out "
+                        f"after {timeout} s"))
+
+            deadline.add_callback(expire)
         return ev
 
     def __repr__(self) -> str:  # pragma: no cover

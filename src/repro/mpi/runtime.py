@@ -9,6 +9,7 @@ from ..hardware import Cluster
 from ..hardware.gpu import GPUDevice
 from ..sim import Process, Simulator
 from .communicator import Communicator, RankContext
+from .failure import FailureDetector
 from .profiles import MPIProfile, MV2GDR, get_profile
 from .transport import DeviceTransport
 
@@ -36,6 +37,7 @@ class MPIRuntime:
                         else profile)
         self.cuda = CudaRuntime(cluster)
         self.transport = DeviceTransport(cluster, self.cuda, self.profile)
+        self.failure_detector = FailureDetector(self.sim)
 
     def world(self, gpus: Optional[Sequence[GPUDevice] | int] = None
               ) -> Communicator:

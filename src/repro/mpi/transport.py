@@ -22,18 +22,52 @@ the event model rather than a closed-form guess.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..cuda import CudaRuntime, DeviceBuffer, HostBuffer
 from ..hardware import Cluster, multi_link_transfer
+from ..hardware.faults import LinkDownError, MessageDropped, TransportFault
 from ..sim import Event
 from .profiles import MPIProfile
 
-__all__ = ["DeviceTransport"]
+__all__ = ["DeviceTransport", "TransportTimeout", "TransportMetrics"]
+
+
+class TransportTimeout(RuntimeError):
+    """A transfer exhausted its retry budget (the link never recovered)."""
+
+
+@dataclass
+class TransportMetrics:
+    """Counters for the robustness machinery (zero on a quiet fabric)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    drops_detected: int = 0
+    link_down_detected: int = 0
+    #: Host staging buffers currently alive (leak detector for the
+    #: interrupt-during-staged-transfer path; must return to 0).
+    stagings_live: int = 0
 
 
 class DeviceTransport:
-    """Moves bytes between device buffers according to an MPI profile."""
+    """Moves bytes between device buffers according to an MPI profile.
+
+    Transient link faults (:class:`~repro.hardware.faults.TransportFault`)
+    raised on the path are retried with bounded exponential backoff; the
+    backoff schedule is deterministic (no randomness) so runs stay pure
+    functions of the seed.  An exhausted budget raises
+    :class:`TransportTimeout`.
+    """
+
+    #: Retry policy (deterministic exponential backoff).
+    RETRY_LIMIT = 8
+    RETRY_BASE = 50e-6     # first backoff, seconds
+    RETRY_MAX = 10e-3      # backoff cap, seconds
+    # Cumulative backoff = 50u+100u+...+6.4m ~= 12.75 ms: wide enough to
+    # bridge a momentary link flap, bounded so a hard outage still fails
+    # fast enough for recovery to engage.
 
     def __init__(self, cluster: Cluster, cuda: CudaRuntime,
                  profile: MPIProfile):
@@ -42,6 +76,7 @@ class DeviceTransport:
         self.profile = profile
         self.sim = cluster.sim
         self.cal = cluster.cal
+        self.metrics = TransportMetrics()
 
     # -- public API --------------------------------------------------------
     def transfer(self, src: DeviceBuffer, dst: DeviceBuffer,
@@ -51,10 +86,53 @@ class DeviceTransport:
 
         Payload bytes (when present) are copied on completion.
         """
+        if src_offset < 0 or dst_offset < 0:
+            raise ValueError(
+                f"negative offset (src_offset={src_offset}, "
+                f"dst_offset={dst_offset})")
+        if src_offset > src.nbytes or dst_offset > dst.nbytes:
+            raise ValueError(
+                f"offset beyond buffer: src_offset={src_offset} of "
+                f"{src.nbytes}, dst_offset={dst_offset} of {dst.nbytes}")
         n = min(src.nbytes - src_offset,
                 dst.nbytes - dst_offset) if nbytes is None else nbytes
         if n < 0:
             raise ValueError("negative transfer size")
+        if src_offset + n > src.nbytes or dst_offset + n > dst.nbytes:
+            raise ValueError(
+                f"transfer of {n} bytes over-reads: src has "
+                f"{src.nbytes - src_offset} past offset, dst has "
+                f"{dst.nbytes - dst_offset}")
+        attempt = 0
+        while True:
+            try:
+                moved = yield from self._transfer_once(
+                    src, dst, n, src_offset, dst_offset)
+                break
+            except TransportFault as exc:
+                if isinstance(exc, MessageDropped):
+                    self.metrics.drops_detected += 1
+                elif isinstance(exc, LinkDownError):
+                    self.metrics.link_down_detected += 1
+                attempt += 1
+                if attempt > self.RETRY_LIMIT:
+                    self.metrics.timeouts += 1
+                    raise TransportTimeout(
+                        f"transfer {src.device.name}->{dst.device.name} "
+                        f"gave up after {self.RETRY_LIMIT} retries") from exc
+                self.metrics.retries += 1
+                backoff = min(self.RETRY_BASE * (2 ** (attempt - 1)),
+                              self.RETRY_MAX)
+                yield self.sim.timeout(backoff)
+        if not moved:
+            dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
+                                  dst_offset=dst_offset)
+
+    def _transfer_once(self, src: DeviceBuffer, dst: DeviceBuffer, n: int,
+                       src_offset: int, dst_offset: int,
+                       ) -> Generator[Event, Any, bool]:
+        """One transfer attempt; returns True if the payload already moved
+        (the p2p mechanism copies it as part of the operation)."""
         a, b = src.device, dst.device
         if a is b:
             yield from self.cuda.memcpy_d2d(a, n)
@@ -62,15 +140,14 @@ class DeviceTransport:
             if self.profile.ipc:
                 yield from self.cuda.memcpy_p2p(
                     src, dst, n, src_offset=src_offset, dst_offset=dst_offset)
-                return  # p2p already moved the payload
+                return True
             yield from self._staged_intra_node(src, dst, n)
         else:
             if self.profile.gdr and n <= self.profile.gdr_threshold:
                 yield from self._gdr_inter_node(src, dst, n)
             else:
                 yield from self._staged_inter_node(src, dst, n)
-        dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
-                              dst_offset=dst_offset)
+        return False
 
     def estimate(self, src_gpu, dst_gpu, nbytes: int) -> float:
         """Closed-form uncontended estimate (used by tuning tables)."""
@@ -148,7 +225,12 @@ class DeviceTransport:
             lambda n: node.host_memcpy.transfer(n),
             lambda n: self.cuda.memcpy_h2d(dst, staging, n),
         ]
-        yield from self._staged_pipeline(stages, self._staged_chunks(nbytes))
+        self.metrics.stagings_live += 1
+        try:
+            yield from self._staged_pipeline(stages,
+                                             self._staged_chunks(nbytes))
+        finally:
+            self.metrics.stagings_live -= 1
 
     def _staged_inter_node(self, src: DeviceBuffer, dst: DeviceBuffer,
                            nbytes: int) -> Generator[Event, Any, None]:
@@ -168,7 +250,12 @@ class DeviceTransport:
             wire,
             lambda n: self.cuda.memcpy_h2d(dst, staging, n),
         ]
-        yield from self._staged_pipeline(stages, self._staged_chunks(nbytes))
+        self.metrics.stagings_live += 1
+        try:
+            yield from self._staged_pipeline(stages,
+                                             self._staged_chunks(nbytes))
+        finally:
+            self.metrics.stagings_live -= 1
 
     def _staged_estimate(self, nbytes: int, wire_bw: float) -> float:
         chunk = min(self.profile.pipeline_chunk, max(1, nbytes))

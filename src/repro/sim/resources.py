@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Generator, Optional
 
-from .core import Event, Simulator
+from .core import Event, PENDING, Simulator
 
 __all__ = ["Resource", "BandwidthLink", "Store"]
 
@@ -73,9 +73,34 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, request: Event) -> None:
+        """Withdraw a ``request()`` whose grant will never be consumed.
+
+        Needed for interrupt cleanup: a process interrupted while queued
+        would otherwise leave its request in line, and the grant issued
+        to it later would never be released (capacity leak).  If the
+        grant was already issued, it is handed straight back.
+        """
+        try:
+            self._queue.remove(request)
+            return
+        except ValueError:
+            pass
+        if request._value is not PENDING:
+            self.release(request._value)
+
     def use(self, duration: float) -> Generator[Event, Any, None]:
-        """Sub-protocol: acquire, hold for ``duration``, release."""
-        grant = yield self.request()
+        """Sub-protocol: acquire, hold for ``duration``, release.
+
+        Interrupt-safe: an interrupt while queued withdraws the request
+        (or returns an already-issued grant) instead of leaking capacity.
+        """
+        req = self.request()
+        try:
+            grant = yield req
+        except BaseException:
+            self.cancel(req)
+            raise
         try:
             yield self.sim.timeout(duration)
         finally:

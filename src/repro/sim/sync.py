@@ -107,9 +107,31 @@ class Barrier:
         self._count = 0
         self._generation = 0
         self._waiters: list[Event] = []
+        self._broken: Optional[BaseException] = None
+
+    def abort(self, exc: BaseException) -> None:
+        """Break the barrier: fail all current waiters with ``exc`` and
+        make every future :meth:`arrive` fail immediately.
+
+        Used by communicator revocation — a dead rank will never arrive,
+        so survivors parked on the barrier must be released into their
+        recovery path instead of deadlocking.
+        """
+        self._broken = exc
+        self._count = 0
+        waiters, self._waiters = self._waiters, []
+        for w in waiters:
+            w.fail(exc)
 
     def arrive(self) -> Event:
         ev = self.sim.event()
+        # Defused: an abort() may fail this event after its waiter was
+        # interrupted (a crashed rank parked here) — failure with no
+        # listener must not crash the kernel.
+        ev._defused = True
+        if self._broken is not None:
+            ev.fail(self._broken)
+            return ev
         self._count += 1
         if self._count == self.parties:
             gen = self._generation

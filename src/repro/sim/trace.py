@@ -57,6 +57,17 @@ class Tracer:
             raise RuntimeError(f"phase {phase!r} not open for {actor!r}")
         self.intervals.append(Interval(actor, phase, start, self.sim.now))
 
+    def abandon(self, actor: str) -> None:
+        """Discard open phases for ``actor`` (and its sub-actors, e.g.
+        ``r3.helper``).  Used when a fault unwinds a rank mid-interval:
+        the cut-short phase is dropped rather than recorded, and the
+        replayed iteration may re-open it without tripping the
+        double-begin check."""
+        prefix = actor + "."
+        for key in [k for k in self._open
+                    if k[0] == actor or k[0].startswith(prefix)]:
+            del self._open[key]
+
     def timer(self, actor: str, phase: str) -> "PhaseTimer":
         return PhaseTimer(self, actor, phase)
 

@@ -85,6 +85,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "->" in out
 
+    def test_chaos_rank_crash(self, capsys):
+        rc = main(["chaos", "--plan", "rank-crash", "--gpus", "16",
+                   "--network", "alexnet", "--batch-size", "256",
+                   "--iterations", "4", "--checkpoint-interval", "2",
+                   "--describe"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "CrashRank" in out            # --describe schedule
+        assert "crashed ranks" in out        # fault report section
+        assert "overhead vs quiet" in out
+
+    def test_chaos_quiet_plan(self, capsys):
+        rc = main(["chaos", "--plan", "quiet", "--gpus", "16",
+                   "--network", "alexnet", "--batch-size", "256",
+                   "--iterations", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 events" in out
+
+    def test_chaos_unknown_plan(self, capsys):
+        rc = main(["chaos", "--plan", "mystery"])
+        assert rc == 2
+
 
 class TestPrototxtOption:
     LENET = '''

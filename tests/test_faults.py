@@ -1,0 +1,389 @@
+"""Fault plans, faulty links, and transport-level robustness."""
+
+import numpy as np
+import pytest
+
+from repro.cuda import DeviceBuffer
+from repro.faults import (
+    CrashRank, DropMessages, FaultInjector, FaultPlan, GpuSlow, LinkDegrade,
+    LinkFlap, named_plan, PLAN_NAMES,
+)
+from repro.hardware import cluster_a
+from repro.hardware.faults import (
+    FaultyLink, LinkDownError, MessageDropped, TransportFault,
+)
+from repro.mpi import MPIRuntime, MV2GDR, OPENMPI, TransportTimeout
+from repro.sim import Interrupt, Simulator
+
+
+def make_runtime(n_nodes=2, profile=MV2GDR):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=n_nodes)
+    rt = MPIRuntime(cluster, profile)
+    return sim, cluster, rt
+
+
+class TestFaultPlan:
+    def test_named_plans_are_deterministic(self):
+        """Same (name, seed, topology, horizon) -> byte-identical plan."""
+        kwargs = dict(seed=7, horizon=3.0, n_ranks=32, n_nodes=2,
+                      gpus_per_node=16)
+        for name in PLAN_NAMES:
+            a = named_plan(name, **kwargs)
+            b = named_plan(name, **kwargs)
+            assert a.describe() == b.describe()
+            assert a.events == b.events
+
+    def test_seed_changes_schedule(self):
+        a = named_plan("chaos", seed=1, horizon=3.0, n_ranks=32,
+                       n_nodes=2, gpus_per_node=16)
+        b = named_plan("chaos", seed=2, horizon=3.0, n_ranks=32,
+                       n_nodes=2, gpus_per_node=16)
+        assert a.describe() != b.describe()
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan("p", (GpuSlow(start=2.0, gpu=1, factor=1.5),
+                               LinkFlap(start=1.0, duration=0.1,
+                                        target=("pcie", 0, "up"))))
+        times = [getattr(ev, "start", getattr(ev, "time", None))
+                 for ev in plan.events]
+        assert times == sorted(times)
+
+    def test_quiet_plan(self):
+        assert FaultPlan.quiet().is_quiet
+        assert len(FaultPlan.quiet()) == 0
+
+    def test_crash_plans_never_pick_root(self):
+        for seed in range(50):
+            plan = named_plan("rank-crash", seed=seed, horizon=1.0,
+                              n_ranks=16, n_nodes=1, gpus_per_node=16)
+            (ev,) = plan.events
+            assert isinstance(ev, CrashRank)
+            assert 1 <= ev.rank < 16
+
+    def test_single_node_plans_target_pcie(self):
+        plan = named_plan("flaky-nic", seed=3, horizon=1.0, n_ranks=16,
+                          n_nodes=1, gpus_per_node=16)
+        for ev in plan.events:
+            assert ev.target[0] == "pcie"
+
+    def test_multi_node_plans_target_nic(self):
+        plan = named_plan("flaky-nic", seed=3, horizon=1.0, n_ranks=32,
+                          n_nodes=2, gpus_per_node=16)
+        for ev in plan.events:
+            assert ev.target[0] == "nic"
+
+    def test_unknown_plan_rejected(self):
+        with pytest.raises(KeyError):
+            named_plan("nope", seed=1, horizon=1.0, n_ranks=4, n_nodes=1,
+                       gpus_per_node=4)
+
+
+class TestFaultyLink:
+    def _link(self):
+        sim, cluster, rt = make_runtime()
+        gpu = cluster.gpus[0]
+        gpu.pcie_up = FaultyLink.from_link(gpu.pcie_up)
+        return sim, gpu.pcie_up
+
+    def test_clone_preserves_bandwidth(self):
+        sim, cluster, rt = make_runtime()
+        base = cluster.gpus[0].pcie_up
+        wrapped = FaultyLink.from_link(base)
+        assert wrapped.bandwidth == base.bandwidth
+        assert wrapped.latency == base.latency
+
+    def test_degrade_and_restore(self):
+        sim, link = self._link()
+        base = link.bandwidth
+        link.degrade(4.0)
+        assert link.bandwidth == base / 4.0
+        link.restore()
+        assert link.bandwidth == base
+
+    def test_down_link_raises(self):
+        sim, link = self._link()
+        link.set_down(True)
+        with pytest.raises(LinkDownError):
+            link.check_fault()
+        assert link.down_hits == 1
+        link.set_down(False)
+        link.check_fault()  # healthy again
+
+    def test_drop_next_raises_once_per_drop(self):
+        sim, link = self._link()
+        link.drop_next(2)
+        with pytest.raises(MessageDropped):
+            link.check_fault()
+        with pytest.raises(MessageDropped):
+            link.check_fault()
+        link.check_fault()  # burst consumed
+        assert link.drops_served == 2
+
+    def test_fault_hierarchy(self):
+        assert issubclass(LinkDownError, TransportFault)
+        assert issubclass(MessageDropped, TransportFault)
+
+
+class TestTransferValidation:
+    def _bufs(self, nbytes=4096):
+        sim, cluster, rt = make_runtime()
+        src = DeviceBuffer(cluster.gpus[0], nbytes)
+        dst = DeviceBuffer(cluster.gpus[1], nbytes)
+        return rt.transport, src, dst
+
+    def test_negative_offset_rejected(self):
+        tp, src, dst = self._bufs()
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, 16, src_offset=-1))
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, 16, dst_offset=-4))
+
+    def test_offset_beyond_buffer_rejected(self):
+        tp, src, dst = self._bufs()
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, 0, src_offset=src.nbytes + 1))
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, 0, dst_offset=dst.nbytes + 1))
+
+    def test_overread_rejected(self):
+        tp, src, dst = self._bufs()
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, src.nbytes, src_offset=1))
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, dst.nbytes, dst_offset=1))
+
+    def test_negative_size_rejected(self):
+        tp, src, dst = self._bufs()
+        with pytest.raises(ValueError):
+            next(tp.transfer(src, dst, -1))
+
+    def test_offset_at_end_is_empty_transfer(self):
+        """offset == nbytes is a valid (empty) range, not an error."""
+        sim, cluster, rt = make_runtime()
+        src = DeviceBuffer(cluster.gpus[0], 1024)
+        dst = DeviceBuffer(cluster.gpus[1], 1024)
+
+        def prog():
+            yield from rt.transport.transfer(src, dst, 0,
+                                             src_offset=src.nbytes)
+
+        sim.process(prog())
+        sim.run()
+
+
+class TestTransportRetry:
+    def test_drops_are_retried_and_counted(self):
+        """A drop burst is bridged by retries; payload still arrives."""
+        sim, cluster, rt = make_runtime()
+        gpu_a, gpu_b = cluster.gpus[0], cluster.gpus[1]
+        gpu_a.pcie_up = FaultyLink.from_link(gpu_a.pcie_up)
+        gpu_a.pcie_up.drop_next(2)
+
+        payload = np.arange(256, dtype=np.float32)
+        src = DeviceBuffer.from_array(gpu_a, payload)
+        dst = DeviceBuffer.zeros(gpu_b, 256)
+
+        def prog():
+            yield from rt.transport.transfer(src, dst)
+
+        sim.process(prog())
+        sim.run()
+        m = rt.transport.metrics
+        assert m.retries == 2
+        assert m.drops_detected == 2
+        assert m.timeouts == 0
+        np.testing.assert_array_equal(dst.data, payload)
+
+    def test_backoff_is_deterministic(self):
+        """Two identical faulted runs finish at the same instant."""
+        def run():
+            sim, cluster, rt = make_runtime()
+            gpu_a = cluster.gpus[0]
+            gpu_a.pcie_up = FaultyLink.from_link(gpu_a.pcie_up)
+            gpu_a.pcie_up.drop_next(3)
+            src = DeviceBuffer(gpu_a, 1 << 20)
+            dst = DeviceBuffer(cluster.gpus[1], 1 << 20)
+
+            def prog():
+                yield from rt.transport.transfer(src, dst)
+
+            sim.process(prog())
+            sim.run()
+            return sim.now
+
+        assert run() == run()
+
+    def test_hard_outage_times_out(self):
+        """A link that never comes back exhausts the budget loudly."""
+        sim, cluster, rt = make_runtime()
+        gpu_a = cluster.gpus[0]
+        gpu_a.pcie_up = FaultyLink.from_link(gpu_a.pcie_up)
+        gpu_a.pcie_up.set_down(True)
+        src = DeviceBuffer(gpu_a, 4096)
+        dst = DeviceBuffer(cluster.gpus[1], 4096)
+        caught = []
+
+        def prog():
+            try:
+                yield from rt.transport.transfer(src, dst)
+            except TransportTimeout as exc:
+                caught.append(exc)
+
+        sim.process(prog())
+        sim.run()
+        assert len(caught) == 1
+        m = rt.transport.metrics
+        assert m.timeouts == 1
+        assert m.retries == rt.transport.RETRY_LIMIT
+        assert m.link_down_detected == rt.transport.RETRY_LIMIT + 1
+
+    def test_quiet_transfer_adds_no_backoff(self):
+        """The retry loop is free on a healthy fabric: same finish time
+        as a build without any fault machinery armed."""
+        def run(wrap):
+            sim, cluster, rt = make_runtime()
+            if wrap:
+                g = cluster.gpus[0]
+                g.pcie_up = FaultyLink.from_link(g.pcie_up)
+            src = DeviceBuffer(cluster.gpus[0], 8 << 20)
+            dst = DeviceBuffer(cluster.gpus[1], 8 << 20)
+
+            def prog():
+                yield from rt.transport.transfer(src, dst)
+
+            sim.process(prog())
+            sim.run()
+            return sim.now
+
+        assert run(False) == run(True)
+
+
+class TestInterruptDuringStagedTransfer:
+    """Satellite: Process.interrupt mid staged (D2H -> host -> H2D)
+    transfer must release every resource and leak no staging buffers."""
+
+    def _staged_setup(self):
+        # OpenMPI profile: no IPC, so same-node transfers stage via host.
+        sim, cluster, rt = make_runtime(profile=OPENMPI)
+        src = DeviceBuffer(cluster.gpus[0], 32 << 20)
+        dst = DeviceBuffer(cluster.gpus[1], 32 << 20)
+        return sim, cluster, rt, src, dst
+
+    def test_stagings_counter_returns_to_zero(self):
+        sim, cluster, rt, src, dst = self._staged_setup()
+        state = {}
+
+        def prog():
+            try:
+                yield from rt.transport.transfer(src, dst)
+            except Interrupt:
+                state["live_at_interrupt"] = rt.transport.metrics.stagings_live
+                raise
+
+        proc = sim.process(prog())
+
+        def killer():
+            yield sim.timeout(1e-4)  # mid-pipeline
+            proc.interrupt("die")
+
+        sim.process(killer())
+        with pytest.raises(Interrupt):
+            sim.run()
+        # The finally-block accounting fired as the generator unwound.
+        assert state["live_at_interrupt"] == 0
+        assert rt.transport.metrics.stagings_live == 0
+
+    def test_links_usable_after_interrupt(self):
+        """A fresh transfer over the same links completes after the
+        interrupted one unwound (nothing left holding the resources)."""
+        sim, cluster, rt, src, dst = self._staged_setup()
+        done = []
+
+        def victim():
+            try:
+                yield from rt.transport.transfer(src, dst)
+            except Interrupt:
+                pass
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1e-4)
+            proc.interrupt("die")
+
+        def follow_up():
+            yield sim.timeout(5.0)  # well after the wreckage drains
+            start = sim.now
+            yield from rt.transport.transfer(src, dst)
+            done.append(sim.now - start)
+
+        sim.process(killer())
+        sim.process(follow_up())
+        sim.run()
+        assert len(done) == 1 and done[0] > 0
+        assert rt.transport.metrics.stagings_live == 0
+
+    def test_interrupt_inter_node_staged(self):
+        sim, cluster, rt = make_runtime(profile=OPENMPI)
+        src = DeviceBuffer(cluster.gpus[0], 32 << 20)
+        dst = DeviceBuffer(cluster.gpus[16], 32 << 20)  # other node
+
+        def victim():
+            try:
+                yield from rt.transport.transfer(src, dst)
+            except Interrupt:
+                pass
+
+        proc = sim.process(victim())
+
+        def killer():
+            yield sim.timeout(1e-4)
+            proc.interrupt("die")
+
+        sim.process(killer())
+        sim.run()
+        assert rt.transport.metrics.stagings_live == 0
+
+
+class TestInjector:
+    def test_gpu_slowdown_applied(self):
+        sim, cluster, rt = make_runtime(n_nodes=1)
+        plan = FaultPlan("s", (GpuSlow(start=0.0, gpu=2, factor=1.5),))
+        inj = FaultInjector(cluster, plan)
+        inj.arm()
+        sim.run()
+        assert cluster.gpus[2].compute_slowdown == 1.5
+        assert inj.injected == {"GpuSlow": 1}
+
+    def test_link_degrade_window(self):
+        sim, cluster, rt = make_runtime(n_nodes=1)
+        plan = FaultPlan("d", (LinkDegrade(start=1.0, duration=2.0,
+                                           target=("pcie", 0, "up"),
+                                           factor=2.0),))
+        inj = FaultInjector(cluster, plan)
+        inj.arm()
+        base = cluster.gpus[0].pcie_up.bandwidth
+        seen = []
+
+        def probe():
+            yield sim.timeout(2.0)  # inside the window
+            seen.append(cluster.gpus[0].pcie_up.bandwidth)
+            yield sim.timeout(2.0)  # after restore
+            seen.append(cluster.gpus[0].pcie_up.bandwidth)
+
+        sim.process(probe())
+        sim.run()
+        assert seen == [base / 2.0, base]
+
+    def test_drop_burst_pending(self):
+        sim, cluster, rt = make_runtime(n_nodes=1)
+        plan = FaultPlan("x", (DropMessages(time=0.5,
+                                            target=("nic", 0, 0, "tx"),
+                                            count=3),))
+        inj = FaultInjector(cluster, plan)
+        inj.arm()
+        sim.run()
+        link = cluster.nodes[0].nics[0].tx
+        assert isinstance(link, FaultyLink)
+        assert link._drops_pending == 3

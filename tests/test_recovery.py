@@ -1,0 +1,362 @@
+"""End-to-end fault tolerance: revoke/shrink, resilient collectives,
+checkpoint/restart, and fault-injected training runs."""
+
+import numpy as np
+import pytest
+
+from repro import TrainConfig
+from repro.core import run_scaffe
+from repro.cuda import DeviceBuffer
+from repro.faults import CrashRank, FaultInjector, FaultPlan, named_plan
+from repro.hardware import cluster_a
+from repro.io import CheckpointStore
+from repro.mpi import (
+    CommRevoked, MPIRuntime, MV2GDR, RankFailure, RequestTimeout,
+)
+from repro.hardware.faults import FaultyLink
+from repro.mpi import TransportTimeout
+from repro.mpi.collectives import resilient_reduce
+from repro.sim import Interrupt, Simulator
+
+NBYTES = 4 << 20  # 1M floats
+
+
+def make_runtime(n_nodes=1):
+    sim = Simulator()
+    cluster = cluster_a(sim, n_nodes=n_nodes)
+    rt = MPIRuntime(cluster, MV2GDR)
+    return sim, cluster, rt
+
+
+def _reduce_program(values):
+    """Rank program: resilient sum-reduce of per-rank constant payloads.
+    Returns (root payload, finishing comm size) from rank 0."""
+
+    def program(ctx):
+        payload = np.full(NBYTES // 4, values[ctx.rank], dtype=np.float32)
+        sendbuf = DeviceBuffer.from_array(ctx.gpu, payload)
+        recvbuf = (DeviceBuffer.zeros(ctx.gpu, NBYTES // 4)
+                   if ctx.rank == 0 else None)
+        try:
+            cur = yield from resilient_reduce(ctx, sendbuf, recvbuf, 0)
+        except Interrupt:
+            return None  # this rank crashed (fail-stop)
+        if ctx.rank == 0:
+            return recvbuf.data.copy(), cur.size
+        return None
+
+    return program
+
+
+class TestResilientReduce:
+    VICTIM = 5
+
+    def _quiet_duration(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(16)
+        results = rt.execute(comm, _reduce_program([float(r + 1)
+                                                    for r in range(16)]))
+        return sim.now, results[0]
+
+    def test_crash_mid_reduce_matches_survivor_only_run(self):
+        """Acceptance: a 16-rank reduce that loses rank 5 mid-flight
+        completes over the 15 survivors with exactly the payload a
+        fault-free 15-rank run over the same contributions produces."""
+        duration, (_, full_size) = self._quiet_duration()
+        assert full_size == 16
+
+        values16 = [float(r + 1) for r in range(16)]
+
+        # Faulted run: kill rank 5 early in the reduction, with prompt
+        # detection so revocation lands while the tree is in flight.
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(16)
+        plan = FaultPlan("crash", (CrashRank(time=0.2 * duration,
+                                             rank=self.VICTIM),))
+        procs = rt.spawn(comm, _reduce_program(values16))
+        inj = FaultInjector(cluster, plan)
+        inj.arm(runtime=rt, procs=procs, gpus=comm.gpus,
+                detect_latency=5e-5)
+        sim.run()
+        faulted_payload, faulted_size = procs[0].value
+        assert faulted_size == 15
+        assert inj.crashed_ranks == [self.VICTIM]
+
+        # Fault-free run over the 15 survivors' contributions.
+        survivor_values = [v for r, v in enumerate(values16)
+                           if r != self.VICTIM]
+        sim2, cluster2, rt2 = make_runtime()
+        comm2 = rt2.world(15)
+        results = rt2.execute(comm2, _reduce_program(survivor_values))
+        quiet_payload, quiet_size = results[0]
+        assert quiet_size == 15
+
+        np.testing.assert_array_equal(faulted_payload, quiet_payload)
+        np.testing.assert_array_equal(
+            faulted_payload,
+            np.full(NBYTES // 4, sum(survivor_values), dtype=np.float32))
+
+    def test_no_death_transport_failure_reraises(self):
+        """A recoverable exception with unchanged membership must not
+        retry forever: resilient_reduce re-raises it.  A permanently
+        down link times out the transport but kills no rank, so the
+        shrink finds the same survivors and gives up loudly."""
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(2)
+        gpu1 = comm.gpus[1]
+        gpu1.pcie_up = FaultyLink.from_link(gpu1.pcie_up)
+        gpu1.pcie_up.set_down(True)  # rank 1 can never send
+        caught = []
+
+        def program(ctx):
+            sendbuf = DeviceBuffer(ctx.gpu, 1 << 20)
+            recvbuf = (DeviceBuffer(ctx.gpu, 1 << 20)
+                       if ctx.rank == 0 else None)
+            try:
+                yield from resilient_reduce(ctx, sendbuf, recvbuf, 0)
+            except TransportTimeout:
+                caught.append(ctx.rank)
+
+        rt.execute(comm, program)
+        assert sorted(caught) == [0, 1]
+        assert rt.transport.metrics.timeouts >= 1
+
+
+class TestRevocation:
+    def test_revoke_breaks_barrier(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(2)
+        outcomes = []
+
+        def program(ctx):
+            if ctx.rank == 1:
+                yield ctx.sim.timeout(10.0)  # arrive hopelessly late
+            try:
+                yield from ctx.barrier()
+            except CommRevoked:
+                outcomes.append(ctx.rank)
+
+        def revoker():
+            yield sim.timeout(1.0)
+            comm.revoke(RankFailure("injected"))
+
+        sim.process(revoker())
+        rt.execute(comm, program)
+        # Rank 0 was parked in the barrier; rank 1 arrived after the
+        # break and failed fast.
+        assert sorted(outcomes) == [0, 1]
+
+    def test_revoked_comm_fails_new_operations(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(2)
+        comm.revoke(RankFailure("pre-revoked"))
+        caught = []
+
+        def program(ctx):
+            buf = DeviceBuffer(ctx.gpu, 4096)
+            req = (ctx.isend(1, buf, tag=1) if ctx.rank == 0
+                   else ctx.irecv(0, buf, tag=1))
+            try:
+                yield req.wait()
+            except CommRevoked:
+                caught.append(ctx.rank)
+
+        rt.execute(comm, program)
+        assert sorted(caught) == [0, 1]
+
+    def test_shrink_caches_by_membership(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(4)
+        rt.failure_detector.mark_dead(comm.gpus[2])
+        a = comm.shrink()
+        b = comm.shrink()
+        assert a is b
+        assert a.size == 3
+        assert all(g is not comm.gpus[2] for g in a.gpus)
+
+
+class TestRequestTimeout:
+    def test_wait_timeout_raises(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(2)
+        caught = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                buf = DeviceBuffer(ctx.gpu, 4096)
+                req = ctx.irecv(1, buf, tag=3)  # nobody ever sends
+                try:
+                    yield req.wait(timeout=0.25)
+                except RequestTimeout:
+                    caught.append(sim.now)
+            else:
+                yield ctx.sim.timeout(1.0)
+
+        rt.execute(comm, program)
+        assert caught == [0.25]
+
+    def test_wait_timeout_unused_when_completed_first(self):
+        sim, cluster, rt = make_runtime()
+        comm = rt.world(2)
+        done = []
+
+        def program(ctx):
+            buf = DeviceBuffer(ctx.gpu, 4096)
+            if ctx.rank == 0:
+                req = ctx.irecv(1, buf, tag=3)
+                yield req.wait(timeout=60.0)
+                done.append(ctx.rank)
+            else:
+                yield from ctx.send(0, buf, tag=3)
+                done.append(ctx.rank)
+
+        rt.execute(comm, program)
+        assert sorted(done) == [0, 1]
+
+
+class TestCheckpointStore:
+    def test_save_restore_roundtrip(self):
+        sim, cluster, rt = make_runtime()
+        store = CheckpointStore(sim, cluster.cal)
+        gpu = cluster.gpus[0]
+        payload = np.arange(16, dtype=np.float32)
+        restored = []
+
+        def prog():
+            yield from store.save(gpu, 8 << 20, 4, payload=payload)
+            snap = yield from store.restore(gpu)
+            restored.append(snap)
+
+        sim.process(prog())
+        sim.run()
+        (snap,) = restored
+        assert snap.iteration == 4
+        assert snap.nbytes == 8 << 20
+        np.testing.assert_array_equal(snap.payload, payload)
+        assert store.saves == 1 and store.restores == 1
+        assert store.save_time > 0 and store.restore_time > 0
+        assert store.completed_iterations == 4
+
+    def test_restore_without_snapshot_is_noop(self):
+        sim, cluster, rt = make_runtime()
+        store = CheckpointStore(sim, cluster.cal)
+        out = []
+
+        def prog():
+            snap = yield from store.restore(cluster.gpus[0])
+            out.append(snap)
+
+        sim.process(prog())
+        sim.run()
+        assert out == [None]
+        assert store.restores == 0
+        assert sim.now == 0.0
+        assert store.completed_iterations == 0
+
+    def test_negative_checkpoint_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TrainConfig(checkpoint_interval=-1)
+
+
+def _crash_cfg(iterations=5, ckpt=2):
+    return TrainConfig(network="alexnet", batch_size=256,
+                       iterations=iterations, measure_iterations=4,
+                       variant="SC-OBR", checkpoint_interval=ckpt)
+
+
+def _crash_run(seed=0):
+    sim = Simulator(seed=seed)
+    cluster = cluster_a(sim, n_nodes=4)
+    plan = FaultPlan("crash1", (CrashRank(time=1.25, rank=5),))
+    return run_scaffe(cluster, 16, _crash_cfg(), fault_plan=plan)
+
+
+class TestTrainingUnderFaults:
+    def test_rank_crash_run_completes(self):
+        """Acceptance: crashing 1 of 16 ranks mid-run neither deadlocks
+        nor leaks an unhandled Interrupt; the report carries the crash
+        and the recovery overhead."""
+        report = _crash_run()
+        assert report.ok
+        f = report.faults
+        assert f is not None
+        assert f.injected == {"CrashRank": 1}
+        assert f.crashed_ranks == [5]
+        assert f.detected_failures == 1
+        assert f.recoveries == 1
+        assert f.restores == 1
+        assert f.restore_time > 0
+        assert f.recovery_time >= f.restore_time
+        assert f.checkpoints >= 1
+
+    def test_crash_run_costs_time(self):
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=4)
+        quiet = run_scaffe(cluster, 16, _crash_cfg(ckpt=0))
+        faulted = _crash_run()
+        assert faulted.total_time > quiet.total_time
+
+    def test_fault_counters_deterministic(self):
+        """Same seed + same plan -> identical report, field for field."""
+        a, b = _crash_run(seed=3), _crash_run(seed=3)
+        assert a.total_time == b.total_time
+        assert a.faults == b.faults
+
+    def test_empty_plan_is_free(self):
+        """Acceptance: an all-quiet plan leaves the simulated schedule
+        untouched — bit-equal total time vs. no plan at all."""
+        def run(plan):
+            sim = Simulator()
+            cluster = cluster_a(sim, n_nodes=4)
+            cfg = TrainConfig(network="alexnet", batch_size=256,
+                              iterations=5, measure_iterations=4,
+                              variant="SC-OBR")
+            return run_scaffe(cluster, 16, cfg, fault_plan=plan)
+
+        bare = run(None)
+        quiet = run(FaultPlan.quiet())
+        assert bare.total_time == quiet.total_time
+        assert quiet.faults is not None and quiet.faults.clean
+
+    def test_checkpoint_only_run_reports_costs(self):
+        """checkpoint_interval alone (no injector) produces a faults
+        section with save costs and zero injections."""
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=4)
+        report = run_scaffe(cluster, 16, _crash_cfg(ckpt=2))
+        f = report.faults
+        assert f is not None
+        assert f.total_injected == 0
+        assert f.checkpoints == 2
+        assert f.checkpoint_time > 0
+        assert f.restores == 0
+
+    def test_named_crash_plan_end_to_end(self):
+        """The named 'rank-crash' plan drives the same machinery."""
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=4)
+        probe = run_scaffe(cluster, 16, _crash_cfg(ckpt=0))
+        plan = named_plan("rank-crash", seed=9,
+                          horizon=probe.simulated_time, n_ranks=16,
+                          n_nodes=4, gpus_per_node=16)
+        sim2 = Simulator()
+        cluster2 = cluster_a(sim2, n_nodes=4)
+        report = run_scaffe(cluster2, 16, _crash_cfg(), fault_plan=plan)
+        assert report.ok
+        assert report.faults.crashed_ranks == [plan.events[0].rank]
+        assert report.faults.recoveries == 1
+
+    def test_simulated_time_populated(self):
+        # All iterations simulated: spans coincide.
+        sim = Simulator()
+        cluster = cluster_a(sim, n_nodes=4)
+        report = run_scaffe(cluster, 16, _crash_cfg(ckpt=0))
+        assert report.simulated_time == report.total_time
+        # Extrapolated run: the simulated span is strictly shorter.
+        sim2 = Simulator()
+        cluster2 = cluster_a(sim2, n_nodes=4)
+        cfg = TrainConfig(network="alexnet", batch_size=256,
+                          iterations=20, measure_iterations=3,
+                          variant="SC-OBR")
+        long_run = run_scaffe(cluster2, 16, cfg)
+        assert 0 < long_run.simulated_time < long_run.total_time
