@@ -15,7 +15,6 @@ sweep keeps chain-chain competitive at 160 — same tuning procedure,
 system-dependent table (recorded in EXPERIMENTS.md).
 """
 
-import pytest
 from common import (
     KiB, MiB, emit, fmt_bytes, fmt_table, fmt_time, fresh_cluster,
     osu_reduce, run_once,

@@ -9,7 +9,6 @@ host-staged pipelining + CPU sums (MVAPICH2 2.2RC1) vs. pageable
 small-block synchronous staging (OpenMPI v1.10.2).
 """
 
-import math
 
 from common import (
     KiB, MiB, emit, fmt_bytes, fmt_table, fmt_time, osu_reduce, run_once,

@@ -6,11 +6,19 @@ against the multi-stage Ibcast co-design (SC-OB).  Paper: "SC-OB
 co-design provides an excellent overlap of the communication and hides
 the large latency behind the compute intensive Forward pass ... up to
 15% improvement".  (Reduce time excluded, as in the paper's figure.)
+
+The SC-OB runs carry a :class:`~repro.prof.SpanRecorder`, so the table
+also reports how the *critical path* splits between communication and
+compute resources: after the co-design hides propagation, the run should
+be compute-bound at every scale (comm share a small fraction).
 """
 
 from common import emit, fmt_table, run_once
 
 from repro import TrainConfig, train
+from repro.hardware import make_cluster
+from repro.prof import SpanRecorder
+from repro.sim import Simulator
 
 GPU_COUNTS = (16, 32, 64, 96, 160)
 
@@ -24,8 +32,11 @@ def run_fig13():
     for n in GPU_COUNTS:
         scb = train("scaffe", n_gpus=n, cluster="A",
                     config=BASE.derive(variant="SC-B"))
-        scob = train("scaffe", n_gpus=n, cluster="A",
-                     config=BASE.derive(variant="SC-OB"))
+        sim = Simulator()
+        cluster = make_cluster(sim, "A")
+        scob = train("scaffe", n_gpus=n, cluster=cluster,
+                     config=BASE.derive(variant="SC-OB"),
+                     recorder=SpanRecorder(sim))
         out[n] = (scb, scob)
     return out
 
@@ -40,13 +51,16 @@ def test_fig13_scob_overlap(benchmark):
         prop_o = scob.phase("propagation") * 1e3
         fb_o = (scob.phase("fwd") + scob.phase("bwd")) * 1e3
         imp = (scb.total_time - scob.total_time) / scb.total_time * 100
+        prof = scob.profile
+        cp = (f"{prof.comm_share * 100:4.1f}%/"
+              f"{prof.compute_share * 100:4.1f}%")
         rows.append([n, f"{prop_b:7.2f}", f"{fb_b:7.2f}",
-                     f"{prop_o:7.2f}", f"{fb_o:7.2f}", f"{imp:5.1f}%"])
+                     f"{prop_o:7.2f}", f"{fb_o:7.2f}", f"{imp:5.1f}%", cp])
     emit("fig13_scob_overlap", fmt_table(
         "Figure 13: SC-B vs SC-OB per-iteration phases [ms], GoogLeNet, "
         "Cluster-A",
         ["GPUs", "SC-B prop", "SC-B F/B", "SC-OB prop (wait)",
-         "SC-OB F/B", "improvement"], rows))
+         "SC-OB F/B", "improvement", "SC-OB CP comm/comp"], rows))
 
     for n, (scb, scob) in results.items():
         # SC-OB hides propagation behind the forward pass: the visible
@@ -66,3 +80,10 @@ def test_fig13_scob_overlap(benchmark):
     print(f"SC-OB improvement at 160 GPUs: {imps[-1]*100:.1f}% "
           "(paper: up to 15%)")
     assert 0.08 <= imps[-1] <= 0.30
+
+    # With propagation hidden, SC-OB's critical path stays compute-bound
+    # at every scale (the whole point of the overlap co-design).
+    for n, (_scb, scob) in results.items():
+        prof = scob.profile
+        assert prof.compute_share > prof.comm_share, n
+        assert prof.comm_share < 0.35, n

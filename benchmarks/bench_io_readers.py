@@ -7,7 +7,7 @@ to any number of processes."  Sweeps the reader count and reports
 aggregate ingest throughput (samples/second).
 """
 
-from common import emit, fmt_table, fresh_cluster, run_once
+from common import emit, fmt_table, run_once
 
 from repro.hardware import DEFAULT_CALIBRATION
 from repro.io import DataLayer, DataReader, IMAGENET, SimLMDB, SimLustre

@@ -10,7 +10,7 @@ prints the rows/series the paper reports, writes them under
 from __future__ import annotations
 
 import os
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable
 
 from repro.analysis import format_bytes, format_table, format_time
 from repro.cuda import DeviceBuffer

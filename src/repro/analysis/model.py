@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 __all__ = ["HopCost", "t_binomial", "t_chunked_chain", "optimal_chunks",
            "crossover_P", "hierarchical_estimate", "fit_hop_cost"]

@@ -62,6 +62,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="train a network defined in a Caffe prototxt "
                         "file instead of a model-zoo name")
 
+    pr = sub.add_parser(
+        "profile",
+        help="causal profile of a training run (critical path, comm "
+             "matrix, what-if projection)")
+    pr.add_argument("--cluster", default="A", choices=["A", "B"])
+    pr.add_argument("--gpus", type=int, default=8)
+    pr.add_argument("--model", "--network", dest="network",
+                    default="alexnet")
+    pr.add_argument("--dataset", default="imagenet")
+    pr.add_argument("--batch-size", type=int, default=256)
+    pr.add_argument("--iterations", type=int, default=3)
+    pr.add_argument("--variant", default="SC-OBR",
+                    choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
+    pr.add_argument("--reduce-design", default="tuned")
+    pr.add_argument("--profile", default="mv2gdr",
+                    choices=["mv2gdr", "mv2", "openmpi"])
+    pr.add_argument("--seed", type=int, default=None)
+    pr.add_argument("--trace", metavar="FILE", default=None,
+                    help="write a Perfetto/Chrome trace-event JSON file")
+    pr.add_argument("--what-if", metavar="SPEC", default=None,
+                    help="comma-separated resource rescales, e.g. "
+                         "'ib=2,compute=1.3' (factor >1 = faster); "
+                         "classes: compute, pcie, ib, host, cpu, "
+                         "gpu_mem, overhead, all")
+    pr.add_argument("--top", type=int, default=10,
+                    help="rows per critical-path breakdown table")
+
     o = sub.add_parser("osu", help="MPI_Reduce micro-benchmark (OMB-style)")
     o.add_argument("--cluster", default="A", choices=["A", "B"])
     o.add_argument("--profile", default="mv2gdr",
@@ -136,6 +163,65 @@ def _cmd_train(args) -> int:
         return 0
     print(f"  note: {report.notes}")
     return 1
+
+
+def _parse_what_if(spec: str) -> dict:
+    """Parse 'ib=2,compute=1.3' into a {class: factor} dict."""
+    scales = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"bad what-if term {part!r} (want name=factor)")
+        name, _, val = part.partition("=")
+        try:
+            scales[name.strip()] = float(val)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad what-if factor {val!r} for {name.strip()!r}")
+    return scales
+
+
+def _cmd_profile(args) -> int:
+    from .core import TrainConfig, run_scaffe
+    from .hardware import make_cluster
+    from .prof import SpanRecorder, save_trace
+    from .sim import Simulator
+
+    scales = _parse_what_if(args.what_if) if args.what_if else None
+
+    cfg = TrainConfig(network=args.network, dataset=args.dataset,
+                      batch_size=args.batch_size,
+                      iterations=args.iterations,
+                      variant=args.variant,
+                      reduce_design=args.reduce_design,
+                      measure_iterations=min(4, args.iterations))
+    sim = Simulator() if args.seed is None else Simulator(seed=args.seed)
+    cluster = make_cluster(sim, args.cluster)
+    recorder = SpanRecorder(sim)
+    report = run_scaffe(cluster, args.gpus, cfg, profile=args.profile,
+                        recorder=recorder)
+    if not report.ok:
+        print(f"run failed: {report.failure} ({report.notes})")
+        return 1
+    prof = report.profile
+    print(f"# {cfg.network} x{args.gpus} on Cluster-{args.cluster}, "
+          f"{cfg.variant}/{args.reduce_design}, {args.profile}")
+    print(prof.render(top=args.top))
+    if scales:
+        base = prof.makespan
+        proj = prof.what_if(scales)
+        terms = ", ".join(f"{k} {v:g}x" for k, v in scales.items())
+        print(f"\nwhat-if ({terms}):")
+        print(f"  projected makespan {proj * 1e3:12.3f} ms "
+              f"({base / proj:.2f}x speedup, lower bound)")
+    if args.trace:
+        save_trace(args.trace, recorder.closed_spans())
+        print(f"\ntrace written to {args.trace} "
+              f"(load in ui.perfetto.dev or chrome://tracing)")
+    return 0
 
 
 def _cmd_chaos(args) -> int:
@@ -290,6 +376,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "train": _cmd_train,
+        "profile": _cmd_profile,
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,

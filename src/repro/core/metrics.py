@@ -9,7 +9,10 @@ breakdown the co-design analyses need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..prof import ProfileReport
 
 __all__ = ["FaultReport", "TrainingReport", "speedup"]
 
@@ -88,6 +91,9 @@ class TrainingReport:
     #: Robustness outcome (present when the run was fault-injected or
     #: checkpointed; None for plain quiet runs).
     faults: Optional[FaultReport] = None
+    #: Causal profile (present when the run had a SpanRecorder attached;
+    #: None for unprofiled runs).
+    profile: Optional["ProfileReport"] = None
     notes: str = ""
 
     @property

@@ -29,7 +29,7 @@ from typing import Any, Dict, Generator, List, Optional
 
 from ..cuda import DeviceBuffer
 from ..faults import CrashRank, FaultInjector, FaultPlan
-from ..hardware import Cluster, OutOfMemoryError
+from ..hardware import Cluster
 from ..io import CheckpointStore, DataLayer, DataReader, get_dataset, \
     make_backend
 from ..mpi import (
@@ -59,10 +59,14 @@ class SCaffeJob:
                  profile: MPIProfile | str = MV2GDR,
                  adapter: Optional[RealCompute] = None,
                  tracer: Optional[Tracer] = None,
+                 recorder=None,
                  fault_plan: Optional[FaultPlan] = None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.cal = cluster.cal
+        if recorder is not None and recorder.sim is not self.sim:
+            raise ValueError("recorder belongs to a different simulator")
+        self.recorder = recorder
         self.n_gpus = n_gpus
         self.workload = workload
         self.cfg = cfg
@@ -134,6 +138,9 @@ class SCaffeJob:
                 / self.sim_iterations)
         if self.injector is not None or cfg.checkpoint_interval:
             report.faults = self._fault_report()
+        if self.recorder is not None:
+            from ..prof import build_profile
+            report.profile = build_profile(self.recorder)
         return report
 
     def _fault_report(self) -> FaultReport:
@@ -466,11 +473,13 @@ def run_scaffe(cluster: Cluster, n_gpus: int, cfg: TrainConfig, *,
                workload: Optional[Workload] = None,
                adapter: Optional[RealCompute] = None,
                tracer: Optional[Tracer] = None,
+               recorder=None,
                fault_plan: Optional[FaultPlan] = None) -> TrainingReport:
     """Convenience wrapper: build the workload from the config and run."""
     if workload is None:
         from ..dnn import get_network
         workload = Workload.from_spec(get_network(cfg.network))
     job = SCaffeJob(cluster, n_gpus, workload, cfg, profile=profile,
-                    adapter=adapter, tracer=tracer, fault_plan=fault_plan)
+                    adapter=adapter, tracer=tracer, recorder=recorder,
+                    fault_plan=fault_plan)
     return job.run()

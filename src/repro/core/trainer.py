@@ -36,7 +36,8 @@ def train(framework: str, *, n_gpus: int,
           profile: MPIProfile | str = MV2GDR,
           workload: Optional[Workload] = None,
           adapter: Optional[RealCompute] = None,
-          tracer: Optional[Tracer] = None) -> TrainingReport:
+          tracer: Optional[Tracer] = None,
+          recorder=None) -> TrainingReport:
     """Train ``config.network`` with the named framework.
 
     Parameters
@@ -53,6 +54,9 @@ def train(framework: str, *, n_gpus: int,
     adapter:
         Optional :class:`RealCompute` for payload-carrying runs
         (S-Caffe only).
+    recorder:
+        Optional :class:`~repro.prof.SpanRecorder` for causal profiling
+        (S-Caffe only); must be built on the cluster's simulator.
     """
     cfg = config or TrainConfig()
     if isinstance(cluster, str):
@@ -62,7 +66,7 @@ def train(framework: str, *, n_gpus: int,
     if key in ("scaffe", "s"):
         return run_scaffe(cluster, n_gpus, cfg, profile=profile,
                           workload=workload, adapter=adapter,
-                          tracer=tracer)
+                          tracer=tracer, recorder=recorder)
     if key == "caffe":
         return run_caffe(cluster, n_gpus, cfg, workload=workload,
                          tracer=tracer)

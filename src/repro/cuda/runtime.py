@@ -32,15 +32,30 @@ class CudaRuntime:
             return self.cal.unpinned_factor
         return 1.0
 
+    def _timed(self, kind: str, duration: float, *, nbytes: int = 0,
+               label: str = "") -> Generator[Event, Any, None]:
+        """A plain timeout, recorded as a resource-less span when a
+        profiler is installed (launch overheads, D2D copies)."""
+        rec = self.sim.recorder
+        if rec is None:
+            yield self.sim.timeout(duration)
+            return
+        sid = rec.open(kind, nbytes=nbytes, label=label)
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            rec.close(sid)
+
     def memcpy_d2h(self, src: DeviceBuffer, dst: Optional[HostBuffer] = None,
                    nbytes: Optional[int] = None,
                    ) -> Generator[Event, Any, None]:
         """Device -> host copy over the GPU's PCIe uplink."""
         n = src.nbytes if nbytes is None else nbytes
-        yield self.sim.timeout(self.cal.cuda_copy_overhead)
+        yield from self._timed("overhead", self.cal.cuda_copy_overhead,
+                               label="cudaMemcpy")
         factor = self._staging_factor(dst)
         eff = int(n / factor) if factor != 1.0 else n
-        yield from src.device.pcie_up.transfer(eff)
+        yield from src.device.pcie_up.transfer(eff, kind="d2h")
         if dst is not None:
             dst.copy_payload_from(src, nbytes=n)
 
@@ -49,18 +64,20 @@ class CudaRuntime:
                    ) -> Generator[Event, Any, None]:
         """Host -> device copy over the GPU's PCIe downlink."""
         n = dst.nbytes if nbytes is None else nbytes
-        yield self.sim.timeout(self.cal.cuda_copy_overhead)
+        yield from self._timed("overhead", self.cal.cuda_copy_overhead,
+                               label="cudaMemcpy")
         factor = self._staging_factor(src)
         eff = int(n / factor) if factor != 1.0 else n
-        yield from dst.device.pcie_down.transfer(eff)
+        yield from dst.device.pcie_down.transfer(eff, kind="h2d")
         if src is not None:
             dst.copy_payload_from(src, nbytes=n)
 
     def memcpy_d2d(self, device: GPUDevice, nbytes: int,
                    ) -> Generator[Event, Any, None]:
         """Same-device copy at device-memory bandwidth."""
-        yield self.sim.timeout(self.cal.cuda_copy_overhead
-                               + nbytes / device.spec.membw)
+        yield from self._timed("d2d", self.cal.cuda_copy_overhead
+                               + nbytes / device.spec.membw, nbytes=nbytes,
+                               label=device.name)
 
     def memcpy_p2p(self, src: DeviceBuffer, dst: DeviceBuffer,
                    nbytes: Optional[int] = None, *, src_offset: int = 0,
@@ -79,7 +96,8 @@ class CudaRuntime:
         else:
             links = [src.device.pcie_up, dst.device.pcie_down]
             yield from multi_link_transfer(
-                self.sim, links, n, extra_time=self.cal.cuda_copy_overhead)
+                self.sim, links, n, extra_time=self.cal.cuda_copy_overhead,
+                kind="p2p")
         dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
                               dst_offset=dst_offset)
 
@@ -92,7 +110,8 @@ class CudaRuntime:
                else duration)
         dur *= self.sim.jitter_factor(self.cal.compute_jitter)
         dur *= device.compute_slowdown
-        yield from device.compute.use(self.cal.kernel_launch_overhead + dur)
+        yield from device.compute.use(self.cal.kernel_launch_overhead + dur,
+                                      kind="kernel")
 
     def reduce_kernel(self, acc: DeviceBuffer, contrib: DeviceBuffer,
                       nbytes: Optional[int] = None, *, offset: int = 0,
@@ -106,7 +125,8 @@ class CudaRuntime:
             raise ValueError("reduce_kernel operands must be co-resident")
         n = min(acc.nbytes, contrib.nbytes) if nbytes is None else nbytes
         yield from acc.device.compute.use(
-            self.cal.kernel_launch_overhead + acc.device.spec.reduce_time(n))
+            self.cal.kernel_launch_overhead + acc.device.spec.reduce_time(n),
+            kind="reduce", nbytes=n)
         acc.accumulate_payload_from(contrib, nbytes=n, offset=offset)
 
     def cpu_reduce(self, node_index: int, acc, contrib,
@@ -115,5 +135,5 @@ class CudaRuntime:
         """Host-side elementwise sum (used by the OpenMPI/MV2 profiles)."""
         node = self.cluster.nodes[node_index]
         n = min(acc.nbytes, contrib.nbytes) if nbytes is None else nbytes
-        yield from node.cpu_reduce.transfer(n)
+        yield from node.cpu_reduce.transfer(n, kind="cpu_reduce")
         acc.accumulate_payload_from(contrib, nbytes=n, offset=offset)

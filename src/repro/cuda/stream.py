@@ -8,7 +8,7 @@ overlap (and its limits) emerges in the model.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator
+from typing import Any, Generator
 
 from ..hardware.gpu import GPUDevice
 from ..sim import Channel, Event, Simulator

@@ -17,7 +17,7 @@ the input, accumulating parameter gradients in ``grads``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

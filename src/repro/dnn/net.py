@@ -8,7 +8,7 @@ packed *gradient* vector (gradient aggregation).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

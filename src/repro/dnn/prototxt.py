@@ -18,7 +18,7 @@ inception modules are built programmatically in
 from __future__ import annotations
 
 import re
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Union
 
 from .solver import SolverConfig
 from .specs import (

@@ -18,7 +18,7 @@ dropped now is re-injected later, which is why 1-bit SGD converges.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

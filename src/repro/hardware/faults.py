@@ -120,6 +120,6 @@ class FaultyLink(BandwidthLink):
             self.drops_served += 1
             raise MessageDropped(f"message dropped on {self.name}")
 
-    def transfer(self, nbytes: int):
+    def transfer(self, nbytes: int, **kwargs):
         self.check_fault()
-        return super().transfer(nbytes)
+        return super().transfer(nbytes, **kwargs)

@@ -9,7 +9,7 @@ transfers cannot deadlock.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable, List, Sequence
+from typing import Any, Generator, List, Sequence
 
 from ..sim import BandwidthLink, Event, Simulator
 
@@ -30,6 +30,7 @@ def cut_through_time(links: Sequence[BandwidthLink], nbytes: int) -> float:
 
 def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
                         nbytes: int, *, extra_time: float = 0.0,
+                        kind: str = "xfer",
                         ) -> Generator[Event, Any, None]:
     """Sub-protocol: hold all ``links`` simultaneously for the cut-through
     duration (+ ``extra_time`` of fixed software overhead on the wire).
@@ -60,6 +61,8 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
     duration = (cut_through_time(links, nbytes)
                 * sim.jitter_factor(jitter) + extra_time)
     grants = []
+    sid = None
+    rec = sim.recorder
     try:
         for l in uniq:
             req = l._res.request()
@@ -71,7 +74,17 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
             grants.append((l, grant))
             l.messages += 1
             l.bytes_moved += nbytes
+        if rec is not None:
+            # One span holding every link, led by the bottleneck link so
+            # class attribution (ib vs pcie) follows the narrowest hop.
+            narrow = min(uniq, key=lambda l: (l.bandwidth, l.name))
+            names = [narrow.name] + [l.name for l in uniq if l is not narrow]
+            sid = rec.open(kind, resources=tuple(names), nbytes=nbytes)
         yield sim.timeout(duration)
     finally:
+        if sid is not None:
+            # Close before releasing: successors granted at this instant
+            # must see a closed predecessor.
+            rec.close(sid)
         for l, grant in grants:
             l._res.release(grant)

@@ -18,7 +18,7 @@ drops below the consumption rate — exactly the LMDB-at-scale failure.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, Protocol, Union
+from typing import Any, Generator, Protocol, Union
 
 from ..sim import Event, Simulator, Store
 from .dataset import DatasetSpec

@@ -12,7 +12,7 @@ need bit-identical batch schedules.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator
 
 import numpy as np
 

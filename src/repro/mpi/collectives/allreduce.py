@@ -8,18 +8,19 @@ and a reduce+bcast composition for small messages.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
-from .base import apply_reduction, coll_tag_base, local_accumulate_copy
+from .base import apply_reduction, coll_tag_base, local_accumulate_copy, traced
 from .bcast import bcast_binomial
 from .reduce import reduce_binomial
 
 __all__ = ["allreduce_ring", "allreduce_reduce_bcast", "allreduce"]
 
 
+@traced("allreduce.ring")
 def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
                    recvbuf: DeviceBuffer,
                    ) -> Generator[Event, Any, None]:

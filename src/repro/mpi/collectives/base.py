@@ -19,6 +19,7 @@ the large-message bottleneck, Section 3.4).
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Generator, List, Tuple
 
 from ...cuda import DeviceBuffer
@@ -26,7 +27,7 @@ from ...sim import Event
 from ..communicator import RankContext
 
 __all__ = ["COLL_TAG_BASE", "TAG_BLOCK", "coll_tag_base", "segments",
-           "apply_reduction", "local_accumulate_copy"]
+           "apply_reduction", "local_accumulate_copy", "traced"]
 
 #: User pt2pt tags must stay below this value.
 COLL_TAG_BASE = 1 << 20
@@ -42,6 +43,38 @@ def coll_tag_base(ctx: RankContext) -> int:
     seq = comm._coll_seq[ctx.rank]
     comm._coll_seq[ctx.rank] += 1
     return COLL_TAG_BASE + seq * TAG_BLOCK
+
+
+def traced(op_name: str):
+    """Decorate a collective sub-protocol so that, when a profiler is
+    installed, every span recorded while it runs (including by processes
+    it spawns) carries ``op=op_name``.
+
+    Zero-cost when profiling is off: the undecorated generator is
+    returned unchanged.  Nested collectives (HR calling flat reduces on
+    sub-communicators) stack naturally — the innermost tag wins.
+    """
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(ctx: RankContext, *args, **kwargs):
+            gen = fn(ctx, *args, **kwargs)
+            rec = ctx.sim.recorder
+            if rec is None:
+                return gen
+            return _op_scope(rec, op_name, gen)
+        return wrapper
+    return deco
+
+
+def _op_scope(rec, op_name: str, gen: Generator
+              ) -> Generator[Event, Any, Any]:
+    # The body only runs at the first next(), inside the driving process
+    # — op_push keys the tag to that process.
+    proc = rec.op_push(op_name)
+    try:
+        return (yield from gen)
+    finally:
+        rec.op_pop(proc)
 
 
 def segments(nbytes: int, segment: int) -> List[Tuple[int, int]]:

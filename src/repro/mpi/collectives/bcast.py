@@ -14,12 +14,13 @@ from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
 from ..request import Request
-from .base import coll_tag_base
+from .base import coll_tag_base, traced
 
 __all__ = ["bcast_binomial", "bcast_flat", "bcast_scatter_allgather",
            "bcast", "ibcast"]
 
 
+@traced("bcast.binomial")
 def bcast_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
                    *, tag_base: int = None) -> Generator[Event, Any, None]:
     """Binomial-tree broadcast: log2(P) rounds, halving the frontier."""
@@ -52,6 +53,7 @@ def bcast_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
         yield req.wait()
 
 
+@traced("bcast.flat")
 def bcast_flat(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
                ) -> Generator[Event, Any, None]:
     """Naive linear broadcast (root sends to everyone) — the pattern a
@@ -69,6 +71,7 @@ def bcast_flat(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
         yield from ctx.recv(root, buf, tag=tag)
 
 
+@traced("bcast.sag")
 def bcast_scatter_allgather(ctx: RankContext, buf: DeviceBuffer,
                             root: int = 0) -> Generator[Event, Any, None]:
     """van de Geijn broadcast: binomial scatter + ring allgather.

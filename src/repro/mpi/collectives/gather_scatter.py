@@ -16,7 +16,7 @@ from typing import Any, Generator, List, Optional, Tuple
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
-from .base import apply_reduction, coll_tag_base
+from .base import apply_reduction, coll_tag_base, traced
 
 __all__ = ["block_partition", "scatter_binomial", "gather_binomial",
            "allgather_ring", "reduce_scatter_ring"]
@@ -39,6 +39,7 @@ def block_partition(nbytes: int, P: int) -> List[Tuple[int, int]]:
     return out
 
 
+@traced("scatter.binomial")
 def scatter_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
                      *, tag_base: Optional[int] = None,
                      ) -> Generator[Event, Any, None]:
@@ -91,6 +92,7 @@ def scatter_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
         yield req.wait()
 
 
+@traced("gather.binomial")
 def gather_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
                     *, tag_base: Optional[int] = None,
                     ) -> Generator[Event, Any, None]:
@@ -131,6 +133,7 @@ def gather_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
         mask <<= 1
 
 
+@traced("allgather.ring")
 def allgather_ring(ctx: RankContext, buf: DeviceBuffer,
                    *, tag_base: Optional[int] = None,
                    ) -> Generator[Event, Any, None]:
@@ -158,6 +161,7 @@ def allgather_ring(ctx: RankContext, buf: DeviceBuffer,
             yield sreq.wait()
 
 
+@traced("reduce_scatter.ring")
 def reduce_scatter_ring(ctx: RankContext, sendbuf: DeviceBuffer,
                         recvbuf: DeviceBuffer,
                         *, tag_base: Optional[int] = None,

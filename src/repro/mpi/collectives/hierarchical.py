@@ -22,7 +22,7 @@ from typing import Any, Generator, List, Optional, Tuple
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import Communicator, RankContext
-from .base import local_accumulate_copy
+from .base import local_accumulate_copy, traced
 from .reduce import reduce_binomial, reduce_chain
 
 __all__ = ["hierarchical_reduce", "hr_plan", "HRConfig", "parse_hr_config"]
@@ -176,6 +176,7 @@ def _multilevel(ctx: RankContext, sendbuf: DeviceBuffer,
             lower_out.free()
 
 
+@traced("reduce.hr")
 def hierarchical_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
                         recvbuf: Optional[DeviceBuffer], root: int = 0, *,
                         config: HRConfig | str,

@@ -23,11 +23,13 @@ from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
 from ..request import Request
-from .base import apply_reduction, coll_tag_base, local_accumulate_copy, segments
+from .base import apply_reduction, coll_tag_base, local_accumulate_copy, \
+    segments, traced
 
 __all__ = ["reduce_binomial", "reduce_chain", "reduce", "ireduce"]
 
 
+@traced("reduce.binomial")
 def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
                     recvbuf: Optional[DeviceBuffer], root: int = 0,
                     *, tag_base: Optional[int] = None,
@@ -127,6 +129,7 @@ def _segmented_recv_reduce(ctx: RankContext, acc: DeviceBuffer,
                 yield ctx.sim.timeout(sync)
 
 
+@traced("reduce.chain")
 def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
                  recvbuf: Optional[DeviceBuffer], root: int = 0,
                  *, chunk_bytes: Optional[int] = None,

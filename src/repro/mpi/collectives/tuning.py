@@ -21,7 +21,7 @@ from typing import Any, Generator, Optional
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
-from .hierarchical import HRConfig, hierarchical_reduce
+from .hierarchical import hierarchical_reduce
 from .reduce import reduce_binomial, reduce_chain
 
 __all__ = ["ReducePlan", "TuningTable", "autotune", "select_reduce_plan",

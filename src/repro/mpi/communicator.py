@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..sim import Barrier, Event, Simulator
 from .failure import CommRevoked, RankFailure
 from .profiles import MPIProfile
 from .request import ANY_SOURCE, ANY_TAG, Request
-from .transport import DeviceTransport, TransportTimeout
+from .transport import TransportTimeout
 
 __all__ = ["Communicator", "RankContext", "MessageStatus"]
 
@@ -336,8 +336,21 @@ class RankContext:
         """
         import math
         hops = max(1, math.ceil(math.log2(max(2, self.size))))
+        rec = self.sim.recorder
+        if rec is None:
+            yield self.sim.timeout(hops * self.runtime.cal.ib_latency)
+            yield self.comm._barrier.arrive()
+            return
+        sid = rec.open("overhead", label=f"{self.comm.name}.barrier.hops")
         yield self.sim.timeout(hops * self.runtime.cal.ib_latency)
-        yield self.comm._barrier.arrive()
+        rec.close(sid)
+        # The wait-for-last-arrival interval is attributed explicitly so
+        # barrier skew shows up as "barrier", not an anonymous gap.
+        sid = rec.open("barrier", label=self.comm.name)
+        try:
+            yield self.comm._barrier.arrive()
+        finally:
+            rec.close(sid)
 
     # -- scratch device memory -----------------------------------------------------
     def scratch_like(self, buf: DeviceBuffer, name: str = "scratch"

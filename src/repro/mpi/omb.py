@@ -11,11 +11,10 @@ All functions return seconds (latency) or bytes/second (bandwidth).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
 from ..cuda import DeviceBuffer
 from ..hardware import Cluster
-from ..sim import Simulator
 from .profiles import MPIProfile, MV2GDR
 from .runtime import MPIRuntime
 

@@ -76,6 +76,7 @@ class Request:
         if self._done.triggered:
             ev = self.sim.event()
             ev._defused = True
+            ev._ctx_span = self._done._ctx_span
             if self._done.ok:
                 ev.succeed(self._done._value)
             else:
@@ -90,6 +91,9 @@ class Request:
         def relay(done: Event) -> None:
             if ev.triggered:
                 return
+            # Relays run in callback context (no active process): carry
+            # the completing operation's span context through by hand.
+            ev._ctx_span = done._ctx_span
             if done.ok:
                 ev.succeed(done._value)
             else:

@@ -8,7 +8,7 @@ from ..cuda import CudaRuntime
 from ..hardware import Cluster
 from ..hardware.gpu import GPUDevice
 from ..sim import Process, Simulator
-from .communicator import Communicator, RankContext
+from .communicator import Communicator
 from .failure import FailureDetector
 from .profiles import MPIProfile, MV2GDR, get_profile
 from .transport import DeviceTransport

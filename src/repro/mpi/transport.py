@@ -103,6 +103,11 @@ class DeviceTransport:
                 f"transfer of {n} bytes over-reads: src has "
                 f"{src.nbytes - src_offset} past offset, dst has "
                 f"{dst.nbytes - dst_offset}")
+        rec = self.sim.recorder
+        if rec is not None:
+            # One logical message per transfer call (retries not
+            # double-counted) — feeds the (src, dst) comm matrix.
+            rec.message(src.device, dst.device, n)
         attempt = 0
         while True:
             try:
@@ -183,7 +188,7 @@ class DeviceTransport:
             extra = nbytes / self.cal.gdr_read_bw - nbytes / raw_bw
         yield from multi_link_transfer(
             self.sim, links, nbytes,
-            extra_time=extra + self.cal.mpi_message_overhead)
+            extra_time=extra + self.cal.mpi_message_overhead, kind="rdma")
 
     def _staged_chunks(self, nbytes: int) -> list:
         chunk = self.profile.pipeline_chunk
@@ -222,7 +227,7 @@ class DeviceTransport:
         staging = HostBuffer(0, pinned=self.profile.pinned_staging)
         stages = [
             lambda n: self.cuda.memcpy_d2h(src, staging, n),
-            lambda n: node.host_memcpy.transfer(n),
+            lambda n: node.host_memcpy.transfer(n, kind="hostcpy"),
             lambda n: self.cuda.memcpy_h2d(dst, staging, n),
         ]
         self.metrics.stagings_live += 1
@@ -243,7 +248,7 @@ class DeviceTransport:
         def wire(n):
             yield from multi_link_transfer(
                 self.sim, [nic_a.tx, nic_b.rx], n,
-                extra_time=self.cal.mpi_message_overhead)
+                extra_time=self.cal.mpi_message_overhead, kind="wire")
 
         stages = [
             lambda n: self.cuda.memcpy_d2h(src, staging, n),

@@ -1,0 +1,40 @@
+"""repro.prof — causal profiling for the simulator.
+
+Opt-in observability layer: a :class:`SpanRecorder` installed on a
+simulator captures every unit of simulated work as a causally-linked
+span; :class:`ActivityGraph` answers critical-path, utilization, and
+what-if questions over the recording; :func:`save_trace` exports a
+Perfetto-loadable timeline with flow events.
+
+Typical use::
+
+    sim = Simulator()
+    cluster = make_cluster(sim, "A")
+    rec = SpanRecorder(sim)                 # installs itself
+    report = run_scaffe(cluster, 8, cfg, recorder=rec)
+    print(report.profile.render())
+    print(report.profile.what_if({"ib": 2.0}))
+    save_trace("run.json", rec.spans)
+
+With no recorder installed (the default) every instrumentation site is
+a single ``is None`` check and simulated times are bit-identical to an
+un-instrumented build.
+"""
+
+from .graph import ActivityGraph, CPSegment, RESOURCE_CLASSES, span_class
+from .export import save_trace, trace_events
+from .recorder import Span, SpanRecorder
+from .report import ProfileReport, build_profile
+
+__all__ = [
+    "ActivityGraph",
+    "CPSegment",
+    "ProfileReport",
+    "RESOURCE_CLASSES",
+    "Span",
+    "SpanRecorder",
+    "build_profile",
+    "save_trace",
+    "span_class",
+    "trace_events",
+]

@@ -1,0 +1,145 @@
+"""Human-facing profile summary attached to training reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .graph import ActivityGraph, COMM_CLASSES, COMPUTE_CLASSES
+from .recorder import SpanRecorder
+
+__all__ = ["ProfileReport", "build_profile"]
+
+
+@dataclass
+class ProfileReport:
+    """Digest of one profiled run (``TrainingReport.profile``)."""
+
+    #: End of the last recorded span (simulated seconds).
+    makespan: float
+    #: Critical-path length; equals ``makespan`` on a complete recording.
+    cp_length: float
+    n_spans: int
+    #: Critical-path seconds by phase (with op/kind fallback buckets).
+    by_phase: Dict[str, float] = field(default_factory=dict)
+    #: Critical-path seconds by resource class.
+    by_class: Dict[str, float] = field(default_factory=dict)
+    #: Critical-path seconds by rank/actor.
+    by_actor: Dict[str, float] = field(default_factory=dict)
+    #: (src gpu index, dst gpu index) -> [messages, bytes].
+    comm: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    #: gpu index -> (device name, node index).
+    devices: Dict[int, Tuple[str, int]] = field(default_factory=dict)
+    #: Resource name -> busy fraction of the makespan.
+    utilization: Dict[str, float] = field(default_factory=dict)
+    #: The underlying graph (for what-if queries); not part of equality.
+    graph: ActivityGraph = field(default=None, repr=False, compare=False)
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def comm_share(self) -> float:
+        """Fraction of the critical path on communication resources."""
+        if self.cp_length <= 0:
+            return 0.0
+        return sum(v for k, v in self.by_class.items()
+                   if k in COMM_CLASSES) / self.cp_length
+
+    @property
+    def compute_share(self) -> float:
+        """Fraction of the critical path on compute resources."""
+        if self.cp_length <= 0:
+            return 0.0
+        return sum(v for k, v in self.by_class.items()
+                   if k in COMPUTE_CLASSES) / self.cp_length
+
+    def what_if(self, scales: Dict[str, float]) -> float:
+        """Projected makespan under rescaled resources (see
+        :meth:`ActivityGraph.project`)."""
+        return self.graph.project(scales)
+
+    # -- rendering ---------------------------------------------------------
+    def _table(self, title: str, rows: Dict[str, float],
+               top: int) -> List[str]:
+        total = self.cp_length or 1.0
+        out = [f"  {title}"]
+        ordered = sorted(rows.items(), key=lambda kv: -kv[1])
+        shown = ordered[:top]
+        for name, t in shown:
+            out.append(f"    {name:20s} {t * 1e3:10.3f} ms "
+                       f"{100.0 * t / total:5.1f}%")
+        rest = sum(t for _, t in ordered[top:])
+        if rest > 0:
+            out.append(f"    {'(other)':20s} {rest * 1e3:10.3f} ms "
+                       f"{100.0 * rest / total:5.1f}%")
+        return out
+
+    def comm_matrix_text(self, max_endpoints: int = 16) -> str:
+        """Per-(src,dst) traffic matrix in MiB.
+
+        Endpoints are GPUs; when more than ``max_endpoints`` GPUs
+        communicated, traffic is aggregated per node instead.
+        """
+        if not self.comm:
+            return "  (no pt2pt traffic recorded)"
+        gpus = sorted(self.devices)
+        by_node = len(gpus) > max_endpoints
+        if by_node:
+            labels = sorted({node for _, node in self.devices.values()})
+            name = {n: f"n{n}" for n in labels}
+            cells: Dict[Tuple[int, int], float] = {}
+            for (s, d), (_cnt, nbytes) in self.comm.items():
+                key = (self.devices[s][1], self.devices[d][1])
+                cells[key] = cells.get(key, 0.0) + nbytes
+        else:
+            labels = gpus
+            name = {g: f"g{g}" for g in gpus}
+            cells = {k: float(v[1]) for k, v in self.comm.items()}
+        width = max(6, max(len(name[x]) for x in labels) + 1)
+        head = " " * (width + 2) + "".join(
+            f"{name[x]:>{width}}" for x in labels)
+        lines = [f"  comm matrix ({'nodes' if by_node else 'GPUs'}, MiB "
+                 f"src -> dst)", head]
+        for s in labels:
+            row = [f"  {name[s]:>{width}}"]
+            for d in labels:
+                v = cells.get((s, d), 0.0) / (1 << 20)
+                row.append(f"{v:{width}.1f}" if v else " " * (width - 1) + ".")
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+    def render(self, top: int = 10) -> str:
+        """Multi-line summary: critical path + comm matrix."""
+        lines = [
+            f"critical path: {self.cp_length * 1e3:.3f} ms over "
+            f"{self.n_spans} spans "
+            f"(comm {self.comm_share * 100:.1f}% / "
+            f"compute {self.compute_share * 100:.1f}%)",
+        ]
+        lines += self._table("by phase:", self.by_phase, top)
+        lines += self._table("by resource class:", self.by_class, top)
+        lines += self._table("by rank:", self.by_actor, top)
+        busiest = sorted(self.utilization.items(), key=lambda kv: -kv[1])
+        if busiest:
+            lines.append("  busiest resources:")
+            for r, u in busiest[:min(top, 5)]:
+                lines.append(f"    {r:24s} {u * 100:5.1f}% busy")
+        lines.append(self.comm_matrix_text())
+        return "\n".join(lines)
+
+
+def build_profile(recorder: SpanRecorder) -> ProfileReport:
+    """Analyse a recorder's spans into a :class:`ProfileReport`."""
+    graph = ActivityGraph.from_recorder(recorder)
+    util = graph.utilization()
+    return ProfileReport(
+        makespan=graph.makespan,
+        cp_length=graph.cp_length,
+        n_spans=len(graph.spans),
+        by_phase=graph.cp_breakdown("phase"),
+        by_class=graph.cp_breakdown("class"),
+        by_actor=graph.cp_breakdown("actor"),
+        comm=dict(recorder.comm),
+        devices=dict(recorder.devices),
+        utilization=util,
+        graph=graph,
+    )

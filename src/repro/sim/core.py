@@ -85,7 +85,7 @@ class Event:
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
-                 "_defused")
+                 "_defused", "_ctx_span")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -94,6 +94,10 @@ class Event:
         self._ok: bool = True
         self._scheduled = False
         self._defused = False
+        #: Causal context for profiling: id of the span the triggering
+        #: process last recorded (set by the scheduler when a recorder
+        #: is installed; always ``None`` otherwise).
+        self._ctx_span: Optional[int] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -212,6 +216,12 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._target = None
         sim = self.sim
+        rec = sim.recorder
+        if rec is not None and event._ctx_span is not None:
+            # The event that wakes us carries the triggering process's
+            # latest span: note it as a causal predecessor of whatever
+            # this process records next.
+            rec.note_wakeup(self, event._ctx_span)
         sim._active_process = self
         try:
             if event._ok:
@@ -220,11 +230,19 @@ class Process(Event):
                 result = self.gen.throw(event._value)
         except StopIteration as stop:
             sim._active_process = None
+            if rec is not None:
+                # Completion context must be set explicitly — the active
+                # process is already cleared when succeed() schedules us.
+                self._ctx_span = rec.last_span_of(self)
+                rec.on_exit(self)
             if not self._scheduled:
                 self.succeed(stop.value)
             return
         except BaseException as exc:
             sim._active_process = None
+            if rec is not None:
+                self._ctx_span = rec.last_span_of(self)
+                rec.on_exit(self)
             if not self._scheduled:
                 self.fail(exc)
                 return
@@ -259,6 +277,13 @@ class Condition(Event):
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
+    def _adopt_ctx(self, event: Event) -> None:
+        # _check runs as an event callback (no active process), so the
+        # profiling context must be relayed from the completing events;
+        # the latest completion wins (for AllOf it is the release cause).
+        if event._ctx_span is not None:
+            self._ctx_span = event._ctx_span
+
     def _collect(self) -> dict:
         # Only events that have actually *happened* (callbacks ran) count;
         # a Timeout is "scheduled" from birth but occurs later.
@@ -273,6 +298,7 @@ class AllOf(Condition):
     def _check(self, event: Event) -> None:
         if self._scheduled:
             return
+        self._adopt_ctx(event)
         if not event._ok:
             self.fail(event._value)
             return
@@ -289,6 +315,7 @@ class AnyOf(Condition):
     def _check(self, event: Event) -> None:
         if self._scheduled:
             return
+        self._adopt_ctx(event)
         if not event._ok:
             self.fail(event._value)
             return
@@ -311,6 +338,11 @@ class Simulator:
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         self._event_count = 0
+        #: Optional :class:`repro.prof.SpanRecorder`.  ``None`` (default)
+        #: disables all span recording; instrumentation sites throughout
+        #: the repo gate on this attribute so the off path costs one
+        #: attribute load and simulated times are bit-identical.
+        self.recorder = None
         #: Optional noise source for skew modeling.  ``None`` (default)
         #: means a perfectly quiet machine; a seed gives *deterministic*
         #: jitter (runs remain reproducible functions of the seed).
@@ -368,7 +400,13 @@ class Simulator:
 
     def process(self, gen: Generator, name: str = "") -> Process:
         """Start running ``gen`` as a process."""
-        return Process(self, gen, name=name)
+        parent = self._active_process
+        proc = Process(self, gen, name=name)
+        if self.recorder is not None:
+            # Auxiliary processes (movers, staged chunks, helpers)
+            # attribute their spans to the rank/phase that spawned them.
+            self.recorder.on_spawn(proc, parent)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -380,6 +418,12 @@ class Simulator:
     def _schedule(self, event: Event, priority: int,
                   delay: float = 0.0) -> None:
         event._scheduled = True
+        rec = self.recorder
+        if (rec is not None and event._ctx_span is None
+                and self._active_process is not None):
+            # Capture the scheduling process's latest span so whoever
+            # this event wakes knows what it causally waited on.
+            event._ctx_span = rec.last_span_of(self._active_process)
         heapq.heappush(
             self._heap, (self._now + delay, priority, next(self._seq), event))
 

@@ -89,11 +89,16 @@ class Resource:
         if request._value is not PENDING:
             self.release(request._value)
 
-    def use(self, duration: float) -> Generator[Event, Any, None]:
+    def use(self, duration: float, *, kind: str = "use", nbytes: int = 0,
+            label: str = "") -> Generator[Event, Any, None]:
         """Sub-protocol: acquire, hold for ``duration``, release.
 
         Interrupt-safe: an interrupt while queued withdraws the request
         (or returns an already-issued grant) instead of leaking capacity.
+
+        When a profiler is installed the *hold* interval (grant to
+        release — queueing time excluded) is recorded as a span of
+        ``kind`` on this resource.
         """
         req = self.request()
         try:
@@ -101,9 +106,18 @@ class Resource:
         except BaseException:
             self.cancel(req)
             raise
+        rec = self.sim.recorder
+        sid = None
+        if rec is not None:
+            sid = rec.open(kind, resource=self.name or f"res-{id(self):x}",
+                           nbytes=nbytes, label=label)
         try:
             yield self.sim.timeout(duration)
         finally:
+            if sid is not None:
+                # Close before releasing so the next grantee observes a
+                # closed predecessor span at the same instant.
+                rec.close(sid)
             self.release(grant)
 
     def _new_grant(self) -> int:
@@ -156,14 +170,22 @@ class BandwidthLink:
             raise ValueError("nbytes must be >= 0")
         return self.latency + nbytes / self.bandwidth
 
-    def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
+    def transfer(self, nbytes: int, *, kind: str = "xfer",
+                 ) -> Generator[Event, Any, None]:
         """Sub-protocol: move ``nbytes`` across the link (queues FIFO)."""
         self.messages += 1
         self.bytes_moved += nbytes
         if self.per_message_overhead:
-            yield self.sim.timeout(self.per_message_overhead)
+            rec = self.sim.recorder
+            if rec is not None:
+                sid = rec.open("overhead", label=self.name)
+                yield self.sim.timeout(self.per_message_overhead)
+                rec.close(sid)
+            else:
+                yield self.sim.timeout(self.per_message_overhead)
         yield from self._res.use(self.occupancy(nbytes)
-                                 * self.sim.jitter_factor(self.jitter))
+                                 * self.sim.jitter_factor(self.jitter),
+                                 kind=kind, nbytes=nbytes)
 
 
 class Store:

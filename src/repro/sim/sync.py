@@ -9,7 +9,7 @@ for iteration boundaries between SPMD solvers.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Generator, Optional
+from typing import Any, Optional
 
 from .core import Event, Simulator
 

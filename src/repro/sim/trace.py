@@ -8,13 +8,24 @@ them into the phase-breakdown rows those experiments print.
 
 from __future__ import annotations
 
+import json
+import re
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .core import Simulator
 
-__all__ = ["Interval", "Tracer", "PhaseTimer"]
+__all__ = ["Interval", "Tracer", "PhaseTimer", "natural_sort_key"]
+
+_NUM_RE = re.compile(r"(\d+)")
+
+
+def natural_sort_key(s: str) -> Tuple:
+    """Sort key that orders embedded integers numerically, so actor
+    'r10' sorts after 'r9' (not between 'r1' and 'r2')."""
+    return tuple(int(t) if t.isdigit() else t
+                 for t in _NUM_RE.split(s))
 
 
 @dataclass(frozen=True)
@@ -47,6 +58,9 @@ class Tracer:
         if key in self._open:
             raise RuntimeError(f"phase {phase!r} already open for {actor!r}")
         self._open[key] = self.sim.now
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.phase_push(phase)
 
     def end(self, actor: str, phase: str) -> None:
         if not self.enabled:
@@ -56,6 +70,9 @@ class Tracer:
         if start is None:
             raise RuntimeError(f"phase {phase!r} not open for {actor!r}")
         self.intervals.append(Interval(actor, phase, start, self.sim.now))
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.phase_pop(phase)
 
     def abandon(self, actor: str) -> None:
         """Discard open phases for ``actor`` (and its sub-actors, e.g.
@@ -67,6 +84,9 @@ class Tracer:
         for key in [k for k in self._open
                     if k[0] == actor or k[0].startswith(prefix)]:
             del self._open[key]
+        rec = self.sim.recorder
+        if rec is not None:
+            rec.phase_clear()
 
     def timer(self, actor: str, phase: str) -> "PhaseTimer":
         return PhaseTimer(self, actor, phase)
@@ -123,11 +143,28 @@ class Tracer:
         """Chrome trace-event JSON (load in chrome://tracing / Perfetto).
 
         Each interval becomes a complete ('X') event; actors map to
-        thread ids so per-rank timelines stack naturally.  Timestamps
-        are microseconds, per the trace-event spec.
+        thread ids so per-rank timelines stack naturally ('r10' after
+        'r9', helpers next to their rank).  Metadata ('M') events name
+        each track so viewers show actor names instead of bare tids.
+        Timestamps are microseconds, per the trace-event spec.
         """
-        actor_tid = {a: i for i, a in enumerate(self.actors())}
-        return [{
+        actors = sorted({iv.actor for iv in self.intervals},
+                        key=natural_sort_key)
+        actor_tid = {a: i + 1 for i, a in enumerate(actors)}
+        events: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "repro.sim"},
+        }]
+        for a, tid in actor_tid.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": a},
+            })
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": 0,
+                "tid": tid, "args": {"sort_index": tid},
+            })
+        events.extend({
             "name": iv.phase,
             "cat": "sim",
             "ph": "X",
@@ -136,11 +173,11 @@ class Tracer:
             "ts": iv.start * 1e6,
             "dur": iv.duration * 1e6,
             "args": {"actor": iv.actor},
-        } for iv in self.intervals]
+        } for iv in self.intervals)
+        return events
 
     def save_chrome_trace(self, path: str) -> None:
         """Write the trace to a JSON file."""
-        import json
         with open(path, "w") as f:
             json.dump({"traceEvents": self.to_chrome_trace()}, f)
 

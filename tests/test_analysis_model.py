@@ -1,6 +1,5 @@
 """Tests for the Section-5 analytical model."""
 
-import math
 
 import pytest
 

@@ -48,6 +48,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "googlenet" in out and "alexnet" in out
 
+    def test_profile_quick(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        rc = main(["profile", "--model", "cifar10_quick",
+                   "--dataset", "cifar10", "--gpus", "4",
+                   "--batch-size", "64", "--iterations", "3",
+                   "--seed", "3", "--trace", str(trace),
+                   "--what-if", "ib=2,compute=1.3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "by phase:" in out
+        assert "comm matrix" in out
+        assert "what-if" in out and "lower bound" in out
+        # The trace file is Perfetto-loadable JSON with flow events.
+        import json
+        data = json.loads(trace.read_text())
+        phs = {e["ph"] for e in data["traceEvents"]}
+        assert {"X", "M", "s", "f"} <= phs
+
+    def test_profile_deterministic(self, capsys):
+        argv = ["profile", "--model", "cifar10_quick",
+                "--dataset", "cifar10", "--gpus", "4",
+                "--batch-size", "64", "--iterations", "3", "--seed", "11"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_profile_bad_what_if(self):
+        import argparse
+        from repro.cli import _parse_what_if
+        assert _parse_what_if("ib=2, compute=1.3") == {
+            "ib": 2.0, "compute": 1.3}
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_what_if("ib")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_what_if("ib=fast")
+
     def test_train_quick(self, capsys):
         rc = main(["train", "--framework", "scaffe", "--cluster", "A",
                    "--gpus", "4", "--network", "cifar10_quick",

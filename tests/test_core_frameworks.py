@@ -4,9 +4,9 @@ and the paper's qualitative claims hold."""
 import pytest
 
 from repro import TrainConfig, train
-from repro.core import run_caffe, run_cntk, run_param_server, run_scaffe
+from repro.core import run_caffe, run_param_server
 from repro.hardware import cluster_a, cluster_b
-from repro.sim import Simulator, Tracer
+from repro.sim import Simulator
 
 
 def quick_cfg(**kw):

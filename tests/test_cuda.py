@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cuda import CudaRuntime, DeviceBuffer, HostBuffer, Stream
-from repro.hardware import cluster_a, cluster_b
+from repro.hardware import cluster_a
 from repro.sim import Simulator
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dnn import Net, SGDSolver, SolverConfig, build_lenet, build_mlp
+from repro.dnn import SGDSolver, SolverConfig, build_lenet, build_mlp
 from repro.dnn.math import (
     Conv2D, Dense, Flatten, MaxPool2D, ReLU, SoftmaxCrossEntropy, col2im,
     im2col,

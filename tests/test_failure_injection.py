@@ -1,6 +1,5 @@
 """Failure injection: the stack must fail loudly and clean up fully."""
 
-import numpy as np
 import pytest
 
 from repro import TrainConfig, train

@@ -3,9 +3,7 @@
 import pytest
 
 from repro import TrainConfig, train
-from repro.core.mpi_caffe import partition_groups, run_mpi_caffe
-from repro.hardware import cluster_a
-from repro.sim import Simulator
+from repro.core.mpi_caffe import partition_groups
 
 
 def cfg(**kw):

@@ -1,0 +1,189 @@
+"""Tests for the causal profiler (repro.prof)."""
+
+import json
+
+import pytest
+
+from repro.core import TrainConfig, run_scaffe
+from repro.hardware import make_cluster
+from repro.prof import (
+    ActivityGraph, Span, SpanRecorder, save_trace,
+    span_class, trace_events,
+)
+from repro.sim import Simulator
+
+
+def _quick_cfg(**kw):
+    kw.setdefault("network", "cifar10_quick")
+    kw.setdefault("dataset", "cifar10")
+    kw.setdefault("batch_size", 64)
+    kw.setdefault("iterations", 3)
+    kw.setdefault("measure_iterations", 2)
+    kw.setdefault("variant", "SC-OBR")
+    return TrainConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    sim = Simulator(seed=5)
+    cluster = make_cluster(sim, "A")
+    rec = SpanRecorder(sim)
+    report = run_scaffe(cluster, 4, _quick_cfg(), recorder=rec)
+    assert report.ok
+    return rec, report
+
+
+class TestRecorder:
+    def test_spans_recorded_and_closed(self, profiled_run):
+        rec, _ = profiled_run
+        assert rec.n_spans > 100
+        assert len(rec.closed_spans()) == rec.n_spans
+
+    def test_deps_point_backwards_with_nonneg_slack(self, profiled_run):
+        rec, _ = profiled_run
+        for s in rec.spans:
+            for d in s.deps:
+                dep = rec.spans[d]
+                assert dep.sid < s.sid
+                assert dep.end <= s.start + 1e-12
+
+    def test_spans_attributed(self, profiled_run):
+        rec, _ = profiled_run
+        phases = {s.phase for s in rec.spans}
+        assert {"fwd", "bwd", "aggregation"} <= phases
+        kinds = {s.kind for s in rec.spans}
+        assert "kernel" in kinds and "reduce" in kinds
+
+    def test_comm_matrix_populated(self, profiled_run):
+        rec, _ = profiled_run
+        assert rec.comm
+        assert all(b > 0 and c > 0 for c, b in rec.comm.values())
+        for (s, d) in rec.comm:
+            assert s in rec.devices and d in rec.devices
+
+    def test_recorder_is_zero_cost(self):
+        """A recorded run is bit-for-bit identical to an unrecorded one."""
+        sim1 = Simulator(seed=9)
+        r1 = run_scaffe(make_cluster(sim1, "A"), 4, _quick_cfg(),
+                        recorder=SpanRecorder(sim1))
+        sim2 = Simulator(seed=9)
+        r2 = run_scaffe(make_cluster(sim2, "A"), 4, _quick_cfg())
+        assert r1.simulated_time == r2.simulated_time
+        assert r1.phase_breakdown == r2.phase_breakdown
+        assert r2.profile is None and r1.profile is not None
+
+
+class TestCriticalPath:
+    def test_cp_equals_makespan(self, profiled_run):
+        rec, report = profiled_run
+        prof = report.profile
+        assert prof.cp_length == pytest.approx(prof.makespan, rel=1e-9)
+
+    def test_segments_tile_timeline(self, profiled_run):
+        rec, _ = profiled_run
+        g = ActivityGraph.from_recorder(rec)
+        segs = g.critical_path()
+        assert segs[0].start == 0.0
+        assert segs[-1].end == g.makespan
+        for a, b in zip(segs, segs[1:]):
+            assert b.start == pytest.approx(a.end, abs=1e-12)
+
+    def test_breakdowns_sum_to_cp(self, profiled_run):
+        _, report = profiled_run
+        prof = report.profile
+        for table in (prof.by_phase, prof.by_class, prof.by_actor):
+            assert sum(table.values()) == pytest.approx(prof.cp_length)
+
+    def test_shares_in_unit_interval(self, profiled_run):
+        _, report = profiled_run
+        prof = report.profile
+        assert 0.0 <= prof.comm_share <= 1.0
+        assert 0.0 <= prof.compute_share <= 1.0
+        assert prof.comm_share + prof.compute_share <= 1.0 + 1e-12
+
+
+class TestWhatIf:
+    def test_identity_exact(self, profiled_run):
+        _, report = profiled_run
+        prof = report.profile
+        assert prof.what_if({}) == prof.makespan
+        assert prof.what_if({"all": 1.0}) == prof.makespan
+        assert prof.what_if({"ib": 1.0, "compute": 1.0}) == prof.makespan
+
+    def test_speedup_monotone(self, profiled_run):
+        _, report = profiled_run
+        prof = report.profile
+        base = prof.makespan
+        faster = prof.what_if({"compute": 2.0})
+        assert faster < base
+        assert prof.what_if({"all": 2.0}) <= faster
+        # Slowdowns project longer runs.
+        assert prof.what_if({"compute": 0.5}) > base
+
+    def test_unused_class_is_noop(self, profiled_run):
+        _, report = profiled_run
+        prof = report.profile
+        # Single-node 4-GPU run: no IB traffic, so scaling it is free.
+        assert prof.what_if({"ib": 4.0}) == prof.makespan
+
+    def test_bad_factor_rejected(self, profiled_run):
+        _, report = profiled_run
+        with pytest.raises(ValueError):
+            report.profile.what_if({"compute": 0.0})
+
+
+class TestExport:
+    def test_trace_structure(self, profiled_run, tmp_path):
+        rec, _ = profiled_run
+        path = tmp_path / "t.json"
+        save_trace(str(path), rec.closed_spans())
+        data = json.loads(path.read_text())
+        ev = data["traceEvents"]
+        xs = [e for e in ev if e["ph"] == "X"]
+        assert len(xs) == rec.n_spans
+        metas = [e for e in ev if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+        assert any(e["name"] == "thread_name" for e in metas)
+        # Flow events come in begin/end pairs with matching ids.
+        s_ids = [e["id"] for e in ev if e["ph"] == "s"]
+        f_ids = [e["id"] for e in ev if e["ph"] == "f"]
+        assert s_ids and sorted(s_ids) == sorted(f_ids)
+
+    def test_flows_optional(self, profiled_run):
+        rec, _ = profiled_run
+        ev = trace_events(rec.closed_spans(), flows=False)
+        assert not [e for e in ev if e["ph"] in ("s", "f")]
+
+
+class TestSyntheticGraph:
+    def _span(self, sid, start, end, deps=(), kind="kernel",
+              resource="gpu0(n0.0).sm"):
+        s = Span(sid, kind, (resource,), 0, "", "r0", "fwd", "",
+                 start, tuple(deps))
+        s.end = end
+        return s
+
+    def test_chain_with_wait_gap(self):
+        spans = [self._span(0, 0.0, 1.0),
+                 self._span(1, 1.5, 2.0, deps=(0,))]
+        g = ActivityGraph(spans)
+        segs = g.critical_path()
+        assert [s.is_wait for s in segs] == [False, True, False]
+        assert g.cp_length == pytest.approx(g.makespan) == 2.0
+        assert g.cp_breakdown("phase")["(wait)"] == pytest.approx(0.5)
+
+    def test_project_freezes_slack(self):
+        spans = [self._span(0, 0.0, 1.0),
+                 self._span(1, 1.5, 2.0, deps=(0,))]
+        g = ActivityGraph(spans)
+        # Halving durations keeps the 0.5 s wait gap frozen.
+        assert g.project({"all": 2.0}) == pytest.approx(0.5 + 0.5 + 0.25)
+
+    def test_span_class_mapping(self):
+        assert span_class(self._span(0, 0, 1)) == "compute"
+        assert span_class(self._span(
+            0, 0, 1, resource="gpu0(n0.0).pcie_up")) == "pcie"
+        assert span_class(self._span(
+            0, 0, 1, kind="wire", resource="node0.nic0.tx")) == "ib"
+        assert span_class(self._span(
+            0, 0, 1, kind="barrier", resource="")) == "sync"

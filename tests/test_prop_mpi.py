@@ -6,7 +6,6 @@ NumPy, for any rank count, payload size, root, and segmentation.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import HopCost, optimal_chunks, t_chunked_chain

@@ -231,3 +231,74 @@ class TestStoreProperty:
         sim.run()
         assert got == items
         assert len(store) == 0
+
+
+class TestProfilerProperty:
+    """Critical-path invariants on randomized small clusters.
+
+    ``jobs`` drives a mix of kernels, D2H copies, and pt2pt transfers
+    between random GPUs; the recorded activity graph must always obey
+    cp_length <= makespan <= total_work (up to float tolerance).
+    """
+
+    def _cluster(self, sim, n_nodes, gpus_per_node):
+        from repro.hardware import (
+            Calibration, Cluster, GPUSpec, NICSpec, NodeSpec,
+        )
+        cal = Calibration()
+        spec = GPUSpec("K80", 1 << 30, cal.k80_flops, cal.k80_membw,
+                       cal.gpu_reduce_bw)
+        node = NodeSpec(gpus_per_node=gpus_per_node, gpu_spec=spec,
+                        nics=(NICSpec("ib0", cal.ib_edr_bw,
+                                      cal.ib_latency),))
+        return Cluster(sim, node, n_nodes, cal=cal, name="tiny")
+
+    @given(st.integers(min_value=1, max_value=3),
+           st.integers(min_value=1, max_value=4),
+           st.lists(st.tuples(st.integers(min_value=0, max_value=11),
+                              st.integers(min_value=0, max_value=11),
+                              st.integers(min_value=1, max_value=1 << 20),
+                              st.sampled_from(["kernel", "d2h", "xfer"])),
+                    min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_cp_le_makespan_le_total_work(self, n_nodes, gpn, jobs):
+        from repro.cuda import CudaRuntime, DeviceBuffer
+        from repro.mpi import MPIRuntime
+        from repro.prof import ActivityGraph, SpanRecorder
+        from repro.sim import Simulator
+
+        sim = Simulator()
+        cluster = self._cluster(sim, n_nodes, gpn)
+        cuda = CudaRuntime(cluster)
+        rt = MPIRuntime(cluster, "mv2gdr")
+        rec = SpanRecorder(sim)
+        n = cluster.n_gpus
+
+        def job(src, dst, nbytes, kind):
+            a, b = cluster.gpu(src % n), cluster.gpu(dst % n)
+            if kind == "kernel":
+                yield from cuda.launch(a, duration=nbytes * 1e-9)
+            elif kind == "d2h":
+                yield from cuda.memcpy_d2h(DeviceBuffer(a, nbytes))
+            else:
+                yield from rt.transport.transfer(
+                    DeviceBuffer(a, nbytes), DeviceBuffer(b, nbytes))
+
+        for src, dst, nbytes, kind in jobs:
+            sim.process(job(src, dst, nbytes, kind))
+        sim.run()
+
+        g = ActivityGraph.from_recorder(rec)
+        assert rec.n_spans > 0
+        assert len(rec.closed_spans()) == rec.n_spans
+        eps = 1e-9 * max(1.0, g.total_work)
+        assert g.cp_length <= g.makespan + eps
+        assert g.makespan <= g.total_work + eps
+        # Every causal edge points strictly backwards in time.
+        for s in rec.spans:
+            for d in s.deps:
+                assert rec.spans[d].end <= s.start + eps
+        # busy_union-style resource invariant: no resource is busy
+        # longer than the run (capacity-1 FIFO serialization).
+        for r, frac in g.utilization().items():
+            assert frac <= 1.0 + 1e-6, r

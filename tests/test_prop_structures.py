@@ -1,7 +1,6 @@
 """Property-based tests for structural invariants: HR plans, stage
 partitions, block partitions, workload folding."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

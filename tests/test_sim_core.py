@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import (
-    AllOf, AnyOf, Event, Interrupt, Simulator, SimulationError, Timeout,
+    Interrupt, Simulator, SimulationError, 
 )
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim import (
-    Barrier, BandwidthLink, Channel, Flag, Mutex, Resource, Semaphore,
+    Barrier, BandwidthLink, Channel, Flag, Resource, Semaphore,
     Simulator, Store,
 )
 

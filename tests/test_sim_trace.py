@@ -103,16 +103,24 @@ def test_chrome_trace_export(sim, tmp_path):
     sim.process(proc())
     sim.run()
     events = tr.to_chrome_trace()
-    assert len(events) == 2
-    fwd = next(e for e in events if e["name"] == "fwd")
-    assert fwd["ph"] == "X"
+    xs = [e for e in events if e["ph"] == "X"]
+    assert len(xs) == 2
+    fwd = next(e for e in xs if e["name"] == "fwd")
     assert fwd["ts"] == 0.0
     assert fwd["dur"] == 1.0e6  # microseconds
     # Distinct actors map to distinct tids.
-    assert len({e["tid"] for e in events}) == 2
+    assert len({e["tid"] for e in xs}) == 2
+    # Metadata events name the process and each actor track.
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["name"] == "process_name" for e in metas)
+    named = {e["args"]["name"] for e in metas if e["name"] == "thread_name"}
+    assert named == {"r0", "r1"}
+    tid_of = {e["args"]["name"]: e["tid"] for e in metas
+              if e["name"] == "thread_name"}
+    assert tid_of["r0"] < tid_of["r1"]  # stable natural ordering
 
     path = tmp_path / "trace.json"
     tr.save_chrome_trace(str(path))
     import json
     data = json.loads(path.read_text())
-    assert len(data["traceEvents"]) == 2
+    assert [e for e in data["traceEvents"] if e["ph"] == "X"]
