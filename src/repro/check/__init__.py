@@ -1,0 +1,29 @@
+"""Conformance harness and runtime invariant checkers (``repro check``).
+
+Three layers, designed to make collective-protocol bugs loud:
+
+1. :mod:`~repro.check.invariants` — passive runtime checkers (SPMD
+   lockstep, tag-space audit, end-of-run leak checks) installed as
+   ``sim.checker``; zero-cost when absent.
+2. :mod:`~repro.check.harness` — a differential matrix running every
+   collective against plain-NumPy reference semantics, byte-exactly,
+   across (P, root, size, chunking, window, profile, faults).
+3. :mod:`~repro.check.mutation` — a self-test seeding deliberate bugs
+   and asserting the two layers above catch each one.
+"""
+
+from .harness import (
+    BOUNDARY_CASES, COLLECTIVES, Case, CaseResult, generate_matrix,
+    parse_case, run_case, run_matrix,
+)
+from .invariants import InvariantChecker, Violation
+from .mutation import MUTATIONS, MutationOutcome, run_mutation_selftest
+from .reference import rank_payload, reduce_reference
+
+__all__ = [
+    "BOUNDARY_CASES", "COLLECTIVES", "Case", "CaseResult",
+    "generate_matrix", "parse_case", "run_case", "run_matrix",
+    "InvariantChecker", "Violation",
+    "MUTATIONS", "MutationOutcome", "run_mutation_selftest",
+    "rank_payload", "reduce_reference",
+]

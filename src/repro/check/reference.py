@@ -1,0 +1,77 @@
+"""Plain-NumPy reference semantics for the conformance harness.
+
+Byte-exactness strategy: payloads are small *integer-valued* float32
+arrays (entries in [-8, 8], generated from the case seed).  Every
+per-element sum over <= 520 ranks is then exactly representable in
+float32 and independent of association order, so the simulated
+collectives — whatever their reduction tree/chain/ring order — must
+match the reference bit-for-bit, and any deviation is a real protocol
+bug rather than floating-point reassociation noise.  References are
+computed in int64 and cast once, making them order-independent by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..mpi.collectives.gather_scatter import block_partition
+
+__all__ = ["rank_payload", "reduce_reference", "allgather_reference",
+           "gather_reference", "scatter_reference",
+           "reduce_scatter_reference"]
+
+
+def rank_payload(seed: int, rank: int, nbytes: int) -> np.ndarray:
+    """Rank ``rank``'s float32 contribution (deterministic in seed)."""
+    if nbytes % 4:
+        raise ValueError("payloads are float32: nbytes must be 4-aligned")
+    rng = np.random.default_rng((seed, rank))
+    return rng.integers(-8, 9, size=nbytes // 4).astype(np.float32)
+
+
+def reduce_reference(payloads: List[np.ndarray]) -> np.ndarray:
+    """SUM over all ranks, order-independent (int64 accumulation)."""
+    acc = np.zeros(payloads[0].shape, dtype=np.int64)
+    for p in payloads:
+        acc += p.astype(np.int64)
+    return acc.astype(np.float32)
+
+
+def gather_reference(payloads: List[np.ndarray]) -> np.ndarray:
+    """Root's buffer after MPI_Gather: block i comes from rank i."""
+    P = len(payloads)
+    nbytes = payloads[0].nbytes
+    out = payloads[0].copy()  # unclaimed tail bytes keep local content
+    for i, (off, n) in enumerate(block_partition(nbytes, P)):
+        lo, hi = off // 4, (off + n) // 4
+        out[lo:hi] = payloads[i][lo:hi]
+    return out
+
+
+def allgather_reference(payloads: List[np.ndarray]) -> np.ndarray:
+    """Every rank's buffer after MPI_Allgather (same as gather, but the
+    result is identical on all ranks)."""
+    return gather_reference(payloads)
+
+
+def scatter_reference(root_payload: np.ndarray, rank: int,
+                      P: int) -> np.ndarray:
+    """Rank ``rank``'s owned block after MPI_Scatter from the root."""
+    off, n = block_partition(root_payload.nbytes, P)[rank]
+    lo, hi = off // 4, (off + n) // 4
+    return root_payload[lo:hi].copy()
+
+
+def reduce_scatter_reference(payloads: List[np.ndarray], rank: int
+                             ) -> np.ndarray:
+    """Rank ``rank``'s fully-reduced block after the ring
+    reduce-scatter: the ring rotation leaves block ``(rank+1) % P``
+    fully reduced on rank ``rank``."""
+    P = len(payloads)
+    total = reduce_reference(payloads)
+    off, n = block_partition(payloads[0].nbytes, P)[(rank + 1) % P]
+    lo, hi = off // 4, (off + n) // 4
+    return total[lo:hi].copy()

@@ -128,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--describe", action="store_true",
                    help="print the fault schedule before running")
 
+    k = sub.add_parser(
+        "check",
+        help="collective conformance harness (differential + invariants)")
+    k.add_argument("--quick", action="store_true",
+                   help="smaller randomized matrix (CI-friendly)")
+    k.add_argument("--seed", type=int, default=0,
+                   help="matrix generation seed")
+    k.add_argument("--max-p", type=int, default=None,
+                   help="drop matrix cases with more ranks than this")
+    k.add_argument("--case", default=None, metavar="SPEC",
+                   help="run one case from its spec string "
+                        "(as printed by a failing run)")
+    k.add_argument("--self-test", action="store_true",
+                   help="run the mutation self-test instead of the matrix")
+    k.add_argument("--list", action="store_true", dest="list_cases",
+                   help="print the matrix without running it")
+    k.add_argument("--failures-out", default=None, metavar="FILE",
+                   help="write failing case specs + repro commands here")
+
     sub.add_parser("table1", help="print the Table-1 feature matrix")
     sub.add_parser("networks", help="list the model zoo")
     return p
@@ -344,6 +363,45 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from .check import (
+        generate_matrix, parse_case, run_case, run_matrix,
+        run_mutation_selftest,
+    )
+
+    if args.self_test:
+        outcomes = run_mutation_selftest()
+        for o in outcomes:
+            print(o.describe())
+        ok = all(o.detected and o.clean_ok for o in outcomes)
+        print(f"self-test: {sum(o.detected for o in outcomes)}/"
+              f"{len(outcomes)} mutations detected")
+        return 0 if ok else 1
+
+    if args.case is not None:
+        result = run_case(parse_case(args.case))
+        print(result.describe())
+        print(f"sim_time={result.sim_time:.6f}s events={result.n_events}")
+        return 0 if result.ok else 1
+
+    cases = generate_matrix(args.seed, quick=args.quick, max_p=args.max_p)
+    if args.list_cases:
+        for c in cases:
+            print(c.spec())
+        return 0
+
+    results = run_matrix(cases, progress=lambda r: print(r.describe()))
+    failures = [r for r in results if not r.ok]
+    print(f"\nconformance: {len(results) - len(failures)}/{len(results)} "
+          f"cases pass (seed {args.seed})")
+    if failures and args.failures_out:
+        with open(args.failures_out, "w") as fh:
+            for r in failures:
+                fh.write(r.describe() + "\n")
+        print(f"failing-case repro commands written to {args.failures_out}")
+    return 1 if failures else 0
+
+
 def _cmd_table1(_args) -> int:
     from .core import table1_rows
 
@@ -380,6 +438,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,
+        "check": _cmd_check,
         "table1": _cmd_table1,
         "networks": _cmd_networks,
     }

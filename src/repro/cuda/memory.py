@@ -15,7 +15,14 @@ import numpy as np
 
 from ..hardware.gpu import GPUDevice
 
-__all__ = ["DeviceBuffer", "HostBuffer"]
+__all__ = ["DeviceBuffer", "HostBuffer", "buffer_tracker"]
+
+#: Optional allocation observer (an object with ``on_alloc(buf)`` /
+#: ``on_free(buf)``), installed by :class:`repro.check.InvariantChecker`
+#: for end-of-run scratch-leak detection.  Module-level because buffers
+#: carry no simulator reference; ``None`` (default) disables tracking
+#: at the cost of one global load per alloc/free.
+buffer_tracker = None
 
 
 class _BufferBase:
@@ -84,6 +91,8 @@ class DeviceBuffer(_BufferBase):
         self.device = device
         device.reserve(self.nbytes)
         self._freed = False
+        if buffer_tracker is not None:
+            buffer_tracker.on_alloc(self)
 
     @classmethod
     def zeros(cls, device: GPUDevice, shape, dtype=np.float32,
@@ -104,6 +113,8 @@ class DeviceBuffer(_BufferBase):
         self.device.unreserve(self.nbytes)
         self._freed = True
         self.data = None
+        if buffer_tracker is not None:
+            buffer_tracker.on_free(self)
 
     @property
     def freed(self) -> bool:

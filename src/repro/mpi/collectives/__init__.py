@@ -1,7 +1,10 @@
 """Collective operations over the simulated CUDA-aware runtime."""
 
 from .allreduce import allreduce, allreduce_reduce_bcast, allreduce_ring
-from .base import COLL_TAG_BASE, apply_reduction, segments
+from .base import (
+    COLL_TAG_BASE, TAG_BLOCK, ProtocolViolation, TagBlock, apply_reduction,
+    coll_tags, segments,
+)
 from .bcast import (
     bcast, bcast_binomial, bcast_flat, bcast_scatter_allgather, ibcast,
 )
@@ -21,7 +24,8 @@ from .tuning import (
 
 __all__ = [
     "allreduce", "allreduce_reduce_bcast", "allreduce_ring",
-    "COLL_TAG_BASE", "apply_reduction", "segments",
+    "COLL_TAG_BASE", "TAG_BLOCK", "ProtocolViolation", "TagBlock",
+    "apply_reduction", "coll_tags", "segments",
     "bcast", "bcast_binomial", "bcast_flat", "bcast_scatter_allgather",
     "ibcast",
     "allgather_ring", "block_partition", "gather_binomial",

@@ -13,7 +13,7 @@ from typing import Any, Generator
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
-from .base import apply_reduction, coll_tag_base, local_accumulate_copy, traced
+from .base import apply_reduction, coll_tags, local_accumulate_copy, traced
 from .bcast import bcast_binomial
 from .reduce import reduce_binomial
 
@@ -29,10 +29,15 @@ def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
     The buffer is cut into P near-equal element-aligned blocks; block i
     accumulates around the ring and ends fully reduced on rank (i+1) mod
     P, then circulates again to all ranks.
+
+    Both phases draw from one audited reservation: reduce-scatter step s
+    uses ``tags.tag(s)``, allgather step s uses ``tags.tag((P-1) + s)``.
+    (The historical hardcoded ``tag0 + 512 + s`` allgather offset
+    collided with reduce-scatter tags once P exceeded 513.)
     """
     P = ctx.size
     me = ctx.rank
-    tag0 = coll_tag_base(ctx)
+    tags = coll_tags(ctx, max(1, 2 * (P - 1)), "allreduce.ring")
     if P == 1:
         if recvbuf is not sendbuf:
             yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
@@ -56,10 +61,10 @@ def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
             rb = (me - s - 1) % P
             soff, slen = blocks[sb]
             roff, rlen = blocks[rb]
-            sreq = ctx.isend(right, recvbuf, tag=tag0 + s,
+            sreq = ctx.isend(right, recvbuf, tag=tags.tag(s),
                              offset=soff, nbytes=slen) if slen else None
             if rlen:
-                yield from ctx.recv(left, scratch, tag=tag0 + s,
+                yield from ctx.recv(left, scratch, tag=tags.tag(s),
                                     offset=roff, nbytes=rlen)
                 yield from apply_reduction(ctx, recvbuf, scratch, rlen,
                                            offset=roff)
@@ -71,10 +76,10 @@ def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
             rb = (me - s) % P
             soff, slen = blocks[sb]
             roff, rlen = blocks[rb]
-            sreq = ctx.isend(right, recvbuf, tag=tag0 + 512 + s,
+            sreq = ctx.isend(right, recvbuf, tag=tags.tag((P - 1) + s),
                              offset=soff, nbytes=slen) if slen else None
             if rlen:
-                yield from ctx.recv(left, recvbuf, tag=tag0 + 512 + s,
+                yield from ctx.recv(left, recvbuf, tag=tags.tag((P - 1) + s),
                                     offset=roff, nbytes=rlen)
             if sreq is not None:
                 yield sreq.wait()
@@ -85,10 +90,19 @@ def allreduce_ring(ctx: RankContext, sendbuf: DeviceBuffer,
 def allreduce_reduce_bcast(ctx: RankContext, sendbuf: DeviceBuffer,
                            recvbuf: DeviceBuffer, *,
                            root: int = 0) -> Generator[Event, Any, None]:
-    """Allreduce as Reduce-to-root followed by Bcast (small messages)."""
-    yield from reduce_binomial(ctx, sendbuf,
-                               recvbuf if ctx.rank == root else recvbuf,
-                               root)
+    """Allreduce as Reduce-to-root followed by Bcast (small messages).
+
+    Buffer contract: unlike plain reduce, *every* rank must supply a
+    full-size ``recvbuf`` — non-roots receive the reduced result into it
+    during the broadcast phase.  The reduce phase passes it through on
+    all ranks (the root reduces into it; elsewhere reduce ignores it),
+    then the bcast fills it everywhere.
+    """
+    if recvbuf is None:
+        raise ValueError(
+            "allreduce requires recvbuf on every rank (non-roots receive "
+            "the result during the bcast phase)")
+    yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
     yield from bcast_binomial(ctx, recvbuf, root)
 
 

@@ -6,8 +6,14 @@ Collectives allocate tags from a reserved space above user tags.  Every
 rank keeps a per-communicator collective sequence number; since MPI
 requires all ranks to invoke collectives on a communicator in the same
 order, equal sequence numbers across ranks identify the same logical
-collective.  Each collective gets a block of ``TAG_BLOCK`` tags for its
-internal chunk messages.
+collective.  Each invocation reserves a :class:`TagBlock` sized for the
+number of distinct tags it will actually use (chunk count, 2x ring
+steps, ...), rounded up to whole ``TAG_BLOCK`` units — so a 256 MB
+buffer cut into tiny chunks reserves several units instead of silently
+spilling into the next collective's tag space (the pre-harness overflow
+bug).  :meth:`TagBlock.tag` is the only way tags leave a block; an
+index outside the reservation raises :class:`ProtocolViolation` instead
+of cross-matching at scale.
 
 Reduction arithmetic
 --------------------
@@ -26,23 +32,95 @@ from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
 
-__all__ = ["COLL_TAG_BASE", "TAG_BLOCK", "coll_tag_base", "segments",
+__all__ = ["COLL_TAG_BASE", "TAG_BLOCK", "ProtocolViolation", "TagBlock",
+           "coll_tags", "coll_tag_base", "as_tag_block", "segments",
            "apply_reduction", "local_accumulate_copy", "traced"]
 
 #: User pt2pt tags must stay below this value.
 COLL_TAG_BASE = 1 << 20
-#: Tags reserved per collective invocation (chunk index space).
+#: Tag-reservation granularity: blocks are sized in whole multiples of
+#: this, so sequence numbers advance uniformly across ranks even when a
+#: collective needs more than one unit.
 TAG_BLOCK = 1 << 12
 
 
-def coll_tag_base(ctx: RankContext) -> int:
-    """Reserve this collective's tag block (same value on every rank)."""
+class ProtocolViolation(RuntimeError):
+    """A collective broke its own wire contract (tag out of reservation,
+    mismatched invocation order, ...).  Raised eagerly at the offending
+    call site rather than surfacing later as cross-matched payloads."""
+
+
+class TagBlock:
+    """A contiguous reservation of ``count`` collective tags.
+
+    ``tag(k)`` is the only sanctioned way to mint a tag: it bounds-checks
+    ``k`` against the reservation, turning would-be tag-space overflows
+    (the historical ``tag0 + k`` arithmetic with k unbounded) into an
+    immediate :class:`ProtocolViolation`.
+    """
+
+    __slots__ = ("base", "count", "name")
+
+    def __init__(self, base: int, count: int, name: str = ""):
+        self.base = base
+        self.count = count
+        self.name = name
+
+    def tag(self, k: int) -> int:
+        if not 0 <= k < self.count:
+            raise ProtocolViolation(
+                f"tag index {k} outside reservation of {self.count} "
+                f"for {self.name or 'collective'} (base {self.base:#x})")
+        return self.base + k
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TagBlock {self.name or '?'} base={self.base:#x} "
+                f"count={self.count}>")
+
+
+def coll_tags(ctx: RankContext, count: int, name: str = "") -> TagBlock:
+    """Reserve ``count`` tags for this collective invocation.
+
+    All ranks calling collectives on a communicator in the same order —
+    and computing the same ``count`` from the same arguments — receive
+    the same block.  The per-rank sequence number advances by the number
+    of ``TAG_BLOCK`` units consumed, so a single jumbo collective (e.g.
+    a chain reduce with >4096 chunks) cannot collide with the next one.
+    """
+    count = max(1, count)
     comm = ctx.comm
     if not hasattr(comm, "_coll_seq"):
         comm._coll_seq = [0] * comm.size
     seq = comm._coll_seq[ctx.rank]
-    comm._coll_seq[ctx.rank] += 1
-    return COLL_TAG_BASE + seq * TAG_BLOCK
+    units = -(-count // TAG_BLOCK)
+    comm._coll_seq[ctx.rank] = seq + units
+    block = TagBlock(COLL_TAG_BASE + seq * TAG_BLOCK, count, name)
+    chk = ctx.sim.checker
+    if chk is not None:
+        chk.on_collective(comm, ctx.rank, seq, block)
+    return block
+
+
+def coll_tag_base(ctx: RankContext) -> int:
+    """Legacy entry point: reserve one unit and return its base tag.
+
+    Kept for external callers that still do raw ``tag0 + k`` arithmetic;
+    in-tree collectives use :func:`coll_tags` so indices are checked.
+    """
+    return coll_tags(ctx, TAG_BLOCK).base
+
+
+def as_tag_block(tag_base, count: int, name: str = "") -> TagBlock:
+    """Adapt a ``tag_base=`` argument (legacy int or TagBlock) to a
+    :class:`TagBlock` covering ``count`` tags.
+
+    Ints come from callers that reserved space themselves (or composite
+    collectives passing sub-ranges); they are wrapped without a fresh
+    reservation and without lockstep registration.
+    """
+    if isinstance(tag_base, TagBlock):
+        return tag_base
+    return TagBlock(int(tag_base), max(1, count), name)
 
 
 def traced(op_name: str):

@@ -14,7 +14,7 @@ from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
 from ..request import Request
-from .base import coll_tag_base, traced
+from .base import as_tag_block, coll_tags, traced
 
 __all__ = ["bcast_binomial", "bcast_flat", "bcast_scatter_allgather",
            "bcast", "ibcast"]
@@ -22,10 +22,12 @@ __all__ = ["bcast_binomial", "bcast_flat", "bcast_scatter_allgather",
 
 @traced("bcast.binomial")
 def bcast_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
-                   *, tag_base: int = None) -> Generator[Event, Any, None]:
+                   *, tag_base=None) -> Generator[Event, Any, None]:
     """Binomial-tree broadcast: log2(P) rounds, halving the frontier."""
     P = ctx.size
-    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    tags = (coll_tags(ctx, 1, "bcast.binomial") if tag_base is None
+            else as_tag_block(tag_base, 1, "bcast.binomial"))
+    tag = tags.tag(0)
     if P == 1:
         return
     vrank = (ctx.rank - root) % P
@@ -59,7 +61,7 @@ def bcast_flat(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
     """Naive linear broadcast (root sends to everyone) — the pattern a
     parameter-server master exhibits; kept as a baseline/ablation."""
     P = ctx.size
-    tag = coll_tag_base(ctx)
+    tag = coll_tags(ctx, 1, "bcast.flat").tag(0)
     if P == 1:
         return
     if ctx.rank == root:
@@ -114,11 +116,13 @@ def ibcast(ctx: RankContext, buf: DeviceBuffer, root: int = 0) -> Request:
     degrade.
     """
     req = Request(ctx.sim, label=f"ibcast root={root} r{ctx.rank}")
-    tag = coll_tag_base(ctx)
+    # Reserve at call time (all ranks call ibcast in order), then hand the
+    # block to the deferred/async body so it skips its own reservation.
+    tags = coll_tags(ctx, 1, "bcast.binomial")
 
     def run():
         try:
-            yield from bcast_binomial(ctx, buf, root, tag_base=tag)
+            yield from bcast_binomial(ctx, buf, root, tag_base=tags)
         except Exception as exc:
             # Deliver failures (revocation, dead peer, transport
             # timeout) through the request; an unwaited failed process

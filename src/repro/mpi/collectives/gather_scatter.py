@@ -16,7 +16,7 @@ from typing import Any, Generator, List, Optional, Tuple
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
-from .base import apply_reduction, coll_tag_base, traced
+from .base import apply_reduction, as_tag_block, coll_tags, traced
 
 __all__ = ["block_partition", "scatter_binomial", "gather_binomial",
            "allgather_ring", "reduce_scatter_ring"]
@@ -52,7 +52,8 @@ def scatter_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
     blocks is the same data volume).
     """
     P = ctx.size
-    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    tag = (coll_tags(ctx, 1, "scatter.binomial") if tag_base is None
+           else as_tag_block(tag_base, 1, "scatter.binomial")).tag(0)
     if P == 1:
         return
     blocks = block_partition(buf.nbytes, P)
@@ -92,44 +93,66 @@ def scatter_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
         yield req.wait()
 
 
+def _block_runs(blocks: List[Tuple[int, int]], ranks: List[int]
+                ) -> List[Tuple[int, int]]:
+    """Merge ``ranks``'s blocks into contiguous (offset, length) runs.
+
+    A rotated rank map (root != 0) makes a virtually-contiguous subtree
+    own *non-contiguous* bytes — at most two runs, since the rotation
+    wraps once and empty tail blocks only ever trim a run's end.
+    """
+    runs: List[List[int]] = []
+    for off, n in sorted(blocks[r] for r in ranks):
+        if n == 0:
+            continue
+        if runs and runs[-1][0] + runs[-1][1] == off:
+            runs[-1][1] += n
+        else:
+            runs.append([off, n])
+    return [(off, n) for off, n in runs]
+
+
 @traced("gather.binomial")
 def gather_binomial(ctx: RankContext, buf: DeviceBuffer, root: int = 0,
                     *, tag_base: Optional[int] = None,
                     ) -> Generator[Event, Any, None]:
     """Binomial-tree MPI_Gather: rank i's block i ends up at ``root``.
 
-    The mirror image of :func:`scatter_binomial`.
+    The mirror image of :func:`scatter_binomial` — except that gather
+    must transfer *exactly* the subtree's blocks, not their covering
+    span: with a rotated rank map a subtree's bytes wrap around the
+    buffer, and a span-sized send would overwrite blocks the parent
+    already gathered with the child's stale local copy (the wrap-around
+    root bug the conformance harness catches).  Hence at most two
+    contiguous runs per edge, one tag each.
     """
     P = ctx.size
-    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    tags = (coll_tags(ctx, 2, "gather.binomial") if tag_base is None
+            else as_tag_block(tag_base, 2, "gather.binomial"))
     if P == 1:
         return
     blocks = block_partition(buf.nbytes, P)
     vrank = (ctx.rank - root) % P
 
-    def span(v_lo: int, v_hi: int) -> Tuple[int, int]:
+    def runs(v_lo: int, v_hi: int) -> List[Tuple[int, int]]:
         ranks = [(v + root) % P for v in range(v_lo, min(v_hi, P))]
-        offs = [blocks[r][0] for r in ranks]
-        ends = [blocks[r][0] + blocks[r][1] for r in ranks]
-        return min(offs), max(ends) - min(offs)
+        return _block_runs(blocks, ranks)
 
     # Collect child subtrees (ascending mask), then send up.
     mask = 1
     while mask < P:
         if vrank & mask:
             parent = ((vrank - mask) + root) % P
-            off, n = span(vrank, vrank + mask)
-            if n:
-                yield from ctx.send(parent, buf, tag=tag, offset=off,
-                                    nbytes=n)
+            for i, (off, n) in enumerate(runs(vrank, vrank + mask)):
+                yield from ctx.send(parent, buf, tag=tags.tag(i),
+                                    offset=off, nbytes=n)
             return
         child_v = vrank | mask
         if child_v < P:
             child = (child_v + root) % P
-            off, n = span(child_v, child_v + mask)
-            if n:
-                yield from ctx.recv(child, buf, tag=tag, offset=off,
-                                    nbytes=n)
+            for i, (off, n) in enumerate(runs(child_v, child_v + mask)):
+                yield from ctx.recv(child, buf, tag=tags.tag(i),
+                                    offset=off, nbytes=n)
         mask <<= 1
 
 
@@ -141,7 +164,9 @@ def allgather_ring(ctx: RankContext, buf: DeviceBuffer,
     P-1 steps every rank holds all blocks (bandwidth-optimal)."""
     P = ctx.size
     me = ctx.rank
-    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    tags = (coll_tags(ctx, max(1, P - 1), "allgather.ring")
+            if tag_base is None
+            else as_tag_block(tag_base, max(1, P - 1), "allgather.ring"))
     if P == 1:
         return
     blocks = block_partition(buf.nbytes, P)
@@ -152,10 +177,10 @@ def allgather_ring(ctx: RankContext, buf: DeviceBuffer,
         rb = (me - s - 1) % P
         soff, slen = blocks[sb]
         roff, rlen = blocks[rb]
-        sreq = (ctx.isend(right, buf, tag=tag + s, offset=soff,
+        sreq = (ctx.isend(right, buf, tag=tags.tag(s), offset=soff,
                           nbytes=slen) if slen else None)
         if rlen:
-            yield from ctx.recv(left, buf, tag=tag + s, offset=roff,
+            yield from ctx.recv(left, buf, tag=tags.tag(s), offset=roff,
                                 nbytes=rlen)
         if sreq is not None:
             yield sreq.wait()
@@ -176,7 +201,9 @@ def reduce_scatter_ring(ctx: RankContext, sendbuf: DeviceBuffer,
     """
     P = ctx.size
     me = ctx.rank
-    tag = coll_tag_base(ctx) if tag_base is None else tag_base
+    tags = (coll_tags(ctx, max(1, P - 1), "reduce_scatter.ring")
+            if tag_base is None
+            else as_tag_block(tag_base, max(1, P - 1), "reduce_scatter.ring"))
     from .base import local_accumulate_copy
     yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
     if P == 1:
@@ -191,10 +218,10 @@ def reduce_scatter_ring(ctx: RankContext, sendbuf: DeviceBuffer,
             rb = (me - s - 1) % P
             soff, slen = blocks[sb]
             roff, rlen = blocks[rb]
-            sreq = (ctx.isend(right, recvbuf, tag=tag + s, offset=soff,
+            sreq = (ctx.isend(right, recvbuf, tag=tags.tag(s), offset=soff,
                               nbytes=slen) if slen else None)
             if rlen:
-                yield from ctx.recv(left, scratch, tag=tag + s,
+                yield from ctx.recv(left, scratch, tag=tags.tag(s),
                                     offset=roff, nbytes=rlen)
                 yield from apply_reduction(ctx, recvbuf, scratch, rlen,
                                            offset=roff)

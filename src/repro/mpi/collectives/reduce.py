@@ -17,14 +17,14 @@ can verify byte-exact results through either algorithm.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Union
 
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import RankContext
 from ..request import Request
-from .base import apply_reduction, coll_tag_base, local_accumulate_copy, \
-    segments, traced
+from .base import TagBlock, apply_reduction, as_tag_block, coll_tags, \
+    local_accumulate_copy, segments, traced
 
 __all__ = ["reduce_binomial", "reduce_chain", "reduce", "ireduce"]
 
@@ -32,7 +32,7 @@ __all__ = ["reduce_binomial", "reduce_chain", "reduce", "ireduce"]
 @traced("reduce.binomial")
 def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
                     recvbuf: Optional[DeviceBuffer], root: int = 0,
-                    *, tag_base: Optional[int] = None,
+                    *, tag_base: Union[int, TagBlock, None] = None,
                     ) -> Generator[Event, Any, None]:
     """Binomial-tree MPI_Reduce (SUM) with per-profile segmentation.
 
@@ -42,9 +42,14 @@ def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
     """
     P = ctx.size
     me = ctx.rank
-    tag0 = coll_tag_base(ctx) if tag_base is None else tag_base
     if me == root and recvbuf is None:
         raise ValueError("root must supply recvbuf")
+    segs = segments(sendbuf.nbytes, ctx.profile.reduce_segment)
+    # Reservation sized by the actual segment count: a fine-grained
+    # segmentation of a big buffer may need more than one TAG_BLOCK unit.
+    tags = (coll_tags(ctx, len(segs), "reduce.binomial")
+            if tag_base is None
+            else as_tag_block(tag_base, len(segs), "reduce.binomial"))
 
     if P == 1:
         if recvbuf is not None and recvbuf is not sendbuf:
@@ -52,7 +57,6 @@ def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
         return
 
     vrank = (me - root) % P
-    segs = segments(sendbuf.nbytes, ctx.profile.reduce_segment)
 
     # Accumulator: the root reduces straight into recvbuf; interior nodes
     # use device scratch.  Leaves send their sendbuf directly.
@@ -75,7 +79,7 @@ def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
                 parent = ((vrank & ~mask) + root) % P
                 outbuf = acc if received_any else sendbuf
                 send_reqs = [
-                    ctx.isend(parent, outbuf, tag=tag0 + k,
+                    ctx.isend(parent, outbuf, tag=tags.tag(k),
                               offset=off, nbytes=n)
                     for k, (off, n) in enumerate(segs)]
                 for r in send_reqs:
@@ -89,7 +93,7 @@ def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
                     yield from local_accumulate_copy(ctx, acc, sendbuf)
                     received_any = True
                 yield from _segmented_recv_reduce(
-                    ctx, acc, scratch, child, tag0, segs)
+                    ctx, acc, scratch, child, tags, segs)
             mask <<= 1
         else:
             # Loop completed without break -> this rank is the root.
@@ -104,7 +108,7 @@ def reduce_binomial(ctx: RankContext, sendbuf: DeviceBuffer,
 
 
 def _segmented_recv_reduce(ctx: RankContext, acc: DeviceBuffer,
-                           scratch: DeviceBuffer, child: int, tag0: int,
+                           scratch: DeviceBuffer, child: int, tags: TagBlock,
                            segs) -> Generator[Event, Any, None]:
     """Receive a contribution segment-by-segment and fold it into ``acc``.
 
@@ -114,14 +118,15 @@ def _segmented_recv_reduce(ctx: RankContext, acc: DeviceBuffer,
     before the next starts.
     """
     if ctx.profile.segment_pipelining:
-        reqs = [ctx.irecv(child, scratch, tag=tag0 + k, offset=off, nbytes=n)
+        reqs = [ctx.irecv(child, scratch, tag=tags.tag(k), offset=off,
+                          nbytes=n)
                 for k, (off, n) in enumerate(segs)]
         for req, (off, n) in zip(reqs, segs):
             yield req.wait()
             yield from apply_reduction(ctx, acc, scratch, n, offset=off)
     else:
         for k, (off, n) in enumerate(segs):
-            yield from ctx.recv(child, scratch, tag=tag0 + k,
+            yield from ctx.recv(child, scratch, tag=tags.tag(k),
                                 offset=off, nbytes=n)
             yield from apply_reduction(ctx, acc, scratch, n, offset=off)
             sync = ctx.profile.segment_sync_time(n)
@@ -133,7 +138,7 @@ def _segmented_recv_reduce(ctx: RankContext, acc: DeviceBuffer,
 def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
                  recvbuf: Optional[DeviceBuffer], root: int = 0,
                  *, chunk_bytes: Optional[int] = None,
-                 tag_base: Optional[int] = None,
+                 tag_base: Union[int, TagBlock, None] = None,
                  window: Optional[int] = None,
                  ) -> Generator[Event, Any, None]:
     """Chunked-chain MPI_Reduce (SUM).
@@ -151,23 +156,28 @@ def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
     """
     P = ctx.size
     me = ctx.rank
-    tag0 = coll_tag_base(ctx) if tag_base is None else tag_base
     if me == root and recvbuf is None:
         raise ValueError("root must supply recvbuf")
+    chunk = chunk_bytes or ctx.profile.reduce_segment
+    chunks = segments(sendbuf.nbytes, chunk)
+    # Sized by chunk count: the chain's whole point is many small chunks,
+    # so a large buffer over a tiny chunk_bytes easily exceeds one unit.
+    tags = (coll_tags(ctx, len(chunks), "reduce.chain")
+            if tag_base is None
+            else as_tag_block(tag_base, len(chunks), "reduce.chain"))
     if P == 1:
         if recvbuf is not None and recvbuf is not sendbuf:
             yield from local_accumulate_copy(ctx, recvbuf, sendbuf)
         return
 
-    chunk = chunk_bytes or ctx.profile.reduce_segment
-    chunks = segments(sendbuf.nbytes, chunk)
     pos = (me - root) % P            # 0 = root ... P-1 = chain tail
     right = ((pos + 1) + root) % P   # upstream neighbour
     left = ((pos - 1) + root) % P    # downstream neighbour
 
     if pos == P - 1:
         # Tail: stream own chunks downstream.
-        reqs = [ctx.isend(left, sendbuf, tag=tag0 + k, offset=off, nbytes=n)
+        reqs = [ctx.isend(left, sendbuf, tag=tags.tag(k), offset=off,
+                          nbytes=n)
                 for k, (off, n) in enumerate(chunks)]
         for r in reqs:
             yield r.wait()
@@ -183,26 +193,26 @@ def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
         yield from local_accumulate_copy(ctx, acc, sendbuf)
         if ctx.profile.segment_pipelining:
             W = len(chunks) if window is None else max(1, window)
-            rx = [ctx.irecv(right, scratch, tag=tag0 + k, offset=off,
+            rx = [ctx.irecv(right, scratch, tag=tags.tag(k), offset=off,
                             nbytes=n)
                   for k, (off, n) in enumerate(chunks[:W])]
             for k, (off, n) in enumerate(chunks):
                 yield rx[k].wait()
                 if k + W < len(chunks):
                     off2, n2 = chunks[k + W]
-                    rx.append(ctx.irecv(right, scratch, tag=tag0 + k + W,
+                    rx.append(ctx.irecv(right, scratch, tag=tags.tag(k + W),
                                         offset=off2, nbytes=n2))
                 yield from apply_reduction(ctx, acc, scratch, n, offset=off)
                 if pos != 0:
-                    send_reqs.append(ctx.isend(left, acc, tag=tag0 + k,
+                    send_reqs.append(ctx.isend(left, acc, tag=tags.tag(k),
                                                offset=off, nbytes=n))
         else:
             for k, (off, n) in enumerate(chunks):
-                yield from ctx.recv(right, scratch, tag=tag0 + k,
+                yield from ctx.recv(right, scratch, tag=tags.tag(k),
                                     offset=off, nbytes=n)
                 yield from apply_reduction(ctx, acc, scratch, n, offset=off)
                 if pos != 0:
-                    yield from ctx.send(left, acc, tag=tag0 + k,
+                    yield from ctx.send(left, acc, tag=tags.tag(k),
                                         offset=off, nbytes=n)
                 sync = ctx.profile.segment_sync_time(n)
                 if sync:

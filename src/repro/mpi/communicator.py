@@ -237,6 +237,9 @@ class Communicator:
         if tag < 0:
             raise ValueError("send tag must be >= 0")
         n = buf.nbytes - offset if nbytes is None else nbytes
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_send(self, src_rank, dst_rank, tag, n)
         req = Request(self.sim, label=f"isend {src_rank}->{dst_rank}#{tag}")
         if self._revoked is not None:
             req.fail(self._revoked)
@@ -274,6 +277,9 @@ class Communicator:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"bad source rank {source}")
         n = buf.nbytes - offset if nbytes is None else nbytes
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_recv_post(self, dst_rank, source, tag, n)
         req = Request(self.sim, label=f"irecv {source}->{dst_rank}#{tag}")
         if self._revoked is not None:
             req.fail(self._revoked)
@@ -358,9 +364,17 @@ class RankContext:
         """Temporary device buffer shaped like ``buf`` (payload iff buf has
         payload), on this rank's GPU."""
         if buf.has_data:
-            return DeviceBuffer(self.gpu, buf.nbytes,
-                                np.zeros_like(buf.data), name=name)
-        return DeviceBuffer(self.gpu, buf.nbytes, name=name)
+            out = DeviceBuffer(self.gpu, buf.nbytes,
+                               np.zeros_like(buf.data), name=name)
+        else:
+            out = DeviceBuffer(self.gpu, buf.nbytes, name=name)
+        chk = self.sim.checker
+        if chk is not None:
+            # Scratch must be freed by the collective that allocated it;
+            # user buffers (allocated directly) may legitimately outlive
+            # the run, so only these are leak-checked.
+            chk.on_scratch(out)
+        return out
 
     def sub_context(self, comm: Communicator) -> Optional["RankContext"]:
         """This rank's context in a sub-communicator (None if not a member).

@@ -40,6 +40,9 @@ class Request:
         #: operations that only progress *inside* MPI_Wait (e.g. Ireduce
         #: under runtimes with no asynchronous reduction progress).
         self._on_wait = None
+        chk = sim.checker
+        if chk is not None:
+            chk.on_request(self)
 
     # -- completion (runtime side) ------------------------------------------
     def complete(self, status: Any = None) -> None:
@@ -70,6 +73,9 @@ class Request:
         (MPI semantics: the request stays matchable).  The default path
         (``timeout=None``) schedules no extra simulator events.
         """
+        chk = self.sim.checker
+        if chk is not None:
+            chk.on_wait(self)
         if self._on_wait is not None:
             hook, self._on_wait = self._on_wait, None
             hook()

@@ -49,6 +49,14 @@ class TransportMetrics:
     #: Host staging buffers currently alive (leak detector for the
     #: interrupt-during-staged-transfer path; must return to 0).
     stagings_live: int = 0
+    #: High-water mark of concurrently live staging buffers (telemetry:
+    #: distinguishes "never staged" from "staged and cleaned up").
+    stagings_peak: int = 0
+
+    def enter_staging(self) -> None:
+        self.stagings_live += 1
+        if self.stagings_live > self.stagings_peak:
+            self.stagings_peak = self.stagings_live
 
 
 class DeviceTransport:
@@ -230,7 +238,7 @@ class DeviceTransport:
             lambda n: node.host_memcpy.transfer(n, kind="hostcpy"),
             lambda n: self.cuda.memcpy_h2d(dst, staging, n),
         ]
-        self.metrics.stagings_live += 1
+        self.metrics.enter_staging()
         try:
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))
@@ -255,7 +263,7 @@ class DeviceTransport:
             wire,
             lambda n: self.cuda.memcpy_h2d(dst, staging, n),
         ]
-        self.metrics.stagings_live += 1
+        self.metrics.enter_staging()
         try:
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))

@@ -343,6 +343,13 @@ class Simulator:
         #: the repo gate on this attribute so the off path costs one
         #: attribute load and simulated times are bit-identical.
         self.recorder = None
+        #: Optional :class:`repro.check.InvariantChecker`.  ``None``
+        #: (default) disables runtime invariant checking (SPMD lockstep,
+        #: tag-space audit, request/buffer leak tracking).  Like the
+        #: recorder, a checker is strictly passive — it never schedules
+        #: events — so checked and unchecked runs are event-for-event
+        #: identical.
+        self.checker = None
         #: Optional noise source for skew modeling.  ``None`` (default)
         #: means a perfectly quiet machine; a seed gives *deterministic*
         #: jitter (runs remain reproducible functions of the seed).

@@ -1,0 +1,114 @@
+"""Differential conformance: every collective, every profile, byte-exact
+against plain NumPy — driven through the ``repro.check`` harness."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    COLLECTIVES, Case, generate_matrix, run_case,
+)
+from repro.check.reference import rank_payload, reduce_reference
+
+PROFILES = ("mv2gdr", "mv2", "openmpi")
+
+
+class TestPayloadDesign:
+    def test_payloads_are_integer_valued(self):
+        """Byte-exactness across reduction orders relies on this."""
+        p = rank_payload(3, 1, 4096)
+        assert np.array_equal(p, np.round(p))
+        assert p.dtype == np.float32
+
+    def test_reference_sum_is_exactly_representable(self):
+        payloads = [rank_payload(0, r, 256) for r in range(520)]
+        ref = reduce_reference(payloads)
+        exact = sum(p.astype(np.int64) for p in payloads)
+        assert np.array_equal(ref.astype(np.int64), exact)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("collective", COLLECTIVES)
+class TestEveryCollectiveEveryProfile:
+    def test_byte_exact_and_invariant_clean(self, collective, profile):
+        kw = {}
+        if collective == "reduce_chain":
+            kw = dict(chunk_bytes=64, window=2)
+        if collective == "hierarchical_reduce":
+            kw = dict(hr_config="CB-4")
+        r = run_case(Case(collective, P=8, nbytes=512, root=0,
+                          profile=profile, **kw))
+        assert r.ok, r.describe()
+
+    def test_nontrivial_root_or_single_element(self, collective, profile):
+        kw = {"root": 3}
+        if collective in ("allreduce_ring", "allgather_ring",
+                          "reduce_scatter_ring"):
+            kw = {}
+        if collective == "reduce_chain":
+            kw["chunk_bytes"] = 16
+        if collective == "hierarchical_reduce":
+            kw["hr_config"] = "CC-2"
+        r = run_case(Case(collective, P=5, nbytes=40, profile=profile,
+                          seed=11, **kw))
+        assert r.ok, r.describe()
+
+
+class TestEdgeConfigurations:
+    @pytest.mark.parametrize("collective", COLLECTIVES)
+    def test_single_rank(self, collective):
+        kw = {}
+        if collective == "hierarchical_reduce":
+            kw = dict(hr_config="CB-4")
+        r = run_case(Case(collective, P=1, nbytes=64, **kw))
+        assert r.ok, r.describe()
+
+    @pytest.mark.parametrize("window", [1, 2, 7, None])
+    def test_chain_windows(self, window):
+        r = run_case(Case("reduce_chain", P=4, nbytes=1024, chunk_bytes=64,
+                          window=window))
+        assert r.ok, r.describe()
+
+    @pytest.mark.parametrize("hr", ["CB-2", "CB-8", "CC-4", "CCB-2",
+                                    "CCB-4"])
+    def test_hierarchical_configs(self, hr):
+        r = run_case(Case("hierarchical_reduce", P=12, nbytes=192, root=5,
+                          hr_config=hr))
+        assert r.ok, r.describe()
+
+    def test_buffer_smaller_than_ring(self):
+        """More ranks than elements: most ring blocks are empty."""
+        for coll in ("allreduce_ring", "allgather_ring",
+                     "reduce_scatter_ring"):
+            r = run_case(Case(coll, P=9, nbytes=8))
+            assert r.ok, r.describe()
+
+    def test_fault_injected_runs_stay_byte_exact(self):
+        """Dropped messages are retried by the transport; results must
+        not change."""
+        for coll in ("reduce_binomial", "allreduce_ring", "bcast_binomial"):
+            r = run_case(Case(coll, P=4, nbytes=256, fault="drops",
+                              seed=5))
+            assert r.ok, r.describe()
+
+
+class TestGeneratedMatrix:
+    def test_quick_matrix_small_cases_all_pass(self):
+        """The CI quick matrix, minus the big-P boundary rings (covered
+        individually in test_check.py regressions)."""
+        cases = generate_matrix(seed=2, quick=True, max_p=16)
+        assert len(cases) >= 20
+        failures = [run_case(c) for c in cases]
+        failures = [r for r in failures if not r.ok]
+        assert not failures, "\n".join(r.describe() for r in failures)
+
+    def test_matrix_generation_is_deterministic(self):
+        a = generate_matrix(seed=7, quick=True)
+        b = generate_matrix(seed=7, quick=True)
+        assert a == b
+
+    def test_matrix_covers_every_collective_and_profile(self):
+        cases = generate_matrix(seed=0, quick=True)
+        seen = {(c.collective, c.profile) for c in cases}
+        for coll in COLLECTIVES:
+            for profile in PROFILES:
+                assert (coll, profile) in seen
