@@ -10,15 +10,19 @@ the large latency behind the compute intensive Forward pass ... up to
 The SC-OB runs carry a :class:`~repro.prof.SpanRecorder`, so the table
 also reports how the *critical path* splits between communication and
 compute resources: after the co-design hides propagation, the run should
-be compute-bound at every scale (comm share a small fraction).
+be compute-bound at every scale (comm share a small fraction).  They
+also carry a :class:`~repro.telemetry.TelemetrySession`; the headline
+numbers plus a PVAR digest land in ``BENCH_fig13.json`` for the CI
+regression gate.
 """
 
-from common import emit, fmt_table, run_once
+from common import emit, emit_json, fmt_table, run_once
 
 from repro import TrainConfig, train
 from repro.hardware import make_cluster
 from repro.prof import SpanRecorder
 from repro.sim import Simulator
+from repro.telemetry import TelemetrySession
 
 GPU_COUNTS = (16, 32, 64, 96, 160)
 
@@ -36,9 +40,23 @@ def run_fig13():
         cluster = make_cluster(sim, "A")
         scob = train("scaffe", n_gpus=n, cluster=cluster,
                      config=BASE.derive(variant="SC-OB"),
-                     recorder=SpanRecorder(sim))
+                     recorder=SpanRecorder(sim),
+                     telemetry=TelemetrySession())
         out[n] = (scb, scob)
     return out
+
+
+def _pvar_digest(report) -> dict:
+    """The regression-relevant slice of the run's PVAR snapshot."""
+    tel = report.telemetry
+    return {
+        "bytes_by_path": {k: int(v)
+                          for k, v in tel.bytes_by_path.items()},
+        "coll_bytes": {k: int(v)
+                       for k, v in tel.pvars["mpi.coll.bytes"].items()},
+        "peak_device_mem": int(tel.peak_device_mem),
+        "iterations": int(tel.pvars["train.iterations"]),
+    }
 
 
 def test_fig13_scob_overlap(benchmark):
@@ -61,6 +79,20 @@ def test_fig13_scob_overlap(benchmark):
         "Cluster-A",
         ["GPUs", "SC-B prop", "SC-B F/B", "SC-OB prop (wait)",
          "SC-OB F/B", "improvement", "SC-OB CP comm/comp"], rows))
+    emit_json("fig13", {
+        "config": {"network": BASE.network, "batch_size": BASE.batch_size,
+                   "iterations": BASE.iterations,
+                   "measure_iterations": BASE.measure_iterations,
+                   "reduce_design": BASE.reduce_design, "cluster": "A",
+                   "gpu_counts": list(GPU_COUNTS)},
+        "headline": {
+            str(n): {"scb_total_time": scb.total_time,
+                     "scob_total_time": scob.total_time,
+                     "scob_prop_ms": scob.phase("propagation") * 1e3}
+            for n, (scb, scob) in results.items()},
+        "pvars": {str(n): _pvar_digest(scob)
+                  for n, (_scb, scob) in results.items()},
+    })
 
     for n, (scb, scob) in results.items():
         # SC-OB hides propagation behind the forward pass: the visible

@@ -9,8 +9,9 @@ prints the rows/series the paper reports, writes them under
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable
+from typing import Any, Callable, Dict
 
 from repro.analysis import format_bytes, format_table, format_time
 from repro.cuda import DeviceBuffer
@@ -43,6 +44,21 @@ def emit(name: str, text: str) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> str:
+    """Persist a machine-readable benchmark artifact.
+
+    Written canonically (sorted keys, fixed indent, trailing newline) so
+    same-seed runs produce byte-identical files — the property the CI
+    regression gate diffs against its committed baseline.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
 
 
 def osu_reduce(cluster_kind: str, profile: MPIProfile | str, nbytes: int,

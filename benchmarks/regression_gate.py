@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Bench-regression gate: quick headline numbers vs a committed baseline.
+
+The simulation is a pure function of the seed, so the headline numbers
+of a small benchmark subset are exactly reproducible; any drift is a
+real behaviour change.  CI runs this script, which
+
+1. runs the quick subset (two OSU reduce points + a 16-GPU GoogLeNet
+   training run with telemetry attached),
+2. writes ``results/BENCH_regression.json`` and the full telemetry
+   artifacts (``results/metrics.prom``, ``results/metrics.json``,
+   ``results/timeseries.csv``),
+3. compares every headline number against ``baselines/regression.json``
+   with a relative tolerance and exits non-zero on any regression.
+
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python benchmarks/regression_gate.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import RESULTS_DIR, emit_json, osu_reduce  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "baselines",
+                        "regression.json")
+
+#: Relative tolerance for headline comparisons.  The runs are
+#: deterministic, so this only absorbs intentional small calibration
+#: tweaks; structural changes should refresh the baseline explicitly.
+REL_TOL = 0.03
+
+MiB = 1 << 20
+
+#: (label, cluster, profile, design, nbytes, procs) OSU points.
+OSU_POINTS = (
+    ("osu_reduce_tuned_32p_1M", "A", "mv2gdr", "tuned", 1 * MiB, 32),
+    ("osu_reduce_tuned_32p_16M", "A", "mv2gdr", "tuned", 16 * MiB, 32),
+)
+
+TRAIN_SEED = 1
+
+
+def _train_point() -> dict:
+    """16-GPU GoogLeNet, 3 iterations, telemetry attached."""
+    from repro.core import TrainConfig, run_scaffe
+    from repro.hardware import make_cluster
+    from repro.sim import Simulator
+    from repro.telemetry import (
+        TelemetrySession, timeseries_to_csv, to_json_snapshot,
+        to_prometheus,
+    )
+
+    cfg = TrainConfig(network="googlenet", batch_size=1024, iterations=3,
+                      variant="SC-OB", reduce_design="tuned",
+                      measure_iterations=3)
+    sim = Simulator(seed=TRAIN_SEED)
+    cluster = make_cluster(sim, "A")
+    session = TelemetrySession(scrape_interval=0.05)
+    report = run_scaffe(cluster, 16, cfg, telemetry=session)
+    assert report.ok, report.failure
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "metrics.prom"), "w") as f:
+        f.write(to_prometheus(session.registry))
+    with open(os.path.join(RESULTS_DIR, "metrics.json"), "w") as f:
+        json.dump(to_json_snapshot(session), f, indent=2, sort_keys=True)
+        f.write("\n")
+    with open(os.path.join(RESULTS_DIR, "timeseries.csv"), "w") as f:
+        f.write(timeseries_to_csv(session.samples))
+
+    tel = report.telemetry
+    return {
+        "train_googlenet_16gpu_total_time": report.total_time,
+        "train_googlenet_16gpu_samples_per_s": report.samples_per_second,
+        "train_googlenet_16gpu_coll_bytes": float(
+            sum(tel.pvars["mpi.coll.bytes"].values())),
+        "train_googlenet_16gpu_peak_dev_mem": float(tel.peak_device_mem),
+    }
+
+
+def run_subset() -> dict:
+    headline = {}
+    for label, cluster, profile, design, nbytes, procs in OSU_POINTS:
+        headline[label] = osu_reduce(cluster, profile, nbytes, procs,
+                                     design=design)
+        print(f"{label}: {headline[label] * 1e6:.1f} us")
+    for k, v in _train_point().items():
+        headline[k] = v
+        print(f"{k}: {v:.6g}")
+    return headline
+
+
+def compare(headline: dict, baseline: dict) -> list:
+    problems = []
+    for key, base in sorted(baseline["headline"].items()):
+        got = headline.get(key)
+        if got is None:
+            problems.append(f"missing headline {key!r}")
+            continue
+        if base == 0:
+            if got != 0:
+                problems.append(f"{key}: baseline 0, got {got:.6g}")
+            continue
+        rel = (got - base) / base
+        if abs(rel) > REL_TOL:
+            problems.append(
+                f"{key}: {got:.6g} vs baseline {base:.6g} "
+                f"({rel * 100:+.2f}%, tolerance {REL_TOL * 100:.0f}%)")
+    for key in sorted(set(headline) - set(baseline["headline"])):
+        problems.append(f"new headline {key!r} not in baseline "
+                        f"(refresh with --update-baseline)")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the committed baseline from this run")
+    args = ap.parse_args(argv)
+
+    headline = run_subset()
+    payload = {
+        "seed": TRAIN_SEED,
+        "rel_tol": REL_TOL,
+        "headline": headline,
+    }
+    path = emit_json("regression", payload)
+    print(f"wrote {path}")
+
+    if args.update_baseline:
+        os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
+        shutil.copyfile(path, BASELINE)
+        print(f"baseline updated: {BASELINE}")
+        return 0
+
+    if not os.path.exists(BASELINE):
+        print(f"no baseline at {BASELINE}; run with --update-baseline",
+              file=sys.stderr)
+        return 2
+    with open(BASELINE) as f:
+        baseline = json.load(f)
+    problems = compare(headline, baseline)
+    if problems:
+        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"regression gate: {len(baseline['headline'])} headline "
+          f"numbers within {REL_TOL * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

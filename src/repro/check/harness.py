@@ -126,6 +126,9 @@ class CaseResult:
     failures: List[str] = field(default_factory=list)
     sim_time: float = 0.0
     n_events: int = 0
+    #: Telemetry PVAR snapshot at end of run (cross-validated against
+    #: the checker's independent tally before being stored).
+    pvars: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -323,6 +326,13 @@ def run_case(case: Case) -> CaseResult:
 
     chk = InvariantChecker()
     chk.install(sim)
+    # Telemetry rides along on every case: its per-collective byte
+    # attribution is cross-validated against the checker's independent
+    # tally below, so the two ledgers keep each other honest.
+    from ..telemetry import TelemetrySession
+    tel = TelemetrySession()
+    tel.attach(sim)
+    tel.install()
     aborted = False
     try:
         procs = runtime.spawn(comm, program)
@@ -332,6 +342,7 @@ def run_case(case: Case) -> CaseResult:
             aborted = True
             res.failures.append(f"simulation aborted: {exc!r}")
     finally:
+        tel.uninstall()
         chk.uninstall()
 
     res.sim_time = sim.now
@@ -352,6 +363,14 @@ def run_case(case: Case) -> CaseResult:
         if not stuck:
             for v in chk.end_of_run(transport=runtime.transport):
                 res.failures.append(str(v))
+            got = {k: int(v)
+                   for k, v in tel.pvar_read("mpi.coll.bytes").items()}
+            want = {k: int(v) for k, v in chk.coll_bytes.items()}
+            if got != want:
+                res.failures.append(
+                    f"telemetry coll-bytes mismatch: pvar {got} "
+                    f"vs checker tally {want}")
+        res.pvars = tel.pvar_snapshot()
     else:
         # A crashed simulation leaves queues/requests in arbitrary
         # states; the abort itself is the failure.

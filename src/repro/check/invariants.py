@@ -80,6 +80,10 @@ class InvariantChecker:
 
     def __init__(self) -> None:
         self.violations: List[Violation] = []
+        #: Collective name -> payload bytes sent under its tag blocks.
+        #: Independent tally the telemetry layer's ``mpi.coll.bytes``
+        #: PVAR is cross-validated against (same ledger, separate code).
+        self.coll_bytes: Dict[str, int] = {}
         self._ledgers: Dict[int, _CommLedger] = {}
         self._comms: Dict[int, object] = {}
         self._requests: list = []
@@ -152,6 +156,13 @@ class InvariantChecker:
                 nbytes: int) -> None:
         self._comms.setdefault(comm.id, comm)
         self._audit_tag(comm, f"send {src_rank}->{dst_rank}", tag)
+        if tag >= COLL_TAG_BASE:
+            led = self._ledgers.get(comm.id)
+            block = (led.units.get((tag - COLL_TAG_BASE) // TAG_BLOCK)
+                     if led is not None else None)
+            name = (block.name or "unnamed") if block is not None \
+                else "unknown"
+            self.coll_bytes[name] = self.coll_bytes.get(name, 0) + nbytes
 
     def on_recv_post(self, comm, dst_rank: int, source: int, tag: int,
                      nbytes: int) -> None:

@@ -6,6 +6,7 @@ options like ``-scal weak``), adapted to the simulated stack::
     repro train --framework scaffe --cluster A --gpus 64 \\
                 --network googlenet --batch-size 1024 --scal strong
     repro osu --profile mv2gdr --design tuned --procs 160 --size 64M
+    repro metrics --gpus 16 --network googlenet --out results/metrics
     repro autotune --procs 160 --sizes 1M,16M,128M
     repro table1
     repro networks
@@ -61,6 +62,41 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--net-prototxt", default=None, metavar="FILE",
                    help="train a network defined in a Caffe prototxt "
                         "file instead of a model-zoo name")
+    t.add_argument("--no-live", action="store_true",
+                   help="suppress the per-iteration live status line "
+                        "(S-Caffe runs print one by default)")
+
+    m = sub.add_parser(
+        "metrics",
+        help="MPI_T-style introspection of a training run: scrape the "
+             "runtime PVARs on simulated time and export them")
+    m.add_argument("--list", action="store_true", dest="list_vars",
+                   help="print the PVAR/CVAR catalogue and exit")
+    m.add_argument("--cluster", default="A", choices=["A", "B"])
+    m.add_argument("--gpus", type=int, default=16)
+    m.add_argument("--network", default="googlenet")
+    m.add_argument("--dataset", default="imagenet")
+    m.add_argument("--batch-size", type=int, default=1024)
+    m.add_argument("--iterations", type=int, default=4)
+    m.add_argument("--variant", default="SC-OB",
+                   choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
+    m.add_argument("--reduce-design", default="tuned")
+    m.add_argument("--profile", default="mv2gdr",
+                   choices=["mv2gdr", "mv2", "openmpi"])
+    m.add_argument("--seed", type=int, default=1)
+    m.add_argument("--scrape-interval", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="PVAR sampling period in simulated seconds")
+    m.add_argument("--out", default=None, metavar="DIR",
+                   help="write exports here (default: print Prometheus "
+                        "text to stdout)")
+    m.add_argument("--format", default="all",
+                   choices=["prom", "json", "csv", "all"],
+                   help="which export(s) to write with --out")
+    m.add_argument("--cvar", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="set an MPI_T control variable before the run "
+                        "(repeatable), e.g. coll.chain_size=4")
 
     pr = sub.add_parser(
         "profile",
@@ -171,9 +207,22 @@ def _cmd_train(args) -> int:
                       reduce_design=args.reduce_design,
                       data_backend=args.backend,
                       measure_iterations=min(4, args.iterations))
+    telemetry = None
+    if args.framework == "scaffe" and not args.no_live:
+        from .telemetry import TelemetrySession
+
+        def status(row: dict) -> None:
+            loss = (f"  loss {row['loss']:.4f}"
+                    if row["loss"] is not None else "")
+            print(f"  iter {row['iteration'] + 1:4d}  "
+                  f"t={row['time'] * 1e3:9.2f} ms  "
+                  f"{row['samples_per_second']:9.1f} samples/s{loss}")
+
+        telemetry = TelemetrySession(live=status)
     report = train(args.framework, n_gpus=args.gpus,
                    cluster=args.cluster, config=cfg,
-                   profile=args.profile, workload=workload)
+                   profile=args.profile, workload=workload,
+                   telemetry=telemetry)
     print(report.summary())
     if report.ok:
         print(f"  time/iteration: {report.time_per_iteration * 1e3:.2f} ms")
@@ -182,6 +231,100 @@ def _cmd_train(args) -> int:
         return 0
     print(f"  note: {report.notes}")
     return 1
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    import os
+
+    from .core import TrainConfig, run_scaffe
+    from .hardware import make_cluster
+    from .sim import Simulator
+    from .telemetry import (
+        TelemetrySession, timeseries_to_csv, to_json_snapshot,
+        to_prometheus,
+    )
+
+    session = TelemetrySession(scrape_interval=args.scrape_interval)
+
+    if args.list_vars:
+        # Catalogue only: bind against the target cluster/runtime so
+        # the hardware PVARs and profile CVARs appear, but don't run.
+        from .mpi import MPIRuntime
+        from .telemetry import bind_cluster, bind_runtime
+        sim = Simulator(seed=args.seed)
+        cluster = make_cluster(sim, args.cluster)
+        session.attach(sim)
+        bind_cluster(session, cluster)
+        bind_runtime(session, MPIRuntime(cluster, args.profile))
+        print("# performance variables (read-only)")
+        for name in session.pvar_names():
+            pv = session.pvar(name)
+            unit = f" [{pv.unit}]" if pv.unit else ""
+            print(f"{name:28s} {pv.description}{unit}")
+        print("\n# control variables (get/set)")
+        for name in session.cvar_names():
+            cv = session._cvars[name]
+            print(f"{name:28s} {cv.description} "
+                  f"(= {session.cvar_get(name)!r})")
+        return 0
+
+    for spec in args.cvar:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            print(f"bad --cvar {spec!r} (want NAME=VALUE)",
+                  file=sys.stderr)
+            return 2
+        session.queue_cvar(name.strip(), value.strip())
+
+    cfg = TrainConfig(network=args.network, dataset=args.dataset,
+                      batch_size=args.batch_size,
+                      iterations=args.iterations,
+                      variant=args.variant,
+                      reduce_design=args.reduce_design,
+                      measure_iterations=min(4, args.iterations))
+    sim = Simulator(seed=args.seed)
+    cluster = make_cluster(sim, args.cluster)
+    try:
+        report = run_scaffe(cluster, args.gpus, cfg, profile=args.profile,
+                            telemetry=session)
+    except (KeyError, TypeError, ValueError) as exc:
+        # Bad --cvar assignments surface when the runtime binds them.
+        print(f"cvar error: {exc}", file=sys.stderr)
+        return 2
+    if not report.ok:
+        print(f"run failed: {report.failure} ({report.notes})")
+        return 1
+
+    config = {
+        "cluster": args.cluster, "gpus": args.gpus,
+        "network": args.network, "batch_size": args.batch_size,
+        "iterations": args.iterations, "variant": args.variant,
+        "reduce_design": args.reduce_design, "profile": args.profile,
+        "seed": args.seed, "scrape_interval": args.scrape_interval,
+    }
+    prom = to_prometheus(session.registry)
+    snap = json.dumps(to_json_snapshot(session, config=config),
+                      sort_keys=True, indent=2) + "\n"
+    csv = timeseries_to_csv(session.samples)
+
+    if args.out is None:
+        print({"prom": prom, "json": snap, "csv": csv}
+              .get(args.format, prom), end="")
+        return 0
+    os.makedirs(args.out, exist_ok=True)
+    wanted = (("prom", "metrics.prom", prom),
+              ("json", "metrics.json", snap),
+              ("csv", "timeseries.csv", csv))
+    for fmt, fname, text in wanted:
+        if args.format not in ("all", fmt):
+            continue
+        path = os.path.join(args.out, fname)
+        with open(path, "w") as fh:
+            fh.write(text)
+        print(f"wrote {path}")
+    print(report.summary())
+    return 0
 
 
 def _parse_what_if(spec: str) -> dict:
@@ -434,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "train": _cmd_train,
+        "metrics": _cmd_metrics,
         "profile": _cmd_profile,
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..prof import ProfileReport
+    from ..telemetry import TelemetrySummary
 
 __all__ = ["FaultReport", "TrainingReport", "speedup"]
 
@@ -94,6 +95,9 @@ class TrainingReport:
     #: Causal profile (present when the run had a SpanRecorder attached;
     #: None for unprofiled runs).
     profile: Optional["ProfileReport"] = None
+    #: End-of-run telemetry digest (present when the run had a
+    #: TelemetrySession attached; None otherwise).
+    telemetry: Optional["TelemetrySummary"] = None
     notes: str = ""
 
     @property
@@ -128,9 +132,12 @@ class TrainingReport:
         if not self.ok:
             return (f"{self.framework:12s} {self.network:14s} "
                     f"{self.n_gpus:4d} GPUs  FAILED ({self.failure})")
-        return (f"{self.framework:12s} {self.network:14s} "
+        line = (f"{self.framework:12s} {self.network:14s} "
                 f"{self.n_gpus:4d} GPUs  {self.total_time:9.2f}s "
                 f"({self.samples_per_second:9.1f} samples/s)")
+        if self.telemetry is not None:
+            line += "\n  " + self.telemetry.footer()
+        return line
 
 
 def speedup(baseline: TrainingReport, improved: TrainingReport) -> float:

@@ -60,7 +60,8 @@ class SCaffeJob:
                  adapter: Optional[RealCompute] = None,
                  tracer: Optional[Tracer] = None,
                  recorder=None,
-                 fault_plan: Optional[FaultPlan] = None):
+                 fault_plan: Optional[FaultPlan] = None,
+                 telemetry=None):
         self.cluster = cluster
         self.sim = cluster.sim
         self.cal = cluster.cal
@@ -71,6 +72,16 @@ class SCaffeJob:
         self.workload = workload
         self.cfg = cfg
         self.runtime = MPIRuntime(cluster, profile)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            from ..telemetry import bind_cluster, bind_runtime
+            if telemetry.sim is None:
+                telemetry.attach(self.sim)
+            elif telemetry.sim is not self.sim:
+                raise ValueError(
+                    "telemetry session belongs to a different simulator")
+            bind_cluster(telemetry, cluster)
+            bind_runtime(telemetry, self.runtime)
         self.adapter = adapter
         self.tracer = tracer or Tracer(self.sim, enabled=True)
         self.local_batch = cfg.local_batch(n_gpus)
@@ -84,6 +95,7 @@ class SCaffeJob:
         self._crash_possible = fault_plan is not None and any(
             isinstance(ev, CrashRank) for ev in fault_plan.events)
         self._root_gpu = None
+        self._last_loss: Optional[float] = None
         self._recoveries = 0
         self._recovery_time = 0.0
         self._iter_ends: List[float] = []
@@ -119,11 +131,18 @@ class SCaffeJob:
             "lustre" if cfg.data_backend in ("lustre", "imagedata")
             else "lmdb", self.sim, dataset, self.cal)
 
-        procs = self.runtime.spawn(comm, self._rank_program, backend)
-        if self.injector is not None:
-            self.injector.arm(runtime=self.runtime, procs=procs,
-                              gpus=comm.gpus)
-        self.sim.run()
+        tel = self.telemetry
+        if tel is not None:
+            tel.install()
+        try:
+            procs = self.runtime.spawn(comm, self._rank_program, backend)
+            if self.injector is not None:
+                self.injector.arm(runtime=self.runtime, procs=procs,
+                                  gpus=comm.gpus)
+            self.sim.run()
+        finally:
+            if tel is not None:
+                tel.uninstall()
         for p in procs:
             if not p.ok:  # pragma: no cover - defensive
                 raise p.value
@@ -141,6 +160,13 @@ class SCaffeJob:
         if self.recorder is not None:
             from ..prof import build_profile
             report.profile = build_profile(self.recorder)
+        if tel is not None:
+            from ..telemetry import training_summary
+            tel.finalize(self.sim.now)
+            span = report.simulated_time
+            samples = cfg.global_batch(self.n_gpus) * self.sim_iterations
+            report.telemetry = training_summary(
+                tel, samples_per_second=samples / span if span else 0.0)
         return report
 
     def _fault_report(self) -> FaultReport:
@@ -279,6 +305,11 @@ class SCaffeJob:
             ends[it] = self.sim.now
         else:
             ends.append(self.sim.now)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_iteration(it, self.sim.now,
+                             self.cfg.global_batch(self.n_gpus),
+                             loss=self._last_loss)
 
     def _save_checkpoint(self, ctx: RankContext, completed: int
                          ) -> Generator[Event, Any, None]:
@@ -374,7 +405,9 @@ class SCaffeJob:
         if self.adapter is not None:
             if me != 0:
                 self.adapter.set_params(me, buffers.read_params())
-            self.adapter.compute_gradients(me, it)
+            loss = self.adapter.compute_gradients(me, it)
+            if me == 0:
+                self._last_loss = loss
             buffers.write_grads(self.adapter.local_grads(me))
 
         # ---- backward + gradient aggregation ------------------------------------
@@ -474,12 +507,13 @@ def run_scaffe(cluster: Cluster, n_gpus: int, cfg: TrainConfig, *,
                adapter: Optional[RealCompute] = None,
                tracer: Optional[Tracer] = None,
                recorder=None,
-               fault_plan: Optional[FaultPlan] = None) -> TrainingReport:
+               fault_plan: Optional[FaultPlan] = None,
+               telemetry=None) -> TrainingReport:
     """Convenience wrapper: build the workload from the config and run."""
     if workload is None:
         from ..dnn import get_network
         workload = Workload.from_spec(get_network(cfg.network))
     job = SCaffeJob(cluster, n_gpus, workload, cfg, profile=profile,
                     adapter=adapter, tracer=tracer, recorder=recorder,
-                    fault_plan=fault_plan)
+                    fault_plan=fault_plan, telemetry=telemetry)
     return job.run()

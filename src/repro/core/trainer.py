@@ -37,7 +37,8 @@ def train(framework: str, *, n_gpus: int,
           workload: Optional[Workload] = None,
           adapter: Optional[RealCompute] = None,
           tracer: Optional[Tracer] = None,
-          recorder=None) -> TrainingReport:
+          recorder=None,
+          telemetry=None) -> TrainingReport:
     """Train ``config.network`` with the named framework.
 
     Parameters
@@ -57,6 +58,9 @@ def train(framework: str, *, n_gpus: int,
     recorder:
         Optional :class:`~repro.prof.SpanRecorder` for causal profiling
         (S-Caffe only); must be built on the cluster's simulator.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetrySession` for MPI_T
+        introspection and metrics export (S-Caffe only).
     """
     cfg = config or TrainConfig()
     if isinstance(cluster, str):
@@ -66,7 +70,8 @@ def train(framework: str, *, n_gpus: int,
     if key in ("scaffe", "s"):
         return run_scaffe(cluster, n_gpus, cfg, profile=profile,
                           workload=workload, adapter=adapter,
-                          tracer=tracer, recorder=recorder)
+                          tracer=tracer, recorder=recorder,
+                          telemetry=telemetry)
     if key == "caffe":
         return run_caffe(cluster, n_gpus, cfg, workload=workload,
                          tracer=tracer)

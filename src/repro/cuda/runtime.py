@@ -51,6 +51,9 @@ class CudaRuntime:
                    ) -> Generator[Event, Any, None]:
         """Device -> host copy over the GPU's PCIe uplink."""
         n = src.nbytes if nbytes is None else nbytes
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_cuda_copy("d2h", n)
         yield from self._timed("overhead", self.cal.cuda_copy_overhead,
                                label="cudaMemcpy")
         factor = self._staging_factor(dst)
@@ -64,6 +67,9 @@ class CudaRuntime:
                    ) -> Generator[Event, Any, None]:
         """Host -> device copy over the GPU's PCIe downlink."""
         n = dst.nbytes if nbytes is None else nbytes
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_cuda_copy("h2d", n)
         yield from self._timed("overhead", self.cal.cuda_copy_overhead,
                                label="cudaMemcpy")
         factor = self._staging_factor(src)
@@ -75,6 +81,9 @@ class CudaRuntime:
     def memcpy_d2d(self, device: GPUDevice, nbytes: int,
                    ) -> Generator[Event, Any, None]:
         """Same-device copy at device-memory bandwidth."""
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_cuda_copy("d2d", nbytes)
         yield from self._timed("d2d", self.cal.cuda_copy_overhead
                                + nbytes / device.spec.membw, nbytes=nbytes,
                                label=device.name)
@@ -94,6 +103,9 @@ class CudaRuntime:
         if src.device is dst.device:
             yield from self.memcpy_d2d(src.device, n)
         else:
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.on_cuda_copy("p2p", n)
             links = [src.device.pcie_up, dst.device.pcie_down]
             yield from multi_link_transfer(
                 self.sim, links, n, extra_time=self.cal.cuda_copy_overhead,

@@ -101,6 +101,8 @@ class GPUDevice:
         #: so an uninjected device keeps byte-identical kernel timing.
         self.compute_slowdown = 1.0
         self._allocated = 0
+        #: Allocation high-watermark (telemetry pvar hw.gpu_mem.peak).
+        self.peak_allocated = 0
 
     # -- memory ------------------------------------------------------------
     @property
@@ -120,6 +122,8 @@ class GPUDevice:
                 f"{self.name}: cannot allocate {nbytes} bytes "
                 f"({self.free_bytes} free of {self.spec.memory_bytes})")
         self._allocated += nbytes
+        if self._allocated > self.peak_allocated:
+            self.peak_allocated = self._allocated
 
     def unreserve(self, nbytes: int) -> None:
         if nbytes < 0 or nbytes > self._allocated:

@@ -98,6 +98,9 @@ def coll_tags(ctx: RankContext, count: int, name: str = "") -> TagBlock:
     chk = ctx.sim.checker
     if chk is not None:
         chk.on_collective(comm, ctx.rank, seq, block)
+    tel = ctx.sim.telemetry
+    if tel is not None:
+        tel.on_coll_block(comm, ctx.rank, seq, block)
     return block
 
 

@@ -192,6 +192,10 @@ def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
     try:
         yield from local_accumulate_copy(ctx, acc, sendbuf)
         if ctx.profile.segment_pipelining:
+            if window is None and ctx.profile.pipeline_window:
+                # Profile default (MPI_T cvar coll.pipeline_window);
+                # 0 keeps the historical all-preposted behaviour.
+                window = ctx.profile.pipeline_window
             W = len(chunks) if window is None else max(1, window)
             rx = [ctx.irecv(right, scratch, tag=tags.tag(k), offset=off,
                             nbytes=n)

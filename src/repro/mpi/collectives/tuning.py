@@ -155,7 +155,7 @@ def select_reduce_plan(P: int, nbytes: int,
 
 def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
                  recvbuf: Optional[DeviceBuffer], root: int = 0, *,
-                 chain_size: int = IDEAL_CHAIN_SIZE,
+                 chain_size: Optional[int] = None,
                  ) -> Generator[Event, Any, None]:
     """MPI_Reduce using the tuned design for this (P, nbytes) point.
 
@@ -167,6 +167,10 @@ def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
     if not ctx.profile.hierarchical_reduce:
         yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
         return
+    if chain_size is None:
+        # Default from the profile so the MPI_T cvar (coll.chain_size)
+        # steers the decision table without threading an argument.
+        chain_size = ctx.profile.chain_size
     plan = select_reduce_plan(ctx.size, sendbuf.nbytes,
                               chain_size=chain_size)
     if plan.kind == "binomial":

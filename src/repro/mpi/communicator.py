@@ -240,6 +240,9 @@ class Communicator:
         chk = self.sim.checker
         if chk is not None:
             chk.on_send(self, src_rank, dst_rank, tag, n)
+        tel = self.sim.telemetry
+        if tel is not None:
+            tel.on_send(self, tag, n)
         req = Request(self.sim, label=f"isend {src_rank}->{dst_rank}#{tag}")
         if self._revoked is not None:
             req.fail(self._revoked)
@@ -269,6 +272,9 @@ class Communicator:
             self._start_transfer(send, recv, dst_rank)
         else:
             self._unexpected[dst_rank].append(send)
+            if tel is not None:
+                tel.on_queue_depth("unexpected",
+                                   len(self._unexpected[dst_rank]))
         return req
 
     def irecv(self, dst_rank: int, source: int, buf: DeviceBuffer,
@@ -296,6 +302,9 @@ class Communicator:
             self._start_transfer(send, recv, dst_rank)
         else:
             self._posted[dst_rank].append(recv)
+            tel = self.sim.telemetry
+            if tel is not None:
+                tel.on_queue_depth("posted", len(self._posted[dst_rank]))
         return req
 
 

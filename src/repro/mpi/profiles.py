@@ -74,6 +74,12 @@ class MPIProfile:
     #: chipsets, so real MVAPICH2-GDR switches to pipelined host staging
     #: for large messages (the GPUDIRECT_LIMIT tunable).
     gdr_threshold: int = 128 * KiB
+    #: Chain length k for the CB-k/CC-k/CCB-k hierarchical reduce
+    #: designs (the paper's ideal chain size; exposed as an MPI_T cvar).
+    chain_size: int = 8
+    #: Pre-posted receives per chain-reduce hop; 0 means unbounded (all
+    #: chunk receives posted up front).  Exposed as an MPI_T cvar.
+    pipeline_window: int = 0
 
     def derive(self, **kwargs) -> "MPIProfile":
         """A copy with some knobs replaced (for ablations)."""

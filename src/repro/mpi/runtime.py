@@ -39,6 +39,17 @@ class MPIRuntime:
         self.transport = DeviceTransport(cluster, self.cuda, self.profile)
         self.failure_detector = FailureDetector(self.sim)
 
+    def set_profile(self, profile: MPIProfile) -> None:
+        """Swap the mechanism profile (MPI_T cvar writes land here).
+
+        Rank contexts snapshot the profile when created, so the new
+        knobs apply to contexts (and pt2pt operations, which read
+        ``runtime.profile`` live) created after the swap — the MPI_T
+        contract for control-variable writes.
+        """
+        self.profile = profile
+        self.transport.profile = profile
+
     def world(self, gpus: Optional[Sequence[GPUDevice] | int] = None
               ) -> Communicator:
         """COMM_WORLD over ``gpus`` (a list, a count, or the full cluster).

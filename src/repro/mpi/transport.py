@@ -22,13 +22,13 @@ the event model rather than a closed-form guess.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..cuda import CudaRuntime, DeviceBuffer, HostBuffer
 from ..hardware import Cluster, multi_link_transfer
 from ..hardware.faults import LinkDownError, MessageDropped, TransportFault
 from ..sim import Event
+from ..telemetry.metrics import MetricsRegistry
 from .profiles import MPIProfile
 
 __all__ = ["DeviceTransport", "TransportTimeout", "TransportMetrics"]
@@ -38,25 +38,79 @@ class TransportTimeout(RuntimeError):
     """A transfer exhausted its retry budget (the link never recovered)."""
 
 
-@dataclass
 class TransportMetrics:
-    """Counters for the robustness machinery (zero on a quiet fabric)."""
+    """Robustness counters (zero on a quiet fabric), registry-backed.
 
-    retries: int = 0
-    timeouts: int = 0
-    drops_detected: int = 0
-    link_down_detected: int = 0
-    #: Host staging buffers currently alive (leak detector for the
-    #: interrupt-during-staged-transfer path; must return to 0).
-    stagings_live: int = 0
-    #: High-water mark of concurrently live staging buffers (telemetry:
-    #: distinguishes "never staged" from "staged and cleaned up").
-    stagings_peak: int = 0
+    This is a *view* over the simulator's metrics registry — the same
+    counters the telemetry PVARs read — so each count has exactly one
+    source of truth.  The attribute API (``metrics.retries``, ...) is
+    preserved for the fault tests and the invariant checker; mutation
+    goes through the ``count_*`` / staging methods.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self._retries = registry.counter(
+            "transport.retries",
+            "transfer attempts retried after transient link faults")
+        self._timeouts = registry.counter(
+            "transport.timeouts",
+            "transfers that exhausted their retry budget")
+        self._drops = registry.counter(
+            "transport.drops_detected",
+            "forced message drops observed by the transport")
+        self._link_down = registry.counter(
+            "transport.link_down_detected", "transfers that hit a down link")
+        self._stagings = registry.gauge(
+            "transport.stagings_live",
+            "host staging buffers currently alive (must drain to 0)")
+        self._stagings_peak = registry.gauge(
+            "transport.stagings_peak",
+            "high-water mark of concurrently live staging buffers")
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value())
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value())
+
+    @property
+    def drops_detected(self) -> int:
+        return int(self._drops.value())
+
+    @property
+    def link_down_detected(self) -> int:
+        return int(self._link_down.value())
+
+    @property
+    def stagings_live(self) -> int:
+        """Host staging buffers currently alive (leak detector for the
+        interrupt-during-staged-transfer path; must return to 0)."""
+        return int(self._stagings.value())
+
+    @property
+    def stagings_peak(self) -> int:
+        return int(self._stagings_peak.value())
+
+    def count_retry(self) -> None:
+        self._retries.inc()
+
+    def count_timeout(self) -> None:
+        self._timeouts.inc()
+
+    def count_drop(self) -> None:
+        self._drops.inc()
+
+    def count_link_down(self) -> None:
+        self._link_down.inc()
 
     def enter_staging(self) -> None:
-        self.stagings_live += 1
-        if self.stagings_live > self.stagings_peak:
-            self.stagings_peak = self.stagings_live
+        self._stagings.inc()
+        self._stagings_peak.set_max(self._stagings.value())
+
+    def exit_staging(self) -> None:
+        self._stagings.dec()
 
 
 class DeviceTransport:
@@ -84,7 +138,7 @@ class DeviceTransport:
         self.profile = profile
         self.sim = cluster.sim
         self.cal = cluster.cal
-        self.metrics = TransportMetrics()
+        self.metrics = TransportMetrics(cluster.sim.metrics)
 
     # -- public API --------------------------------------------------------
     def transfer(self, src: DeviceBuffer, dst: DeviceBuffer,
@@ -124,16 +178,16 @@ class DeviceTransport:
                 break
             except TransportFault as exc:
                 if isinstance(exc, MessageDropped):
-                    self.metrics.drops_detected += 1
+                    self.metrics.count_drop()
                 elif isinstance(exc, LinkDownError):
-                    self.metrics.link_down_detected += 1
+                    self.metrics.count_link_down()
                 attempt += 1
                 if attempt > self.RETRY_LIMIT:
-                    self.metrics.timeouts += 1
+                    self.metrics.count_timeout()
                     raise TransportTimeout(
                         f"transfer {src.device.name}->{dst.device.name} "
                         f"gave up after {self.RETRY_LIMIT} retries") from exc
-                self.metrics.retries += 1
+                self.metrics.count_retry()
                 backoff = min(self.RETRY_BASE * (2 ** (attempt - 1)),
                               self.RETRY_MAX)
                 yield self.sim.timeout(backoff)
@@ -147,18 +201,29 @@ class DeviceTransport:
         """One transfer attempt; returns True if the payload already moved
         (the p2p mechanism copies it as part of the operation)."""
         a, b = src.device, dst.device
+        tel = self.sim.telemetry
         if a is b:
+            if tel is not None:
+                tel.on_transfer_path("d2d", n)
             yield from self.cuda.memcpy_d2d(a, n)
         elif self.cluster.same_node(a, b):
             if self.profile.ipc:
+                if tel is not None:
+                    tel.on_transfer_path("ipc", n)
                 yield from self.cuda.memcpy_p2p(
                     src, dst, n, src_offset=src_offset, dst_offset=dst_offset)
                 return True
+            if tel is not None:
+                tel.on_transfer_path("staged_intra", n)
             yield from self._staged_intra_node(src, dst, n)
         else:
             if self.profile.gdr and n <= self.profile.gdr_threshold:
+                if tel is not None:
+                    tel.on_transfer_path("gdr", n)
                 yield from self._gdr_inter_node(src, dst, n)
             else:
+                if tel is not None:
+                    tel.on_transfer_path("staged_inter", n)
                 yield from self._staged_inter_node(src, dst, n)
         return False
 
@@ -243,7 +308,7 @@ class DeviceTransport:
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))
         finally:
-            self.metrics.stagings_live -= 1
+            self.metrics.exit_staging()
 
     def _staged_inter_node(self, src: DeviceBuffer, dst: DeviceBuffer,
                            nbytes: int) -> Generator[Event, Any, None]:
@@ -268,7 +333,7 @@ class DeviceTransport:
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))
         finally:
-            self.metrics.stagings_live -= 1
+            self.metrics.exit_staging()
 
     def _staged_estimate(self, nbytes: int, wire_bw: float) -> float:
         chunk = min(self.profile.pipeline_chunk, max(1, nbytes))

@@ -38,6 +38,8 @@ import itertools
 import random
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from ..telemetry.metrics import MetricsRegistry
+
 __all__ = [
     "Event",
     "Timeout",
@@ -350,6 +352,17 @@ class Simulator:
         #: events — so checked and unchecked runs are event-for-event
         #: identical.
         self.checker = None
+        #: Optional :class:`repro.telemetry.TelemetrySession`.  ``None``
+        #: (default) disables runtime introspection; like the recorder
+        #: and checker, a session is strictly passive (hooks never
+        #: schedule events), so an instrumented run is event-for-event
+        #: identical and the off path costs one attribute load.
+        self.telemetry = None
+        #: Always-present metrics registry: the single source of truth
+        #: for runtime counters (``TransportMetrics`` and the telemetry
+        #: PVARs are views over it).  Creating it is one dict; counters
+        #: only accumulate when something increments them.
+        self.metrics = MetricsRegistry()
         #: Optional noise source for skew modeling.  ``None`` (default)
         #: means a perfectly quiet machine; a seed gives *deterministic*
         #: jitter (runs remain reproducible functions of the seed).
@@ -450,6 +463,15 @@ class Simulator:
             # A failed event nobody waited on: surface the error rather
             # than silently dropping it.
             raise event._value
+        tel = self.telemetry
+        if tel is not None and self._now >= tel.next_scrape_at:
+            # Sampling happens *between* events rather than as a
+            # scheduled process: a periodic process would keep the heap
+            # non-empty (run() would never drain) and would perturb the
+            # event stream.  This way instrumented runs stay
+            # event-for-event identical and scrapes land on the first
+            # event at-or-after each grid instant.
+            tel.scrape(self._now)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap is empty or the clock passes ``until``."""

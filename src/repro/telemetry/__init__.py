@@ -1,0 +1,44 @@
+"""``repro.telemetry``: metrics, MPI_T-style introspection, exporters.
+
+Three layers:
+
+- :mod:`~repro.telemetry.metrics` — Counter/Gauge/Histogram + registry
+  (pure; every :class:`~repro.sim.core.Simulator` owns one as
+  ``sim.metrics``);
+- :mod:`~repro.telemetry.introspect` — PVARs/CVARs and the
+  :class:`TelemetrySession` that samples them on simulated time;
+- :mod:`~repro.telemetry.export` — Prometheus text exposition, JSON
+  snapshot, CSV time-series.
+
+``introspect``/``instrument`` are exposed lazily: they import runtime
+modules (tag constants from ``repro.mpi``), and ``repro.sim.core``
+imports ``repro.telemetry.metrics`` — eager imports here would close
+that cycle during interpreter start-up.
+"""
+
+from .export import timeseries_to_csv, to_json_snapshot, to_prometheus
+from .metrics import (
+    Counter, Gauge, Histogram, Metric, MetricsRegistry,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "PerfVar", "CtrlVar", "TelemetrySession", "TelemetrySummary",
+    "bind_cluster", "bind_runtime", "training_summary",
+    "to_prometheus", "to_json_snapshot", "timeseries_to_csv",
+]
+
+_LAZY = {
+    "PerfVar": "introspect", "CtrlVar": "introspect",
+    "TelemetrySession": "introspect",
+    "TelemetrySummary": "instrument", "bind_cluster": "instrument",
+    "bind_runtime": "instrument", "training_summary": "instrument",
+}
+
+
+def __getattr__(name):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(f".{mod}", __name__), name)

@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text exposition, JSON snapshot, CSV time-series.
+
+All three formats are deterministic functions of the metrics state:
+values print as ``str(int)`` for integers and ``repr(float)`` for
+floats (shortest round-trip form), metric families iterate in
+registration order, labeled children in insertion order, and CSV
+columns in sorted order — so two same-seed runs export byte-identical
+artifacts (a property the regression gate and the tests rely on).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json_snapshot", "timeseries_to_csv"]
+
+#: Prefix for Prometheus metric names (the exposition namespace).
+PROM_PREFIX = "repro_"
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return PROM_PREFIX + _NAME_BAD.sub("_", name)
+
+
+def _prom_value(v: Any) -> str:
+    if isinstance(v, bool):  # pragma: no cover - defensive
+        return "1" if v else "0"
+    if isinstance(v, int):
+        return str(v)
+    return repr(float(v))
+
+
+def _escape_label(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labelnames, key, extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(labelnames, key)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (format version 0.0.4)."""
+    lines: List[str] = []
+    for m in registry:
+        pname = _prom_name(m.name)
+        help_text = m.description or m.name
+        if m.unit:
+            help_text += f" [{m.unit}]"
+        lines.append(f"# HELP {pname} {help_text}")
+        lines.append(f"# TYPE {pname} {m.kind}")
+        if isinstance(m, Histogram):
+            for key, st in m.samples():
+                cum = m.cumulative(st)
+                for upper, c in zip(m.buckets, cum[:-1]):
+                    le = f'le="{_prom_value(float(upper))}"'
+                    lines.append(
+                        f"{pname}_bucket"
+                        f"{_labels_text(m.labelnames, key, le)} {c}")
+                inf = _labels_text(m.labelnames, key, 'le="+Inf"')
+                lines.append(f"{pname}_bucket{inf} {cum[-1]}")
+                base = _labels_text(m.labelnames, key)
+                lines.append(f"{pname}_sum{base} {_prom_value(st.sum)}")
+                lines.append(f"{pname}_count{base} {st.count}")
+        else:
+            for key, v in m.samples():
+                lines.append(f"{pname}{_labels_text(m.labelnames, key)} "
+                             f"{_prom_value(v)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json_snapshot(session, *, config: Dict[str, Any] = None
+                     ) -> Dict[str, Any]:
+    """JSON-able snapshot of one session: PVARs, CVARs, raw metrics.
+
+    Serialize with ``json.dumps(snap, sort_keys=True)`` for a canonical
+    byte representation.
+    """
+    metrics: Dict[str, Any] = {}
+    for m in session.registry:
+        if isinstance(m, Histogram):
+            hist = {}
+            for key, st in m.samples():
+                hist["/".join(key) or "_"] = {
+                    "count": st.count, "sum": st.sum,
+                    "buckets": dict(zip((repr(float(b)) for b in m.buckets),
+                                        m.cumulative(st)[:-1])),
+                }
+            metrics[m.name] = hist
+        elif m.labelled:
+            metrics[m.name] = {"/".join(key): v for key, v in m.samples()}
+        else:
+            metrics[m.name] = m.value()
+    snap: Dict[str, Any] = {
+        "time": session.sim.now if session.sim is not None else 0.0,
+        "pvars": session.pvar_snapshot(),
+        "cvars": {name: session.cvar_get(name)
+                  for name in session.cvar_names()},
+        "metrics": metrics,
+    }
+    if config:
+        snap["config"] = dict(config)
+    return snap
+
+
+def _csv_value(v: Any) -> str:
+    if v is None:
+        return ""
+    if isinstance(v, int):
+        return str(v)
+    return repr(float(v))
+
+
+def timeseries_to_csv(samples: List[Dict[str, Any]]) -> str:
+    """The scrape rows as CSV: ``time`` first, remaining columns sorted.
+
+    Rows may have different key sets (label children appear when first
+    incremented); missing cells are empty, so the column set is the
+    union over all rows and the output is stable for a given run.
+    """
+    cols = sorted({k for row in samples for k in row} - {"time"})
+    lines = ["time," + ",".join(cols)]
+    for row in samples:
+        cells = [_csv_value(row["time"])]
+        cells.extend(_csv_value(row.get(c)) for c in cols)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

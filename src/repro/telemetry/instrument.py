@@ -1,0 +1,188 @@
+"""Binders that wire a session to live hardware and runtime objects.
+
+The core PVARs (registered at :meth:`TelemetrySession.attach`) read the
+metrics registry, which exists on every simulator.  The variables in
+this module instead read *live object state* — link busy time, NIC
+byte counts, device-memory peaks — or expose profile knobs, so they
+can only be registered once a cluster / MPI runtime exists:
+
+- :func:`bind_cluster` — hardware PVARs (per-link and aggregate busy
+  time, NIC traffic, device-memory high-watermark);
+- :func:`bind_runtime` — the CVAR namespace over the runtime profile
+  (every set builds a derived profile via ``MPIRuntime.set_profile``,
+  so new values apply to rank contexts created afterwards — exactly
+  the MPI_T contract, where cvar writes affect subsequent operations);
+- :func:`training_summary` — the one-line report footer data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .introspect import CtrlVar, PerfVar, TelemetrySession
+
+__all__ = ["bind_cluster", "bind_runtime", "training_summary",
+           "TelemetrySummary"]
+
+
+def _all_links(cluster):
+    """Every named bandwidth link in the cluster, in build order."""
+    for node in cluster.nodes:
+        for gpu in node.gpus:
+            yield gpu.pcie_up
+            yield gpu.pcie_down
+        for nic in node.nics:
+            yield nic.tx
+            yield nic.rx
+        yield node.host_memcpy
+        yield node.cpu_reduce
+
+
+def bind_cluster(session: TelemetrySession, cluster) -> None:
+    """Register the hardware PVARs for ``cluster``."""
+
+    def pcie_busy():
+        return sum(g.pcie_up.busy_time + g.pcie_down.busy_time
+                   for n in cluster.nodes for g in n.gpus)
+
+    def nic_busy():
+        return sum(p.tx.busy_time + p.rx.busy_time
+                   for n in cluster.nodes for p in n.nics)
+
+    def nic_bytes():
+        return sum(p.tx.bytes_moved + p.rx.bytes_moved
+                   for n in cluster.nodes for p in n.nics)
+
+    def host_busy():
+        return sum(n.host_memcpy.busy_time + n.cpu_reduce.busy_time
+                   for n in cluster.nodes)
+
+    def gpu_mem_peak():
+        return max(g.peak_allocated for g in cluster.gpus)
+
+    def link_busy():
+        return {link.name: link.busy_time for link in _all_links(cluster)
+                if link.busy_time > 0.0}
+
+    def nic_port_busy():
+        return {p.name: p.tx.busy_time + p.rx.busy_time
+                for n in cluster.nodes for p in n.nics}
+
+    for pv in (
+        PerfVar("hw.pcie.busy_time",
+                "cumulative busy time over all GPU PCIe links", "seconds",
+                pcie_busy),
+        PerfVar("hw.nic.busy_time",
+                "cumulative busy time over all NIC ports", "seconds",
+                nic_busy),
+        PerfVar("hw.nic.bytes", "bytes through all NIC ports", "bytes",
+                nic_bytes),
+        PerfVar("hw.host.busy_time",
+                "cumulative busy time of host memcpy + CPU-reduce "
+                "engines", "seconds", host_busy),
+        PerfVar("hw.gpu_mem.peak",
+                "device-memory allocation high-watermark (worst GPU)",
+                "bytes", gpu_mem_peak),
+        # Per-object variables: Prometheus/JSON only (timeseries=False
+        # keeps the CSV to scalar aggregates — Cluster-A has ~450 links).
+        PerfVar("hw.nic.port_busy_time", "per-NIC-port busy time",
+                "seconds", nic_port_busy, labeled=True, timeseries=False),
+        PerfVar("hw.link.busy_time",
+                "per-link busy time (links with traffic only)",
+                "seconds", link_busy, labeled=True, timeseries=False),
+    ):
+        if pv.name not in session.pvar_names():
+            session.register_pvar(pv)
+
+
+def bind_runtime(session: TelemetrySession, runtime) -> None:
+    """Register the CVAR namespace over ``runtime``'s profile and apply
+    any assignments queued with :meth:`TelemetrySession.queue_cvar`."""
+
+    def knob(field_name):
+        def get():
+            return getattr(runtime.profile, field_name)
+
+        def set_(value):
+            runtime.set_profile(runtime.profile.derive(
+                **{field_name: value}))
+        return get, set_
+
+    for name, field_name, desc, kwargs in (
+        ("mpi.pipeline_chunk", "pipeline_chunk",
+         "chunk size for pipelined host-staged transfers [bytes]",
+         {"ctype": int, "minimum": 1}),
+        ("mpi.eager_threshold", "eager_threshold",
+         "pt2pt eager/rendezvous switchover [bytes]",
+         {"ctype": int, "minimum": 0}),
+        ("mpi.gdr_threshold", "gdr_threshold",
+         "largest message sent via GPUDirect RDMA [bytes]",
+         {"ctype": int, "minimum": 0}),
+        ("coll.flat_reduce_algorithm", "flat_reduce_algorithm",
+         "flat reduce algorithm selection",
+         {"ctype": str, "choices": ("binomial", "chain")}),
+        ("coll.chain_size", "chain_size",
+         "chain length k for the CB-k/CC-k/CCB-k hierarchical designs",
+         {"ctype": int, "minimum": 1}),
+        ("coll.pipeline_window", "pipeline_window",
+         "pre-posted receives per chain hop (0 = unbounded)",
+         {"ctype": int, "minimum": 0}),
+    ):
+        if name in session.cvar_names():
+            continue
+        get, set_ = knob(field_name)
+        session.register_cvar(CtrlVar(name, desc, get=get, set=set_,
+                                      **kwargs))
+
+    if session.pending_cvars:
+        pending, session.pending_cvars = session.pending_cvars, {}
+        for name, text in pending.items():
+            session.cvar_set_str(name, text)
+
+
+@dataclass
+class TelemetrySummary:
+    """Condensed end-of-run telemetry for the training-report footer."""
+
+    samples_per_second: float = 0.0
+    #: Transfer mechanism -> bytes moved (d2d/ipc/gdr/staged_*).
+    bytes_by_path: Dict[str, int] = field(default_factory=dict)
+    #: Device-memory allocation high-watermark, worst GPU [bytes].
+    peak_device_mem: int = 0
+    #: Full PVAR snapshot at end of run.
+    pvars: Dict[str, Any] = field(default_factory=dict)
+
+    def footer(self) -> str:
+        """The one-line ``TrainingReport.summary()`` telemetry footer."""
+        paths = " ".join(
+            f"{k}={_fmt_bytes(v)}"
+            for k, v in sorted(self.bytes_by_path.items())) or "none"
+        return (f"telemetry: {self.samples_per_second:.1f} samples/s | "
+                f"bytes {paths} | "
+                f"peak dev mem {_fmt_bytes(self.peak_device_mem)}")
+
+
+def _fmt_bytes(n: float) -> str:
+    n = int(n)
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.1f}GiB"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}KiB"
+    return f"{n}B"
+
+
+def training_summary(session: TelemetrySession,
+                     samples_per_second: float = 0.0) -> TelemetrySummary:
+    """Build the report footer from the session's end-of-run state."""
+    snap = session.pvar_snapshot()
+    bytes_by_path = {k: int(v)
+                     for k, v in snap.get("transport.path.bytes", {}).items()}
+    return TelemetrySummary(
+        samples_per_second=samples_per_second,
+        bytes_by_path=bytes_by_path,
+        peak_device_mem=int(snap.get("hw.gpu_mem.peak", 0)),
+        pvars=snap,
+    )

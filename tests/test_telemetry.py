@@ -1,0 +1,388 @@
+"""Tests for the telemetry layer: metrics core, MPI_T introspection,
+exporters, and the zero-overhead / determinism guarantees.
+
+The load-bearing properties:
+
+- an installed session is *passive* — a telemetry-on run is
+  event-for-event identical to a telemetry-off run (mirrors the
+  checker's neutrality test in ``test_check.py``);
+- exports are deterministic — two same-seed ``repro metrics``
+  invocations produce byte-identical Prometheus/JSON/CSV artifacts;
+- the ``mpi.coll.bytes`` PVAR agrees with the conformance harness's
+  independent per-collective byte tally;
+- CVAR writes are validated and actually steer the runtime profile.
+"""
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.check import Case, run_case
+from repro.cli import main
+from repro.core import TrainConfig, run_scaffe
+from repro.cuda import DeviceBuffer
+from repro.hardware import cluster_a, make_cluster
+from repro.mpi import MPIRuntime
+from repro.mpi.collectives import reduce_binomial
+from repro.sim import Simulator
+from repro.telemetry import (
+    Counter, Gauge, Histogram, MetricsRegistry, TelemetrySession,
+    bind_cluster, bind_runtime, timeseries_to_csv, to_json_snapshot,
+    to_prometheus,
+)
+
+
+def make_runtime(P, profile="mv2gdr", seed=0):
+    sim = Simulator(seed=seed)
+    cluster = cluster_a(sim, n_nodes=max(1, (P + 15) // 16))
+    rt = MPIRuntime(cluster, profile)
+    return rt, rt.world(P)
+
+
+def small_reduce_program(data):
+    def program(ctx):
+        sendbuf = DeviceBuffer.from_array(ctx.gpu, data[ctx.rank])
+        recvbuf = (DeviceBuffer.zeros(ctx.gpu, data[0].shape)
+                   if ctx.rank == 0 else None)
+        yield from reduce_binomial(ctx, sendbuf, recvbuf, 0)
+    return program
+
+
+class TestMetricsCore:
+    def test_counter_labels_and_total(self):
+        c = Counter("bytes", labelnames=("path",))
+        c.inc(10, path="ipc")
+        c.inc(5, path="gdr")
+        c.inc(1, path="ipc")
+        assert c.value(path="ipc") == 11
+        assert c.value(path="gdr") == 5
+        assert c.total == 16
+
+    def test_counter_rejects_negative_and_bad_labels(self):
+        c = Counter("n")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        with pytest.raises(ValueError):
+            c.inc(1, path="ipc")
+        lc = Counter("m", labelnames=("path",))
+        with pytest.raises(ValueError):
+            lc.inc(1)  # missing label
+        with pytest.raises(ValueError):
+            lc.inc(1, wrong="x")
+
+    def test_gauge_set_max_is_a_high_watermark(self):
+        g = Gauge("depth")
+        g.set_max(3)
+        g.set_max(1)
+        assert g.value() == 3
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 6
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("t", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        st = h.state()
+        assert st.count == 4
+        assert st.sum == pytest.approx(55.55)
+        assert h.cumulative(st) == [1, 2, 3, 4]
+
+    def test_registry_get_or_create_and_kind_mismatch(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("x", "desc")
+        assert reg.counter("x") is c1
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.counter("x", labelnames=("a",))
+        with pytest.raises(KeyError):
+            reg.get("nope")
+        assert "x" in reg and len(reg) == 1
+
+
+class TestNeutrality:
+    def test_telemetry_is_zero_cost_on_the_event_stream(self):
+        """Instrumented and bare runs must be event-for-event identical
+        (same contract as the invariant checker)."""
+        def timing(instrumented):
+            rt, comm = make_runtime(4)
+            if instrumented:
+                tel = TelemetrySession(scrape_interval=1e-4)
+                tel.attach(rt.sim)
+                tel.install()
+            data = [np.arange(16, dtype=np.float32) for _ in range(4)]
+            rt.execute(comm, small_reduce_program(data))
+            return rt.sim.now, rt.sim.event_count
+
+        assert timing(instrumented=False) == timing(instrumented=True)
+
+    def test_training_run_unperturbed_by_telemetry(self):
+        """A full seeded training run keeps its clock and event count
+        when a scraping session is attached."""
+        def run(with_tel):
+            sim = Simulator(seed=7)
+            cluster = make_cluster(sim, "A")
+            cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                              batch_size=64, iterations=3,
+                              measure_iterations=3)
+            tel = (TelemetrySession(scrape_interval=0.01)
+                   if with_tel else None)
+            report = run_scaffe(cluster, 4, cfg, telemetry=tel)
+            assert report.ok
+            return sim.now, sim.event_count, report.total_time
+
+        assert run(with_tel=False) == run(with_tel=True)
+
+
+class TestScrape:
+    def test_scrape_grid_and_final_row(self):
+        rt, comm = make_runtime(4)
+        tel = TelemetrySession(scrape_interval=1e-6)
+        tel.attach(rt.sim)
+        tel.install()
+        data = [np.arange(4096, dtype=np.float32) for _ in range(4)]
+        rt.execute(comm, small_reduce_program(data))
+        tel.finalize(rt.sim.now)
+        assert len(tel.samples) >= 2
+        times = [row["time"] for row in tel.samples]
+        assert times == sorted(times)
+        # Each scrape fires at the first event instant at or past its
+        # grid point: row k's timestamp reaches grid slot k.
+        for k, t in enumerate(times[:-1]):
+            assert t >= (k + 1) * 1e-6
+        assert times[-1] == rt.sim.now
+        # Monotone counters never decrease across rows.
+        col = "mpi.coll.messages{reduce.binomial}"
+        vals = [row[col] for row in tel.samples if col in row]
+        assert vals and vals == sorted(vals)
+
+    def test_session_lifecycle_errors(self):
+        sim = Simulator()
+        tel = TelemetrySession()
+        with pytest.raises(RuntimeError):
+            tel.install()  # not attached
+        tel.attach(sim)
+        tel.install()
+        other = TelemetrySession()
+        other.attach(sim)
+        with pytest.raises(RuntimeError):
+            other.install()  # one session at a time
+        tel.uninstall()
+        with pytest.raises(ValueError):
+            TelemetrySession(scrape_interval=0.0)
+
+
+class TestPvarCrossValidation:
+    @pytest.mark.parametrize("coll,P", [
+        ("reduce_chain", 6), ("allreduce_ring", 5),
+        ("bcast_binomial", 7), ("hierarchical_reduce", 8),
+    ])
+    def test_coll_bytes_pvar_matches_checker_tally(self, coll, P):
+        """run_case cross-validates the mpi.coll.bytes PVAR against the
+        invariant checker's independent ledger; a telemetry attribution
+        bug fails the case."""
+        result = run_case(Case(coll, P=P, nbytes=4 * 1024))
+        assert result.ok, result.describe()
+        coll_bytes = result.pvars["mpi.coll.bytes"]
+        assert coll_bytes and all(v > 0 for v in coll_bytes.values())
+        assert result.pvars["transport.path.bytes"]
+
+    def test_queue_and_tag_pvars_populated(self):
+        result = run_case(Case("reduce_chain", P=4, nbytes=4 * 4160,
+                               chunk_bytes=4))
+        assert result.ok, result.describe()
+        # A jumbo chain reserves >1 tag unit.
+        assert result.pvars["mpi.tag_units.hwm"] >= 2
+        hwm = (result.pvars["mpi.unexpected_queue.hwm"]
+               + result.pvars["mpi.posted_queue.hwm"])
+        assert hwm > 0
+
+
+class TestCvars:
+    def make_bound_session(self, profile="mv2gdr"):
+        sim = Simulator(seed=0)
+        cluster = cluster_a(sim, n_nodes=1)
+        rt = MPIRuntime(cluster, profile)
+        tel = TelemetrySession()
+        tel.attach(sim)
+        bind_cluster(tel, cluster)
+        bind_runtime(tel, rt)
+        return tel, rt
+
+    def test_round_trip_and_profile_effect(self):
+        tel, rt = self.make_bound_session()
+        assert tel.cvar_get("coll.chain_size") == 8
+        tel.cvar_set("coll.chain_size", 4)
+        assert tel.cvar_get("coll.chain_size") == 4
+        assert rt.profile.chain_size == 4
+        tel.cvar_set("mpi.gdr_threshold", 1 << 20)
+        assert rt.profile.gdr_threshold == 1 << 20
+        assert rt.transport.profile is rt.profile
+        tel.cvar_set("coll.flat_reduce_algorithm", "chain")
+        assert rt.profile.flat_reduce_algorithm == "chain"
+        # New rank contexts see the swapped profile (MPI_T contract).
+        assert rt.world(2).context(0).profile.chain_size == 4
+
+    def test_rejections(self):
+        tel, _rt = self.make_bound_session()
+        with pytest.raises(KeyError):
+            tel.cvar_get("no.such.cvar")
+        with pytest.raises(KeyError):
+            tel.cvar_set("no.such.cvar", 1)
+        with pytest.raises(TypeError):
+            tel.cvar_set("coll.chain_size", "eight")
+        with pytest.raises(TypeError):
+            tel.cvar_set("coll.chain_size", True)  # bool is not an int knob
+        with pytest.raises(ValueError):
+            tel.cvar_set("coll.chain_size", 0)  # below minimum
+        with pytest.raises(ValueError):
+            tel.cvar_set("coll.flat_reduce_algorithm", "quantum")
+        with pytest.raises(TypeError):
+            tel.cvar_set_str("coll.chain_size", "not-a-number")
+
+    def test_queued_cvars_apply_at_bind(self):
+        sim = Simulator(seed=0)
+        cluster = cluster_a(sim, n_nodes=1)
+        rt = MPIRuntime(cluster, "mv2gdr")
+        tel = TelemetrySession()
+        tel.queue_cvar("coll.chain_size", "2")
+        tel.attach(sim)
+        bind_cluster(tel, cluster)
+        bind_runtime(tel, rt)
+        assert rt.profile.chain_size == 2
+        assert not tel.pending_cvars
+
+
+class TestExports:
+    def run_session(self):
+        rt, comm = make_runtime(4)
+        tel = TelemetrySession(scrape_interval=1e-4)
+        tel.attach(rt.sim)
+        bind_cluster(tel, rt.cluster)
+        bind_runtime(tel, rt)
+        tel.install()
+        data = [np.arange(256, dtype=np.float32) for _ in range(4)]
+        rt.execute(comm, small_reduce_program(data))
+        tel.uninstall()
+        tel.finalize(rt.sim.now)
+        return tel
+
+    def test_prometheus_exposition_parses(self):
+        tel = self.run_session()
+        text = to_prometheus(tel.registry)
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? \S+$')
+        names = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                continue
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert kind in ("counter", "gauge", "histogram"), line
+                names.add(name)
+                continue
+            assert sample_re.match(line), f"unparseable sample: {line!r}"
+        assert "repro_mpi_coll_bytes" in names
+        assert "repro_train_iteration_time" in names
+        assert 'repro_mpi_coll_bytes{coll="reduce.binomial"}' in text
+        # Histogram exposition carries the +Inf bucket and sum/count.
+        assert 'le="+Inf"' in text
+        assert "repro_train_iteration_time_count" in text
+
+    def test_json_snapshot_shape(self):
+        tel = self.run_session()
+        snap = to_json_snapshot(tel, config={"P": 4})
+        blob = json.dumps(snap, sort_keys=True)
+        assert json.loads(blob) == snap
+        assert snap["config"] == {"P": 4}
+        assert snap["pvars"]["mpi.coll.bytes"]["reduce.binomial"] > 0
+        assert snap["cvars"]["coll.chain_size"] == 8
+        assert snap["metrics"]["mpi.coll.messages"]["reduce.binomial"] > 0
+
+    def test_csv_columns_sorted_and_cells_aligned(self):
+        tel = self.run_session()
+        csv = timeseries_to_csv(tel.samples)
+        lines = csv.strip().split("\n")
+        header = lines[0].split(",")
+        assert header[0] == "time"
+        assert header[1:] == sorted(header[1:])
+        for line in lines[1:]:
+            assert len(line.split(",")) == len(header)
+
+    def test_pvar_count_floor(self):
+        """The ISSUE's catalogue floor: >= 12 PVARs and >= 4 CVARs."""
+        tel = self.run_session()
+        assert len(tel.pvar_names()) >= 12
+        assert len(tel.cvar_names()) >= 4
+
+
+class TestCliMetrics:
+    ARGS = ["metrics", "--gpus", "4", "--network", "cifar10_quick",
+            "--dataset", "cifar10", "--batch-size", "64",
+            "--iterations", "3", "--seed", "3",
+            "--scrape-interval", "0.002"]
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path, capsys):
+        out1, out2 = tmp_path / "a", tmp_path / "b"
+        assert main(self.ARGS + ["--out", str(out1)]) == 0
+        assert main(self.ARGS + ["--out", str(out2)]) == 0
+        capsys.readouterr()
+        for fname in ("metrics.prom", "metrics.json", "timeseries.csv"):
+            b1 = (out1 / fname).read_bytes()
+            b2 = (out2 / fname).read_bytes()
+            assert b1 == b2, f"{fname} differs between same-seed runs"
+            assert b1  # non-empty
+
+    def test_stdout_prometheus(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_mpi_coll_bytes counter" in out
+
+    def test_list(self, capsys):
+        assert main(["metrics", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "mpi.coll.bytes" in out
+        assert "coll.chain_size" in out
+
+    def test_cvar_passthrough_and_rejection(self, tmp_path, capsys):
+        rc = main(self.ARGS + ["--cvar", "coll.chain_size=4",
+                               "--out", str(tmp_path / "c")])
+        assert rc == 0
+        snap = json.loads((tmp_path / "c" / "metrics.json").read_text())
+        assert snap["cvars"]["coll.chain_size"] == 4
+        capsys.readouterr()
+        assert main(self.ARGS + ["--cvar", "bogus.name=1"]) == 2
+        assert "cvar error" in capsys.readouterr().err
+
+    def test_train_live_status_line(self, capsys):
+        rc = main(["train", "--framework", "scaffe", "--gpus", "4",
+                   "--network", "cifar10_quick", "--dataset", "cifar10",
+                   "--batch-size", "64", "--iterations", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "iter    1" in out and "samples/s" in out
+        assert "telemetry:" in out  # report footer
+
+
+class TestReportFooter:
+    def test_summary_carries_telemetry_footer(self):
+        sim = Simulator(seed=5)
+        cluster = make_cluster(sim, "A")
+        cfg = TrainConfig(network="cifar10_quick", dataset="cifar10",
+                          batch_size=64, iterations=3,
+                          measure_iterations=3)
+        report = run_scaffe(cluster, 4, cfg,
+                            telemetry=TelemetrySession())
+        assert report.ok
+        tel = report.telemetry
+        assert tel is not None
+        assert tel.samples_per_second > 0
+        assert tel.bytes_by_path and sum(tel.bytes_by_path.values()) > 0
+        assert tel.peak_device_mem > 0
+        assert "telemetry:" in report.summary()
+        assert "peak dev mem" in tel.footer()
