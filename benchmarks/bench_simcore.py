@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Simulator-core throughput benchmark: events/sec and wall-clock.
+
+Unlike every other bench in this directory, this one measures *host*
+wall-clock, not simulated time: it exists to keep the discrete-event
+kernel fast enough that large-P sweeps (NCCL crossovers, CVAR tuning,
+1024-GPU weak scaling) are gated by simulated fidelity, not by Python.
+
+Workloads
+---------
+- ``kernel_chain``   — pure DES microbenchmark (processes, timeouts,
+  resource contention, channel hand-offs); isolates raw dispatch rate.
+- ``fig13_scob_*``   — the SC-OB GoogLeNet training point behind
+  ``bench_fig13_overlap.py`` (no observers attached).
+- ``weak_scaling_*`` — the SC-OBR weak-scaling point behind
+  ``bench_weak_scaling.py``.
+
+Metrics
+-------
+For each workload we report wall seconds (best of ``--repeat`` runs),
+the simulated ``event_count``, and ``events_per_sec``.  Because kernel
+optimisations may legitimately *remove* protocol events, the headline
+throughput number is ``ref_events_per_sec``: the workload's *frozen
+pre-optimisation* event count (``baselines/simcore_prechange.json``)
+divided by today's wall time.  That makes the number a pure wall-clock
+speedup at fixed workload — removing events cannot inflate it.
+
+CI runs ``--quick --check`` (the ``sim-bench`` job) and fails if any
+quick workload drops below 75% of the committed rolling baseline
+(``baselines/simcore.json``); ``regression_gate.py`` applies the same
+floor.  Refresh after an intentional change with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from common import emit, emit_json, fmt_table  # noqa: E402
+
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+ROLLING_BASELINE = os.path.join(BASELINE_DIR, "simcore.json")
+PRECHANGE_BASELINE = os.path.join(BASELINE_DIR, "simcore_prechange.json")
+
+#: Wall-clock floor: fail if events/sec drops below this fraction of the
+#: rolling baseline.  Generous because host wall-clock (unlike simulated
+#: time) is noisy on shared CI runners.
+FLOOR = 0.75
+
+
+# -- workloads --------------------------------------------------------------
+
+def _kernel_chain() -> tuple[int, float]:
+    """Pure sim-kernel churn: contended resources + channel hand-offs."""
+    from repro.sim import Channel, Simulator
+    from repro.sim.resources import Resource
+
+    sim = Simulator()
+    res = Resource(sim, capacity=4)
+    ch = Channel(sim)
+    n_procs, iters = 64, 120
+
+    def producer(i):
+        for k in range(iters):
+            yield from res.use(1e-6)
+            yield ch.put((i, k))
+            yield sim.timeout(1e-7 * (i % 7))
+
+    def consumer():
+        for _ in range(n_procs * iters):
+            yield ch.get()
+
+    for i in range(n_procs):
+        sim.process(producer(i))
+    sim.process(consumer())
+    sim.run()
+    return sim.event_count, sim.now
+
+
+def _train_point(variant: str, n_gpus: int, *, batch: int,
+                 scal: str = "strong") -> tuple[int, float]:
+    from repro import TrainConfig, train
+    from repro.hardware import make_cluster
+    from repro.sim import Simulator
+
+    cfg = TrainConfig(network="googlenet", dataset="imagenet",
+                      batch_size=batch, scal=scal, iterations=100,
+                      variant=variant, reduce_design="tuned",
+                      measure_iterations=3)
+    sim = Simulator()
+    cluster = make_cluster(sim, "A", n_nodes=max(1, (n_gpus + 15) // 16))
+    report = train("scaffe", n_gpus=n_gpus, cluster=cluster, config=cfg)
+    assert report.ok, report.failure
+    return sim.event_count, sim.now
+
+
+#: name -> (callable, in_quick_set)
+WORKLOADS = {
+    "kernel_chain": (lambda: _kernel_chain(), True),
+    "fig13_scob_16gpu": (
+        lambda: _train_point("SC-OB", 16, batch=1024), True),
+    "weak_scaling_16gpu": (
+        lambda: _train_point("SC-OBR", 16, batch=64, scal="weak"), True),
+    "fig13_scob_32gpu": (
+        lambda: _train_point("SC-OB", 32, batch=1024), False),
+    "weak_scaling_32gpu": (
+        lambda: _train_point("SC-OBR", 32, batch=64, scal="weak"), False),
+}
+
+
+def measure(name: str, repeat: int) -> dict:
+    fn, _ = WORKLOADS[name]
+    best_wall, events, sim_time = None, 0, 0.0
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        events, sim_time = fn()
+        wall = time.perf_counter() - t0
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+    return {
+        "wall_s": round(best_wall, 4),
+        "events": events,
+        "sim_time": sim_time,
+        "events_per_sec": round(events / best_wall, 1),
+    }
+
+
+def run_workloads(names, repeat: int = 2,
+                  progress: bool = True) -> dict:
+    prechange = _load(PRECHANGE_BASELINE)
+    out = {}
+    for name in names:
+        r = measure(name, repeat)
+        pre = (prechange or {}).get("workloads", {}).get(name)
+        if pre:
+            # Frozen-workload throughput: pre-change event count over
+            # today's wall time (see module docstring).
+            r["ref_events_per_sec"] = round(pre["events"] / r["wall_s"], 1)
+            r["speedup_vs_prechange"] = round(pre["wall_s"] / r["wall_s"], 2)
+        else:
+            r["ref_events_per_sec"] = r["events_per_sec"]
+        out[name] = r
+        if progress:
+            print(f"{name}: {r['wall_s']:.3f}s wall, {r['events']} events, "
+                  f"{r['ref_events_per_sec']:.0f} ref-events/s"
+                  + (f", {r['speedup_vs_prechange']:.2f}x vs pre-change"
+                     if "speedup_vs_prechange" in r else ""))
+    return out
+
+
+def check_floor(results: dict, baseline: dict) -> list:
+    """Events/sec floor vs the rolling baseline (shared with the gate)."""
+    problems = []
+    for name, base in sorted(baseline.get("workloads", {}).items()):
+        got = results.get(name)
+        if got is None:
+            continue
+        floor = base["ref_events_per_sec"] * FLOOR
+        if got["ref_events_per_sec"] < floor:
+            problems.append(
+                f"{name}: {got['ref_events_per_sec']:.0f} events/s below "
+                f"floor {floor:.0f} (baseline "
+                f"{base['ref_events_per_sec']:.0f}, tolerance "
+                f"{(1 - FLOOR) * 100:.0f}%)")
+    return problems
+
+
+def _load(path: str):
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="run only the quick subset (CI sim-bench job)")
+    ap.add_argument("--repeat", type=int, default=2,
+                    help="wall-clock repeats per workload (best-of)")
+    ap.add_argument("--check", action="store_true",
+                    help="fail if below the events/sec floor vs baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the rolling baseline from this run")
+    ap.add_argument("--write-prechange", action="store_true",
+                    help="freeze this run as the pre-change reference "
+                         "(only meaningful before a kernel optimisation)")
+    args = ap.parse_args(argv)
+
+    names = [n for n, (_, quick) in WORKLOADS.items()
+             if quick or not args.quick]
+    results = run_workloads(names, repeat=args.repeat)
+
+    rows = [[n, f"{r['wall_s']:8.3f}", f"{r['events']:>9}",
+             f"{r['ref_events_per_sec']:>12.0f}",
+             (f"{r['speedup_vs_prechange']:5.2f}x"
+              if "speedup_vs_prechange" in r else "    -")]
+            for n, r in results.items()]
+    emit("simcore", fmt_table(
+        "Simulator-core throughput (host wall-clock)",
+        ["workload", "wall [s]", "events", "ref-events/s", "speedup"],
+        rows))
+    payload = {"floor": FLOOR, "quick": args.quick, "workloads": results}
+    path = emit_json("simcore", payload)
+    print(f"wrote {path}")
+
+    if args.write_prechange:
+        os.makedirs(BASELINE_DIR, exist_ok=True)
+        with open(PRECHANGE_BASELINE, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"pre-change reference frozen: {PRECHANGE_BASELINE}")
+    if args.write_baseline:
+        os.makedirs(BASELINE_DIR, exist_ok=True)
+        with open(ROLLING_BASELINE, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {ROLLING_BASELINE}")
+        return 0
+
+    if args.check:
+        baseline = _load(ROLLING_BASELINE)
+        if baseline is None:
+            print(f"no baseline at {ROLLING_BASELINE}; run with "
+                  "--write-baseline", file=sys.stderr)
+            return 2
+        problems = check_floor(results, baseline)
+        if problems:
+            print("\nSIM-BENCH FLOOR FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print(f"sim-bench floor: {len(results)} workloads within "
+              f"{(1 - FLOOR) * 100:.0f}% of baseline events/sec")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

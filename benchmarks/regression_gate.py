@@ -11,11 +11,16 @@ real behaviour change.  CI runs this script, which
    artifacts (``results/metrics.prom``, ``results/metrics.json``,
    ``results/timeseries.csv``),
 3. compares every headline number against ``baselines/regression.json``
-   with a relative tolerance and exits non-zero on any regression.
+   with a relative tolerance and exits non-zero on any regression,
+4. re-runs the quick ``bench_simcore`` workloads and fails if host
+   wall-clock throughput (ref-events/sec) drops below the floor in
+   ``baselines/simcore.json`` — the same check the ``sim-bench`` CI job
+   applies, so a kernel slow-down cannot land through either door.
 
-Refresh the baseline after an intentional perf change with::
+Refresh the baselines after an intentional change with::
 
     PYTHONPATH=src python benchmarks/regression_gate.py --update-baseline
+    PYTHONPATH=src python benchmarks/bench_simcore.py --write-baseline
 """
 
 from __future__ import annotations
@@ -122,10 +127,35 @@ def compare(headline: dict, baseline: dict) -> list:
     return problems
 
 
+def check_simcore_floor() -> list:
+    """Host wall-clock floor on the quick simulator-core workloads.
+
+    Simulated numbers above are exact; this one is noisy host time, so
+    the floor (75% of the rolling baseline) is deliberately generous —
+    it exists to catch a kernel that got structurally slower, not a
+    busy CI runner.
+    """
+    from bench_simcore import ROLLING_BASELINE as SIMCORE_BASELINE
+    from bench_simcore import WORKLOADS, _load, check_floor, run_workloads
+
+    baseline = _load(SIMCORE_BASELINE)
+    if baseline is None:
+        print(f"no simcore baseline at {SIMCORE_BASELINE}; skipping "
+              "wall-clock floor (write one with bench_simcore.py "
+              "--write-baseline)")
+        return []
+    quick = [n for n, (_, q) in WORKLOADS.items() if q]
+    results = run_workloads(quick, repeat=2, progress=True)
+    return check_floor(results, baseline)
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--update-baseline", action="store_true",
                     help="rewrite the committed baseline from this run")
+    ap.add_argument("--no-wallclock", action="store_true",
+                    help="skip the simulator-core events/sec floor "
+                         "(exact headline comparisons only)")
     args = ap.parse_args(argv)
 
     headline = run_subset()
@@ -150,13 +180,16 @@ def main(argv=None) -> int:
     with open(BASELINE) as f:
         baseline = json.load(f)
     problems = compare(headline, baseline)
+    if not args.no_wallclock:
+        problems += check_simcore_floor()
     if problems:
         print("\nREGRESSION GATE FAILED:", file=sys.stderr)
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
     print(f"regression gate: {len(baseline['headline'])} headline "
-          f"numbers within {REL_TOL * 100:.0f}% of baseline")
+          f"numbers within {REL_TOL * 100:.0f}% of baseline; "
+          f"simulator-core wall-clock above floor")
     return 0
 
 

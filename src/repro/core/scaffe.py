@@ -472,7 +472,11 @@ class SCaffeJob:
             except Interrupt:
                 return  # main thread died or entered recovery
 
-        helper_proc = self.sim.process(helper(), name=helper_actor)
+        # Eager: the helper runs inline to its first dispatch timeout;
+        # the main thread only blocks on done_ch afterwards, so spawn
+        # order effects cannot reach the compute resource.
+        helper_proc = self.sim.process(helper(), name=helper_actor,
+                                       eager=True)
         try:
             for _ in range(len(wl.groups)):
                 g = yield done_ch.get()

@@ -120,7 +120,8 @@ class CudaRuntime:
         """Run a compute kernel on ``device`` (serializes on the SM array)."""
         dur = (device.spec.compute_time(flops) if duration is None
                else duration)
-        dur *= self.sim.jitter_factor(self.cal.compute_jitter)
+        if self.cal.compute_jitter:
+            dur *= self.sim.jitter_factor(self.cal.compute_jitter)
         dur *= device.compute_slowdown
         yield from device.compute.use(self.cal.kernel_launch_overhead + dur,
                                       kind="kernel")

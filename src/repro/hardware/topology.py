@@ -44,22 +44,50 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
     a clean failure.  Interrupt-safe: an interrupt while queued on a
     link withdraws the pending request instead of leaking the grant.
     """
-    uniq: List[BandwidthLink] = []
-    seen = set()
-    for l in links:
-        if id(l) not in seen:
-            seen.add(id(l))
-            uniq.append(l)
-    uniq.sort(key=lambda l: l.name)
+    if not links:
+        raise ValueError("need at least one link")
+    if len(links) == 2:
+        # Dominant case (PCIe pair, NIC tx/rx): dedup + name-sort inline.
+        a, b = links
+        if a is b:
+            uniq = [a]
+        elif a.name <= b.name:
+            uniq = [a, b]
+        else:
+            uniq = [b, a]
+    else:
+        uniq = []
+        seen = set()
+        for l in links:
+            if id(l) not in seen:
+                seen.add(id(l))
+                uniq.append(l)
+        uniq.sort(key=lambda l: l.name)
 
+    # Fault check, jitter, and the cut-through terms in one pass.  NB the
+    # latency sum and bottleneck bandwidth are over ``links`` (duplicates
+    # counted, matching cut_through_time); jitter/faults are per physical
+    # link.
     for l in uniq:
-        check = getattr(l, "check_fault", None)
+        check = l.check_fault
         if check is not None:
             check()
-
-    jitter = max(l.jitter for l in uniq)
-    duration = (cut_through_time(links, nbytes)
-                * sim.jitter_factor(jitter) + extra_time)
+    jitter = 0.0
+    lat = 0.0
+    bw = None
+    for l in links:
+        lat += l.latency
+        lbw = l.bandwidth
+        if bw is None or lbw < bw:
+            bw = lbw
+        if l.jitter > jitter:
+            jitter = l.jitter
+    if nbytes < 0:
+        raise ValueError("nbytes must be >= 0")
+    duration = lat + nbytes / bw
+    if jitter:
+        duration *= sim.jitter_factor(jitter)
+    duration += extra_time
     grants = []
     sid = None
     rec = sim.recorder

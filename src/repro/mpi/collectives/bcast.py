@@ -132,9 +132,9 @@ def ibcast(ctx: RankContext, buf: DeviceBuffer, root: int = 0) -> Request:
         req.complete(None)
 
     if ctx.profile.async_progress:
-        ctx.sim.process(run(), name=f"ibcast.r{ctx.rank}")
+        ctx.sim.process(run(), name=f"ibcast.r{ctx.rank}", eager=True)
     else:
         def deferred():
-            ctx.sim.process(run(), name=f"ibcast.r{ctx.rank}")
+            ctx.sim.process(run(), name=f"ibcast.r{ctx.rank}", eager=True)
         req._on_wait = deferred
     return req

@@ -272,7 +272,7 @@ def ireduce(ctx: RankContext, sendbuf: DeviceBuffer,
                 req.fail(exc)
                 return
             req.complete(None)
-        ctx.sim.process(run(), name=f"ireduce.r{ctx.rank}")
+        ctx.sim.process(run(), name=f"ireduce.r{ctx.rank}", eager=True)
 
     req._on_wait = deferred
     return req

@@ -12,8 +12,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +27,7 @@ from .transport import TransportTimeout
 __all__ = ["Communicator", "RankContext", "MessageStatus"]
 
 
-@dataclass(frozen=True)
-class MessageStatus:
+class MessageStatus(NamedTuple):
     """Receive-completion status (matched envelope)."""
 
     source: int
@@ -37,29 +35,37 @@ class MessageStatus:
     nbytes: int
 
 
-@dataclass
 class _PendingSend:
-    src_rank: int
-    tag: int
-    buf: DeviceBuffer
-    offset: int
-    nbytes: int
-    request: Request
-    eager: bool
-    #: Eager sends complete locally before the transfer runs, so the
-    #: payload must be captured at send time (the caller may legally
-    #: reuse the buffer once the request completes).
-    snapshot: Optional[np.ndarray] = None
+    __slots__ = ("src_rank", "tag", "buf", "offset", "nbytes", "request",
+                 "eager", "snapshot")
+
+    def __init__(self, src_rank: int, tag: int, buf: DeviceBuffer,
+                 offset: int, nbytes: int, request: Request, eager: bool,
+                 snapshot: Optional[np.ndarray] = None):
+        self.src_rank = src_rank
+        self.tag = tag
+        self.buf = buf
+        self.offset = offset
+        self.nbytes = nbytes
+        self.request = request
+        self.eager = eager
+        # Eager sends complete locally before the transfer runs, so the
+        # payload must be captured at send time (the caller may legally
+        # reuse the buffer once the request completes).
+        self.snapshot = snapshot
 
 
-@dataclass
 class _PostedRecv:
-    source: int
-    tag: int
-    buf: DeviceBuffer
-    offset: int
-    max_nbytes: int
-    request: Request
+    __slots__ = ("source", "tag", "buf", "offset", "max_nbytes", "request")
+
+    def __init__(self, source: int, tag: int, buf: DeviceBuffer,
+                 offset: int, max_nbytes: int, request: Request):
+        self.source = source
+        self.tag = tag
+        self.buf = buf
+        self.offset = offset
+        self.max_nbytes = max_nbytes
+        self.request = request
 
 
 class Communicator:
@@ -87,6 +93,9 @@ class Communicator:
         self._posted: Dict[int, deque] = {
             r: deque() for r in range(len(gpus))}
         self._barrier = Barrier(self.sim, len(gpus))
+        # Collective sequence numbers (tag reservations); pre-created so
+        # the per-collective hot path skips the lazy-init hasattr.
+        self._coll_seq = [0] * len(gpus)
         self._revoked: Optional[BaseException] = None
         self._shrunk: Dict[Tuple[int, ...], "Communicator"] = {}
         runtime.failure_detector.register_comm(self)
@@ -226,7 +235,12 @@ class Communicator:
             if not recv.request.completed:
                 recv.request.complete(status)
 
-        self.sim.process(mover(), name=f"{self.name}.xfer")
+        # Eager: the mover runs inline to its first link hold / wire
+        # timeout, skipping the spawn kick (it touches only the
+        # transfer's own links, and completion always crosses at least
+        # one timeout, so the caller never observes a finished request
+        # out of thin air).
+        self.sim.process(mover(), name=f"{self.name}.xfer", eager=True)
 
     # -- pt2pt entry points ------------------------------------------------------
     def isend(self, src_rank: int, dst_rank: int, buf: DeviceBuffer,
@@ -243,7 +257,8 @@ class Communicator:
         tel = self.sim.telemetry
         if tel is not None:
             tel.on_send(self, tag, n)
-        req = Request(self.sim, label=f"isend {src_rank}->{dst_rank}#{tag}")
+        # Tuple label: formatted only if an error message needs it.
+        req = Request(self.sim, label=("isend", src_rank, dst_rank, tag))
         if self._revoked is not None:
             req.fail(self._revoked)
             return req
@@ -260,13 +275,15 @@ class Communicator:
         send = _PendingSend(src_rank, tag, buf, offset, n, req, eager,
                             snapshot)
         if eager:
-            # Sender-side completion is local: inject-and-forget.
-            def eager_complete():
-                yield self.sim.timeout(
-                    self.runtime.cal.mpi_message_overhead)
+            # Sender-side completion is local: inject-and-forget.  A bare
+            # timeout callback (no process) keeps this off the scheduler's
+            # hot path — one event instead of a kick + resume pair.
+            def eager_complete(_t):
                 if not req.completed:  # revocation may beat us here
                     req.complete(MessageStatus(src_rank, tag, n))
-            self.sim.process(eager_complete())
+            self.sim.timeout(
+                self.runtime.cal.mpi_message_overhead
+            ).add_callback(eager_complete)
         recv = self._match_send(dst_rank, send)
         if recv is not None:
             self._start_transfer(send, recv, dst_rank)
@@ -286,7 +303,7 @@ class Communicator:
         chk = self.sim.checker
         if chk is not None:
             chk.on_recv_post(self, dst_rank, source, tag, n)
-        req = Request(self.sim, label=f"irecv {source}->{dst_rank}#{tag}")
+        req = Request(self.sim, label=("irecv", source, dst_rank, tag))
         if self._revoked is not None:
             req.fail(self._revoked)
             return req

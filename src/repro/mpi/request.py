@@ -28,7 +28,9 @@ class Request:
 
     __slots__ = ("sim", "_done", "label", "_on_wait")
 
-    def __init__(self, sim: Simulator, label: str = ""):
+    def __init__(self, sim: Simulator, label: Any = ""):
+        # ``label`` may be any cheap debug token (hot paths pass tuples
+        # to avoid f-string formatting); it is only rendered in errors.
         self.sim = sim
         self.label = label
         self._done = sim.event()
@@ -71,7 +73,10 @@ class Request:
         with :class:`RequestTimeout` if the operation has not completed
         by the deadline; the underlying operation is *not* cancelled
         (MPI semantics: the request stays matchable).  The default path
-        (``timeout=None``) schedules no extra simulator events.
+        (``timeout=None``) schedules no extra simulator events: it hands
+        back the completion event itself, so an already-completed
+        request is consumed inline by the waiter's trampoline and a
+        pending one wakes the waiter directly, with no relay hop.
         """
         chk = self.sim.checker
         if chk is not None:
@@ -79,15 +84,8 @@ class Request:
         if self._on_wait is not None:
             hook, self._on_wait = self._on_wait, None
             hook()
-        if self._done.triggered:
-            ev = self.sim.event()
-            ev._defused = True
-            ev._ctx_span = self._done._ctx_span
-            if self._done.ok:
-                ev.succeed(self._done._value)
-            else:
-                ev.fail(self._done._value)
-            return ev
+        if timeout is None:
+            return self._done
         ev = self.sim.event()
         # The waiter may die (rank crash) between registering and the
         # failure landing; a failed wait-event with no waiter must not
@@ -106,16 +104,15 @@ class Request:
                 ev.fail(done._value)
 
         self._done.add_callback(relay)
-        if timeout is not None:
-            deadline = self.sim.timeout(timeout)
+        deadline = self.sim.timeout(timeout)
 
-            def expire(_t: Event) -> None:
-                if not ev.triggered:
-                    ev.fail(RequestTimeout(
-                        f"request {self.label or hex(id(self))} timed out "
-                        f"after {timeout} s"))
+        def expire(_t: Event) -> None:
+            if not ev.triggered:
+                ev.fail(RequestTimeout(
+                    f"request {self.label or hex(id(self))} timed out "
+                    f"after {timeout} s"))
 
-            deadline.add_callback(expire)
+        deadline.add_callback(expire)
         return ev
 
     def __repr__(self) -> str:  # pragma: no cover

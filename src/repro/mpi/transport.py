@@ -24,10 +24,13 @@ from __future__ import annotations
 
 from typing import Any, Generator, Optional
 
+import numpy as np
+
 from ..cuda import CudaRuntime, DeviceBuffer, HostBuffer
 from ..hardware import Cluster, multi_link_transfer
 from ..hardware.faults import LinkDownError, MessageDropped, TransportFault
 from ..sim import Event
+from ..sim.resources import pipeline_exit_times
 from ..telemetry.metrics import MetricsRegistry
 from .profiles import MPIProfile
 
@@ -268,6 +271,89 @@ class DeviceTransport:
         offsets = list(range(0, nbytes, chunk)) or [0]
         return [(off, min(chunk, nbytes - off)) for off in offsets]
 
+    def _staged_train(self, src: DeviceBuffer, dst: DeviceBuffer, chunks,
+                      staging: HostBuffer, mid_links, mid_lat: float,
+                      mid_bw: float, mid_extra: float, mid_ovh: float,
+                      ) -> Generator[Event, Any, bool]:
+        """Batched fast path for a pipelined staged transfer.
+
+        When every stage link is :meth:`~repro.sim.resources.BandwidthLink.
+        train_eligible` (no profiler spans, no armed jitter, no fault
+        plan, nothing queued), the K-chunk software pipeline's schedule
+        is a pure function of the chunk sizes — compute it in one
+        :func:`pipeline_exit_times` call and post a constant number of
+        events (one hold per stage) instead of one process and ~six
+        events per chunk.  Counters, telemetry and busy-time integrals
+        are replicated exactly; while a stage runs, its link reads as
+        continuously busy, so foreign arrivals queue behind the train
+        (per-chunk mode would interleave them — see docs/PERFORMANCE.md
+        for why the fallback matrix makes this unobservable).
+
+        Returns True if the train was posted, False if the caller must
+        run the per-chunk pipeline.
+        """
+        if not self.profile.segment_pipelining or len(chunks) < 2:
+            return False
+        up = src.device.pcie_up
+        down = dst.device.pcie_down
+        stage_links = (up,) + tuple(mid_links) + (down,)
+        for link in stage_links:
+            if not link.train_eligible():
+                return False
+        sim = self.sim
+        cal = self.cal
+        sizes = [n for _off, n in chunks]
+        factor = self.cuda._staging_factor(staging)
+        effs = ([int(n / factor) for n in sizes] if factor != 1.0
+                else sizes)
+        sz = np.asarray(sizes, dtype=np.float64)
+        ef = np.asarray(effs, dtype=np.float64)
+        occ = np.empty((3, len(sizes)))
+        occ[0] = up.latency + ef / up.bandwidth
+        occ[1] = mid_lat + sz / mid_bw + mid_extra
+        occ[2] = down.latency + ef / down.bandwidth
+        # Each stage's pre-request delays, as the *sequence* of timeouts
+        # the per-chunk path pays (float addition does not associate).
+        overheads = ((cal.cuda_copy_overhead, up.per_message_overhead),
+                     (mid_ovh,),
+                     (cal.cuda_copy_overhead, down.per_message_overhead))
+        now = sim.now
+        exits = pipeline_exit_times(overheads, occ, start=now)
+
+        k = len(sizes)
+        eff_total = sum(effs)
+        up.messages += k
+        up.bytes_moved += eff_total
+        down.messages += k
+        down.bytes_moved += eff_total
+        total = sum(sizes)
+        for link in mid_links:
+            link.messages += k
+            link.bytes_moved += total
+        tel = sim.telemetry
+        if tel is not None:
+            for n in sizes:
+                tel.on_cuda_copy("d2h", n)
+                tel.on_cuda_copy("h2d", n)
+
+        for s, links in enumerate(((up,), tuple(mid_links), (down,))):
+            end = float(exits[s, -1])
+            gap = (end - now) - occ[s].sum()
+            for link in links:
+                res = link._res
+                grant = res.request()._value  # idle -> granted inline
+
+                def _done(_t, res=res, grant=grant, gap=gap):
+                    res.release(grant)
+                    res._absorb_idle(gap)
+
+                sim.timeout_at(end).add_callback(_done)
+        # Posted after the release timeouts: at the final instant the
+        # stage holds are handed back first, then the caller resumes —
+        # the order the per-chunk pipeline realizes.
+        yield sim.timeout_at(float(exits[2, -1]))
+        return True
+
     def _staged_pipeline(self, stages, chunks) -> Generator[Event, Any, None]:
         """Run ``stages`` (list of per-chunk sub-protocol factories) over
         ``chunks``, one sim process per chunk, contending on shared links.
@@ -283,7 +369,7 @@ class DeviceTransport:
                 def chain(n=n):
                     for stage in stages:
                         yield from stage(n)
-                procs.append(self.sim.process(chain()))
+                procs.append(self.sim.process(chain(), eager=True))
             yield self.sim.all_of(procs)
         else:
             for off, n in chunks:
@@ -298,13 +384,20 @@ class DeviceTransport:
         """No-IPC same-node path: D2H, host memcpy, H2D."""
         node = self.cluster.node_of(src.device)
         staging = HostBuffer(0, pinned=self.profile.pinned_staging)
-        stages = [
-            lambda n: self.cuda.memcpy_d2h(src, staging, n),
-            lambda n: node.host_memcpy.transfer(n, kind="hostcpy"),
-            lambda n: self.cuda.memcpy_h2d(dst, staging, n),
-        ]
         self.metrics.enter_staging()
         try:
+            host = node.host_memcpy
+            done = yield from self._staged_train(
+                src, dst, self._staged_chunks(nbytes), staging,
+                (host,), host.latency, host.bandwidth, 0.0,
+                host.per_message_overhead)
+            if done:
+                return
+            stages = [
+                lambda n: self.cuda.memcpy_d2h(src, staging, n),
+                lambda n: host.transfer(n, kind="hostcpy"),
+                lambda n: self.cuda.memcpy_h2d(dst, staging, n),
+            ]
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))
         finally:
@@ -317,19 +410,27 @@ class DeviceTransport:
         nic_a = self.cluster.node_of(a).nic_for(a)
         nic_b = self.cluster.node_of(b).nic_for(b)
         staging = HostBuffer(0, pinned=self.profile.pinned_staging)
-
-        def wire(n):
-            yield from multi_link_transfer(
-                self.sim, [nic_a.tx, nic_b.rx], n,
-                extra_time=self.cal.mpi_message_overhead, kind="wire")
-
-        stages = [
-            lambda n: self.cuda.memcpy_d2h(src, staging, n),
-            wire,
-            lambda n: self.cuda.memcpy_h2d(dst, staging, n),
-        ]
         self.metrics.enter_staging()
         try:
+            done = yield from self._staged_train(
+                src, dst, self._staged_chunks(nbytes), staging,
+                (nic_a.tx, nic_b.rx),
+                nic_a.tx.latency + nic_b.rx.latency,
+                min(nic_a.tx.bandwidth, nic_b.rx.bandwidth),
+                self.cal.mpi_message_overhead, 0.0)
+            if done:
+                return
+
+            def wire(n):
+                yield from multi_link_transfer(
+                    self.sim, [nic_a.tx, nic_b.rx], n,
+                    extra_time=self.cal.mpi_message_overhead, kind="wire")
+
+            stages = [
+                lambda n: self.cuda.memcpy_d2h(src, staging, n),
+                wire,
+                lambda n: self.cuda.memcpy_h2d(dst, staging, n),
+            ]
             yield from self._staged_pipeline(stages,
                                              self._staged_chunks(nbytes))
         finally:

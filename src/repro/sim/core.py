@@ -11,12 +11,49 @@ from scratch so the repository is self-contained:
 - :class:`Process` — wraps a generator; the generator *yields* events and
   is resumed with the event's value once it triggers.  A process is itself
   an event that triggers when the generator returns.
-- :class:`Simulator` — the event loop: a priority heap ordered by
-  ``(time, priority, sequence)``.
+- :class:`Simulator` — the event loop.
 
 Generators compose with ``yield from``, which is how multi-step operations
 (e.g. a pipelined chunked-chain reduction) are expressed as reusable
 sub-protocols.
+
+Scheduler
+---------
+Events are totally ordered by ``(time, priority, insertion order)``.
+The default scheduler realizes that order with two tiers instead of one
+flat heap (see ``docs/PERFORMANCE.md``):
+
+- a **zero-delay FIFO lane** for URGENT events (``succeed``/``fail``/
+  interrupts/process kicks — always scheduled *at the current instant*),
+  so same-instant signalling never touches the heap, and
+- a **bucket queue** for timeouts: events sharing an exact trigger time
+  share one FIFO bucket, and a small heap orders the *distinct* times.
+  Insertion order within a bucket is creation order, so the realized
+  order is identical to the flat heap's ``(time, priority, seq)`` sort.
+
+Processed ``Event``/``Timeout`` objects that are no longer referenced
+anywhere are recycled through a free list (``sys.getrefcount`` guarded,
+so an object some condition or test still holds is never reused).
+
+Setting ``REPRO_SIM_SLOWPATH=1`` (or ``Simulator(slowpath=True)``)
+selects the reference scheduler — one flat ``heapq`` ordered by
+``(time, priority, seq)`` with no lane, buckets, or pooling.  Both
+schedulers realize the same total order, so same-seed runs are
+event-for-event identical (``tests/test_sim_fastpath.py`` asserts this
+across the conformance matrix).
+
+Signalling protocol
+-------------------
+Triggering an event that has **no registered callbacks** completes it
+in place — no scheduler turn is consumed, and a later ``add_callback``
+(or a process yielding it) observes it as already processed.  Processes
+therefore *continue inline* through already-completed events (a resource
+grant that was immediately available, a request completed before it was
+waited on) via a trampoline in :meth:`Process._resume`.  This removes
+the per-hop "schedule URGENT, take a loop turn, resume" round-trip from
+every uncontended fast path while leaving all simulated times unchanged;
+it applies identically in both scheduler modes.  Failed events are
+always scheduled so an unhandled failure still surfaces in the loop.
 
 Example
 -------
@@ -35,7 +72,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import random
+import sys
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..telemetry.metrics import MetricsRegistry
@@ -62,6 +101,12 @@ PENDING = object()
 URGENT = 0
 NORMAL = 1
 
+#: Free-list caps (enough to cover a training iteration's churn without
+#: pinning unbounded memory on pathological runs).  Sized above the
+#: typical number of simultaneously-live events in a 32-GPU training
+#: step so steady state allocates nothing.
+_POOL_MAX = 4096
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid simulator usage (double-trigger, deadlock, ...)."""
@@ -82,8 +127,11 @@ class Event:
     """A one-shot occurrence on the simulated timeline.
 
     An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
-    schedules it to *trigger*, at which point all registered callbacks run
-    (waiting processes are resumed).  Triggering twice is an error.
+    triggers it, at which point all registered callbacks run (waiting
+    processes are resumed).  Triggering twice is an error.  An event
+    succeeded while nobody is registered completes in place (see the
+    module docstring); one with callbacks is scheduled URGENT so its
+    waiters resume from the event loop, never from inside the caller.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled",
@@ -126,23 +174,33 @@ class Event:
 
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        """Schedule this event to trigger *now* with ``value``."""
+        """Trigger this event *now* with ``value``."""
         if self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, URGENT)
+        self._scheduled = True
+        if self.callbacks:
+            self.sim._push_urgent(self)
+        else:
+            # Nobody registered: complete in place, no scheduler turn.
+            self.callbacks = None
         return self
 
     def fail(self, exception: BaseException) -> "Event":
-        """Schedule this event to trigger *now*, raising in waiters."""
+        """Schedule this event to trigger *now*, raising in waiters.
+
+        Always takes a scheduler turn (even with no callbacks) so the
+        loop's unhandled-failure check can surface orphaned errors.
+        """
         if self._scheduled:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, URGENT)
+        self._scheduled = True
+        self.sim._push_urgent(self)
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -173,24 +231,51 @@ class Timeout(Event):
         sim._schedule(self, NORMAL, delay)
 
 
+class _EagerKick:
+    """Stand-in for the kick event when a process starts inline."""
+
+    _ok = True
+    _value = None
+    _ctx_span = None
+
+
+_EAGER_KICK = _EagerKick()
+
+
 class Process(Event):
     """A running coroutine; also an event that fires when it finishes."""
 
     __slots__ = ("gen", "name", "_target")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "",
+                 eager: bool = False):
         if not hasattr(gen, "send"):
             raise TypeError(f"process() requires a generator, got {gen!r}")
         super().__init__(sim)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
+        if eager and sim.recorder is None:
+            # Runtime-internal helpers (transfer movers, deferred NBC
+            # bodies) opt into starting inline: the generator runs to
+            # its first real wait right here, skipping the kick event
+            # and a scheduler turn.  Only meaningful for spawn sites
+            # whose first segment touches state no other same-instant
+            # event races for in a way the caller cares about.  Under a
+            # profiler the kick path is kept so ``on_spawn`` registers
+            # the parent before any span is recorded.
+            prev = sim._active_process
+            try:
+                self._resume(_EAGER_KICK)
+            finally:
+                sim._active_process = prev
+            return
         # Kick-start on the next event-loop step at the current time.
-        init = Event(sim)
-        init._ok = True
+        init = sim._fresh_event()
         init._value = None
         init.callbacks.append(self._resume)
-        sim._schedule(init, URGENT)
+        sim._push_urgent(init)
+        init._scheduled = True
 
     @property
     def is_alive(self) -> bool:
@@ -206,70 +291,89 @@ class Process(Event):
             except ValueError:
                 pass
         self._target = None
-        ev = Event(self.sim)
+        ev = self.sim._fresh_event()
         ev._ok = False
         ev._value = Interrupt(cause)
         ev.callbacks.append(self._resume)
         # Interrupts must not trip the unhandled-failure check.
         ev._defused = True
-        self.sim._schedule(ev, URGENT)
+        self.sim._push_urgent(ev)
+        ev._scheduled = True
 
     # -- internal ----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        self._target = None
         sim = self.sim
+        gen_send = self.gen.send
+        # Loop-invariant within one wakeup: the recorder cannot change
+        # while a process is being resumed.
         rec = sim.recorder
-        if rec is not None and event._ctx_span is not None:
-            # The event that wakes us carries the triggering process's
-            # latest span: note it as a causal predecessor of whatever
-            # this process records next.
-            rec.note_wakeup(self, event._ctx_span)
-        sim._active_process = self
-        try:
-            if event._ok:
-                result = self.gen.send(event._value)
-            else:
-                result = self.gen.throw(event._value)
-        except StopIteration as stop:
-            sim._active_process = None
-            if rec is not None:
-                # Completion context must be set explicitly — the active
-                # process is already cleared when succeed() schedules us.
-                self._ctx_span = rec.last_span_of(self)
-                rec.on_exit(self)
-            if not self._scheduled:
-                self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            sim._active_process = None
-            if rec is not None:
-                self._ctx_span = rec.last_span_of(self)
-                rec.on_exit(self)
-            if not self._scheduled:
-                self.fail(exc)
+        # Trampoline: an already-processed yield target (resource grant
+        # that was free, request completed before the wait) is consumed
+        # inline rather than through a scheduled turn.
+        while True:
+            self._target = None
+            if rec is not None and event._ctx_span is not None:
+                # The event that wakes us carries the triggering
+                # process's latest span: note it as a causal predecessor
+                # of whatever this process records next.
+                rec.note_wakeup(self, event._ctx_span)
+            sim._active_process = self
+            try:
+                if event._ok:
+                    result = gen_send(event._value)
+                else:
+                    result = self.gen.throw(event._value)
+            except StopIteration as stop:
+                sim._active_process = None
+                if rec is not None:
+                    # Completion context must be set explicitly — the
+                    # active process is already cleared by the time
+                    # waiters resume.
+                    self._ctx_span = rec.last_span_of(self)
+                    rec.on_exit(self)
+                if not self._scheduled:
+                    self.succeed(stop.value)
                 return
-            raise
-        sim._active_process = None
+            except BaseException as exc:
+                sim._active_process = None
+                if rec is not None:
+                    self._ctx_span = rec.last_span_of(self)
+                    rec.on_exit(self)
+                if not self._scheduled:
+                    self.fail(exc)
+                    return
+                raise
+            sim._active_process = None
 
-        if not isinstance(result, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {result!r}; "
-                "processes must yield Event instances")
-        if result.sim is not sim:
-            raise SimulationError("yielded event belongs to another Simulator")
-        self._target = result
-        result.add_callback(self._resume)
+            if not isinstance(result, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {result!r}; "
+                    "processes must yield Event instances")
+            if result.sim is not sim:
+                raise SimulationError(
+                    "yielded event belongs to another Simulator")
+            cbs = result.callbacks
+            if cbs is None:
+                event = result  # already happened: continue inline
+                continue
+            self._target = result
+            cbs.append(self._resume)
+            return
 
 
 class Condition(Event):
     """Base for composite events (:class:`AllOf` / :class:`AnyOf`)."""
 
-    __slots__ = ("events", "_n_done")
+    __slots__ = ("events", "_n_done", "_values")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
         self._n_done = 0
+        #: Values of components processed so far, accumulated by _check
+        #: (one dict store per completion; the final result dict is
+        #: assembled once, in declaration order).
+        self._values: dict = {}
         if not self.events:
             self.succeed({})
             return
@@ -287,9 +391,11 @@ class Condition(Event):
             self._ctx_span = event._ctx_span
 
     def _collect(self) -> dict:
-        # Only events that have actually *happened* (callbacks ran) count;
-        # a Timeout is "scheduled" from birth but occurs later.
-        return {ev: ev._value for ev in self.events if ev.processed}
+        # Component values in declaration order.  Only events that have
+        # *happened* by trigger time are present (their _check recorded
+        # them); a Timeout is "scheduled" from birth but occurs later.
+        values = self._values
+        return {ev: values[ev] for ev in self.events if ev in values}
 
 
 class AllOf(Condition):
@@ -304,6 +410,7 @@ class AllOf(Condition):
         if not event._ok:
             self.fail(event._value)
             return
+        self._values[event] = event._value
         self._n_done += 1
         if self._n_done == len(self.events):
             self.succeed(self._collect())
@@ -321,6 +428,7 @@ class AnyOf(Condition):
         if not event._ok:
             self.fail(event._value)
             return
+        self._values[event] = event._value
         self.succeed(self._collect())
 
 
@@ -332,12 +440,31 @@ class Simulator:
     Determinism: ties at the same timestamp are broken by scheduling
     priority and then by insertion order, so repeated runs of the same
     program produce identical traces (a property the tests rely on).
+
+    ``slowpath=True`` (or env ``REPRO_SIM_SLOWPATH=1``) selects the
+    reference flat-heap scheduler; see the module docstring.
     """
 
-    def __init__(self, seed: Optional[int] = None):
+    def __init__(self, seed: Optional[int] = None,
+                 slowpath: Optional[bool] = None):
+        if slowpath is None:
+            slowpath = os.environ.get("REPRO_SIM_SLOWPATH", "") not in ("", "0")
+        self._slow = bool(slowpath)
         self._now = 0.0
+        # Reference scheduler: one flat heap of (time, prio, seq, event).
         self._heap: list = []
         self._seq = itertools.count()
+        # Fast scheduler: URGENT FIFO lane + bucket queue over distinct
+        # trigger times (_times is a heap of keys into _buckets; _bidx is
+        # the drain cursor into the current front bucket).
+        from collections import deque
+        self._lane: Any = deque()
+        self._times: list = []
+        self._buckets: dict = {}
+        self._bidx = 0
+        # Free lists for processed, unreferenced Event/Timeout objects.
+        self._epool: list = []
+        self._tpool: list = []
         self._active_process: Optional[Process] = None
         self._event_count = 0
         #: Optional :class:`repro.prof.SpanRecorder`.  ``None`` (default)
@@ -412,16 +539,102 @@ class Simulator:
     # -- event factories -----------------------------------------------------
     def event(self) -> Event:
         """A fresh, untriggered event (manual signalling)."""
+        return self._fresh_event()
+
+    def _fresh_event(self) -> Event:
+        pool = self._epool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = PENDING
+            ev._ok = True
+            ev._scheduled = False
+            ev._defused = False
+            ev._ctx_span = None
+            return ev
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` simulated seconds from now."""
-        return Timeout(self, delay, value)
+        pool = self._tpool
+        if not pool:
+            return Timeout(self, delay, value)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        t = pool.pop()
+        t.callbacks = []
+        t._value = value
+        t._ok = True
+        t._scheduled = True
+        t._defused = False
+        t._ctx_span = None
+        t.delay = delay
+        # _schedule(NORMAL) inlined — this is the hottest factory.
+        rec = self.recorder
+        if rec is not None and self._active_process is not None:
+            t._ctx_span = rec.last_span_of(self._active_process)
+        if self._slow:
+            heapq.heappush(
+                self._heap, (self._now + delay, NORMAL, next(self._seq), t))
+            return t
+        when = self._now + delay
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [t]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(t)
+        return t
 
-    def process(self, gen: Generator, name: str = "") -> Process:
-        """Start running ``gen`` as a process."""
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """An event that fires at absolute simulated time ``when``.
+
+        Used by batched schedule fast paths, which precompute exact exit
+        instants: round-tripping through a relative delay
+        (``now + (when - now)``) could land one float ULP off the
+        per-chunk schedule being replicated.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"timeout_at({when!r}) is in the past (now={self._now!r})")
+        pool = self._tpool
+        if pool:
+            t = pool.pop()
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._scheduled = True
+            t._defused = False
+            t._ctx_span = None
+        else:
+            t = Timeout.__new__(Timeout)
+            Event.__init__(t, self)
+            t._value = value
+            t._scheduled = True
+        t.delay = when - self._now
+        rec = self.recorder
+        if rec is not None and self._active_process is not None:
+            t._ctx_span = rec.last_span_of(self._active_process)
+        if self._slow:
+            heapq.heappush(self._heap, (when, NORMAL, next(self._seq), t))
+            return t
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            self._buckets[when] = [t]
+            heapq.heappush(self._times, when)
+        else:
+            bucket.append(t)
+        return t
+
+    def process(self, gen: Generator, name: str = "",
+                eager: bool = False) -> Process:
+        """Start running ``gen`` as a process.
+
+        ``eager=True`` lets the process begin inline (no kick event)
+        when no profiler is installed — see :class:`Process`.
+        """
         parent = self._active_process
-        proc = Process(self, gen, name=name)
+        proc = Process(self, gen, name=name, eager=eager)
         if self.recorder is not None:
             # Auxiliary processes (movers, staged chunks, helpers)
             # attribute their spans to the rank/phase that spawned them.
@@ -435,56 +648,176 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
-    def _schedule(self, event: Event, priority: int,
-                  delay: float = 0.0) -> None:
-        event._scheduled = True
+    def _push_urgent(self, event: Event) -> None:
+        """Enqueue an URGENT event at the current instant (caller sets
+        ``_scheduled``).  URGENT events are only ever created *now*, so
+        the FIFO lane realizes their ``(now, 0, seq)`` heap order."""
         rec = self.recorder
         if (rec is not None and event._ctx_span is None
                 and self._active_process is not None):
             # Capture the scheduling process's latest span so whoever
             # this event wakes knows what it causally waited on.
             event._ctx_span = rec.last_span_of(self._active_process)
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event))
+        if self._slow:
+            heapq.heappush(
+                self._heap, (self._now, URGENT, next(self._seq), event))
+        else:
+            self._lane.append(event)
+
+    def _schedule(self, event: Event, priority: int,
+                  delay: float = 0.0) -> None:
+        event._scheduled = True
+        if priority == URGENT and delay == 0.0:
+            self._push_urgent(event)
+            return
+        rec = self.recorder
+        if (rec is not None and event._ctx_span is None
+                and self._active_process is not None):
+            event._ctx_span = rec.last_span_of(self._active_process)
+        if self._slow:
+            heapq.heappush(
+                self._heap,
+                (self._now + delay, priority, next(self._seq), event))
+            return
+        t = self._now + delay
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = [event]
+            heapq.heappush(self._times, t)
+        else:
+            bucket.append(event)
+
+    def _pop(self) -> Event:
+        """Remove and return the next event in ``(time, priority, seq)``
+        order, advancing the clock (fast scheduler)."""
+        lane = self._lane
+        if lane:
+            return lane.popleft()
+        t = self._times[0]
+        bucket = self._buckets[t]
+        i = self._bidx
+        event = bucket[i]
+        bucket[i] = None
+        i += 1
+        if i == len(bucket):
+            heapq.heappop(self._times)
+            del self._buckets[t]
+            self._bidx = 0
+        else:
+            self._bidx = i
+        self._now = t
+        return event
 
     # -- execution -----------------------------------------------------------
-    def step(self) -> None:
-        """Process exactly one event."""
-        when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - defensive
-            raise SimulationError("time ran backwards")
-        self._now = when
+    def step(self) -> Event:
+        """Process exactly one event; returns it (trace/debug hook)."""
+        if self._slow:
+            when, _prio, _seq, event = heapq.heappop(self._heap)
+            if when < self._now:  # pragma: no cover - defensive
+                raise SimulationError("time ran backwards")
+            self._now = when
+        else:
+            if not self._lane and not self._times:
+                raise IndexError("step from an empty schedule")
+            event = self._pop()
         self._event_count += 1
         callbacks, event.callbacks = event.callbacks, None
         for fn in callbacks:
             fn(event)
-        if (not event._ok and not callbacks
-                and not getattr(event, "_defused", False)):
+        if not event._ok and not callbacks and not event._defused:
             # A failed event nobody waited on: surface the error rather
             # than silently dropping it.
             raise event._value
         tel = self.telemetry
         if tel is not None and self._now >= tel.next_scrape_at:
             # Sampling happens *between* events rather than as a
-            # scheduled process: a periodic process would keep the heap
-            # non-empty (run() would never drain) and would perturb the
-            # event stream.  This way instrumented runs stay
+            # scheduled process: a periodic process would keep the
+            # schedule non-empty (run() would never drain) and would
+            # perturb the event stream.  This way instrumented runs stay
             # event-for-event identical and scrapes land on the first
             # event at-or-after each grid instant.
             tel.scrape(self._now)
+        return event
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap is empty or the clock passes ``until``."""
+        """Run until the schedule is empty or the clock passes ``until``."""
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        if self._slow:
+            heap = self._heap
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+            if until is not None:
                 self._now = until
-                return
-            self.step()
+            return
+        self._run_fast(until)
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        # The hot loop of every benchmark: locals for the schedule
+        # tiers, the observers fused into one None-check each, event
+        # dispatch inlined (identical to step(), minus call overhead).
+        lane = self._lane
+        times = self._times
+        buckets = self._buckets
+        heappop = heapq.heappop
+        getrefcount = sys.getrefcount
+        epool = self._epool
+        tpool = self._tpool
+        tel = self.telemetry
+        count = self._event_count
+        try:
+            while True:
+                if lane:
+                    event = lane.popleft()
+                elif times:
+                    t = times[0]
+                    if until is not None and t > until:
+                        self._now = until
+                        return
+                    bucket = buckets[t]
+                    i = self._bidx
+                    event = bucket[i]
+                    bucket[i] = None
+                    i += 1
+                    if i == len(bucket):
+                        heappop(times)
+                        del buckets[t]
+                        self._bidx = 0
+                    else:
+                        self._bidx = i
+                    self._now = t
+                else:
+                    break
+                count += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for fn in callbacks:
+                    fn(event)
+                if not event._ok and not callbacks and not event._defused:
+                    raise event._value
+                if tel is not None and self._now >= tel.next_scrape_at:
+                    tel.scrape(self._now)
+                # Recycle the drained event if nothing else references
+                # it (refcount 2 = the local + getrefcount's argument).
+                cls = event.__class__
+                if cls is Event:
+                    if len(epool) < _POOL_MAX and getrefcount(event) == 2:
+                        epool.append(event)
+                elif cls is Timeout:
+                    if len(tpool) < _POOL_MAX and getrefcount(event) == 2:
+                        tpool.append(event)
+        finally:
+            self._event_count = count
         if until is not None:
             self._now = until
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        if self._slow:
+            return self._heap[0][0] if self._heap else float("inf")
+        if self._lane:
+            return self._now
+        return self._times[0] if self._times else float("inf")

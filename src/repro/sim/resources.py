@@ -6,16 +6,27 @@ used throughout this repo is *FIFO serialization*: a transfer occupies the
 resource for its full duration, and queued requests observe the backlog.
 This captures the first-order effect the paper's co-designs exploit
 (communication serializes on links; overlap hides it behind compute).
+
+The three classes here are the highest-churn objects in the simulation
+after the kernel's own events, so they are ``__slots__``-ed, and the
+chunked hold patterns that collectives drive through links have a batched
+fast path (:func:`pipeline_exit_times`, :meth:`BandwidthLink.transfer_train`)
+that computes a K-chunk occupancy schedule as one vectorized NumPy
+recurrence instead of O(K) request/timeout/release round-trips.  See
+``docs/PERFORMANCE.md`` for when the batched path disables itself.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterable, Optional, Sequence
+
+import numpy as np
 
 from .core import Event, PENDING, Simulator
 
-__all__ = ["Resource", "BandwidthLink", "Store"]
+__all__ = ["Resource", "BandwidthLink", "Store", "pipeline_exit_times"]
 
 
 class Resource:
@@ -32,6 +43,9 @@ class Resource:
     or use :meth:`use` which packages the pattern.
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_queue",
+                 "_cancelled", "_busy_since", "_grant_seq", "busy_time")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -40,6 +54,10 @@ class Resource:
         self.name = name
         self._in_use = 0
         self._queue: deque[Event] = deque()
+        #: Tombstoned (cancelled) requests still physically in _queue;
+        #: they are skipped lazily at hand-off time, so cancel() is O(1)
+        #: even under interrupt storms (fault injection).
+        self._cancelled: set = set()
         # Telemetry: cumulative busy time (integrated over grants).
         self._busy_since: dict[int, float] = {}
         self._grant_seq = 0
@@ -51,14 +69,26 @@ class Resource:
 
     @property
     def queue_len(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - len(self._cancelled)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing holds or waits for the resource (the
+        precondition for batched schedule fast paths)."""
+        return self._in_use == 0 and len(self._queue) == len(self._cancelled)
 
     def request(self) -> Event:
         """Event triggering with a grant token once capacity is available."""
         ev = self.sim.event()
         if self._in_use < self.capacity:
+            # Immediate grant, built directly in the completed-in-place
+            # state (equivalent to succeed() with no waiters registered,
+            # minus the call): the requester's trampoline consumes it
+            # without a scheduler turn.
             self._in_use += 1
-            ev.succeed(self._new_grant())
+            ev._value = self._new_grant()
+            ev._scheduled = True
+            ev.callbacks = None
         else:
             self._queue.append(ev)
         return ev
@@ -68,10 +98,16 @@ class Resource:
         if start is None:
             raise ValueError(f"unknown or already-released grant {grant!r}")
         self.busy_time += self.sim.now - start
-        if self._queue:
-            self._queue.popleft().succeed(self._new_grant())
-        else:
-            self._in_use -= 1
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue:
+            ev = queue.popleft()
+            if cancelled and ev in cancelled:
+                cancelled.discard(ev)
+                continue
+            ev.succeed(self._new_grant())
+            return
+        self._in_use -= 1
 
     def cancel(self, request: Event) -> None:
         """Withdraw a ``request()`` whose grant will never be consumed.
@@ -79,15 +115,14 @@ class Resource:
         Needed for interrupt cleanup: a process interrupted while queued
         would otherwise leave its request in line, and the grant issued
         to it later would never be released (capacity leak).  If the
-        grant was already issued, it is handed straight back.
+        grant was already issued, it is handed straight back.  A queued
+        request is tombstoned (O(1)) and skipped at hand-off time rather
+        than scanned out of the wait queue.
         """
-        try:
-            self._queue.remove(request)
-            return
-        except ValueError:
-            pass
         if request._value is not PENDING:
             self.release(request._value)
+            return
+        self._cancelled.add(request)
 
     def use(self, duration: float, *, kind: str = "use", nbytes: int = 0,
             label: str = "") -> Generator[Event, Any, None]:
@@ -107,23 +142,82 @@ class Resource:
             self.cancel(req)
             raise
         rec = self.sim.recorder
-        sid = None
-        if rec is not None:
-            sid = rec.open(kind, resource=self.name or f"res-{id(self):x}",
-                           nbytes=nbytes, label=label)
+        if rec is None:
+            try:
+                yield self.sim.timeout(duration)
+            finally:
+                self.release(grant)
+            return
+        sid = rec.open(kind, resource=self.name or f"res-{id(self):x}",
+                       nbytes=nbytes, label=label)
         try:
             yield self.sim.timeout(duration)
         finally:
-            if sid is not None:
-                # Close before releasing so the next grantee observes a
-                # closed predecessor span at the same instant.
-                rec.close(sid)
+            # Close before releasing so the next grantee observes a
+            # closed predecessor span at the same instant.
+            rec.close(sid)
             self.release(grant)
 
     def _new_grant(self) -> int:
         self._grant_seq += 1
         self._busy_since[self._grant_seq] = self.sim.now
         return self._grant_seq
+
+    def _absorb_idle(self, gap: float) -> None:
+        """Deduct scheduled idle time from the busy-time integral.
+
+        Used by batched schedule fast paths, which hold the resource
+        across the whole train (so foreign arrivals queue behind it)
+        but must report the same utilization as the per-chunk path.
+        """
+        self.busy_time -= gap
+
+
+def pipeline_exit_times(overheads: Sequence[float],
+                        occupancies: np.ndarray,
+                        start: float = 0.0) -> np.ndarray:
+    """Exit times of K chunks flowing through S serial FIFO stages.
+
+    ``overheads[s]`` is the per-chunk transit cost paid *before*
+    requesting stage ``s`` (it overlaps across chunks — e.g. a cudaMemcpy
+    launch); ``occupancies[s, k]`` is chunk ``k``'s hold time on stage
+    ``s``'s resource.  Chunk ``k`` requests stage ``s`` at
+    ``E[k, s-1] + overheads[s]`` and is granted FIFO behind chunk
+    ``k - 1``, exactly the schedule the per-chunk event model realizes
+    when the stages' resources carry no foreign traffic::
+
+        E[k, s] = max(E[k, s-1] + ovh[s], E[k-1, s]) + occ[s, k]
+
+    ``overheads[s]`` may also be a sequence of delays: the per-chunk
+    event model pays them as *successive* timeouts, and float addition
+    does not associate, so ``(t + a) + b`` must be reproduced literally
+    rather than as ``t + (a + b)``.  For the same reason the recurrence
+    runs sequentially over chunks in exact event order (the occupancy
+    rows are still built vectorized): the schedule must land on the
+    per-chunk times to the last ULP, so batched and per-chunk runs are
+    bit-identical, not merely close.  Returns the full exit-time matrix
+    ``E`` with shape (S, K).
+    """
+    occupancies = np.asarray(occupancies, dtype=np.float64)
+    n_stages, n_chunks = occupancies.shape
+    exits = np.empty_like(occupancies)
+    prev = [float(start)] * n_chunks
+    for s in range(n_stages):
+        occ = occupancies[s].tolist()
+        ovh = overheads[s]
+        steps = ovh if isinstance(ovh, (tuple, list)) else (ovh,)
+        row = exits[s]
+        tail = -math.inf
+        for k in range(n_chunks):
+            r = prev[k]
+            for d in steps:
+                r += d
+            if tail > r:
+                r = tail
+            tail = r + occ[k]
+            row[k] = tail
+        prev = row.tolist()
+    return exits
 
 
 class BandwidthLink:
@@ -138,6 +232,15 @@ class BandwidthLink:
     occupying the wire — important for the OpenMPI small-segment pathology
     in Fig. 12.
     """
+
+    __slots__ = ("sim", "bandwidth", "latency", "per_message_overhead",
+                 "jitter", "name", "_res", "bytes_moved", "messages")
+
+    #: Fault hook: ``None`` on a healthy link; FaultyLink overrides it
+    #: with a method that raises when the link is down or dropping.
+    #: A class attribute (not a slot) so the hot multi-link path reads
+    #: it with a plain attribute load instead of getattr-with-default.
+    check_fault = None
 
     def __init__(self, sim: Simulator, *, bandwidth: float, latency: float,
                  name: str = "", per_message_overhead: float = 0.0,
@@ -175,17 +278,91 @@ class BandwidthLink:
         """Sub-protocol: move ``nbytes`` across the link (queues FIFO)."""
         self.messages += 1
         self.bytes_moved += nbytes
+        sim = self.sim
+        rec = sim.recorder
         if self.per_message_overhead:
-            rec = self.sim.recorder
             if rec is not None:
                 sid = rec.open("overhead", label=self.name)
-                yield self.sim.timeout(self.per_message_overhead)
+                yield sim.timeout(self.per_message_overhead)
                 rec.close(sid)
             else:
-                yield self.sim.timeout(self.per_message_overhead)
-        yield from self._res.use(self.occupancy(nbytes)
-                                 * self.sim.jitter_factor(self.jitter),
-                                 kind=kind, nbytes=nbytes)
+                yield sim.timeout(self.per_message_overhead)
+        duration = self.occupancy(nbytes)
+        if self.jitter:
+            duration *= sim.jitter_factor(self.jitter)
+        res = self._res
+        req = res.request()
+        try:
+            grant = yield req
+        except BaseException:
+            res.cancel(req)
+            raise
+        if rec is None:
+            try:
+                yield sim.timeout(duration)
+            finally:
+                res.release(grant)
+            return
+        sid = rec.open(kind, resource=res.name or f"res-{id(res):x}",
+                       nbytes=nbytes)
+        try:
+            yield sim.timeout(duration)
+        finally:
+            rec.close(sid)
+            res.release(grant)
+
+    # -- batched schedule fast path -----------------------------------------
+    def train_eligible(self) -> bool:
+        """True when a chunk train on this link may be collapsed into one
+        precomputed hold: no per-chunk observer (profiler spans), no armed
+        jitter draws to replay, no fault plan hooked in, and nothing
+        currently holding or queued on the link."""
+        return (self.sim.recorder is None
+                and (self.sim.rng is None or self.jitter == 0.0)
+                and self.check_fault is None
+                and self._res.idle)
+
+    def transfer_train(self, sizes: Iterable[int], *, kind: str = "xfer",
+                       ) -> Generator[Event, Any, None]:
+        """Move a back-to-back train of messages (sizes in bytes).
+
+        Equivalent to ``for n in sizes: yield from self.transfer(n)`` —
+        and falls back to exactly that whenever :meth:`train_eligible`
+        is false — but the eligible path posts the whole train as one
+        precomputed hold (a constant number of events instead of O(K)).
+        While the train runs the link reads as continuously busy, so
+        foreign arrivals queue behind it; the busy-time integral is
+        corrected to the true wire time.
+        """
+        sizes = list(sizes)
+        if len(sizes) < 2 or not self.train_eligible():
+            for n in sizes:
+                yield from self.transfer(n, kind=kind)
+            return
+        self.messages += len(sizes)
+        sim = self.sim
+        pmo = self.per_message_overhead
+        # The end instant is accumulated with the exact add sequence the
+        # per-chunk path realizes (overhead timeout, then hold, chunk by
+        # chunk): float addition does not associate, and the batched
+        # schedule must land on the per-chunk times to the last ULP.
+        end = sim.now
+        wire = 0.0
+        for n in sizes:
+            self.bytes_moved += n
+            occ = self.occupancy(n)
+            wire += occ
+            if pmo:
+                end += pmo
+            end += occ
+        res = self._res
+        grant = (yield res.request())
+        held = end - sim.now
+        try:
+            yield sim.timeout_at(end)
+        finally:
+            res.release(grant)
+            res._absorb_idle(held - wire)
 
 
 class Store:
@@ -194,6 +371,8 @@ class Store:
     Unlike :class:`repro.sim.sync.Channel`, a Store supports non-blocking
     inspection (``peek``/``__len__``) used by the data-reader free queues.
     """
+
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None):
         self.sim = sim

@@ -11,8 +11,7 @@ from __future__ import annotations
 import json
 import re
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from .core import Simulator
 
@@ -28,8 +27,7 @@ def natural_sort_key(s: str) -> Tuple:
                  for t in _NUM_RE.split(s))
 
 
-@dataclass(frozen=True)
-class Interval:
+class Interval(NamedTuple):
     """A closed interval of simulated time attributed to a phase."""
 
     actor: str
@@ -50,6 +48,9 @@ class Tracer:
         self.enabled = enabled
         self.intervals: List[Interval] = []
         self._open: Dict[Tuple[str, str], float] = {}
+        # phase -> summed duration per actor, maintained on end() so the
+        # per-iteration report queries don't rescan every interval.
+        self._totals: Dict[str, Dict[str, float]] = {}
 
     def begin(self, actor: str, phase: str) -> None:
         if not self.enabled:
@@ -69,7 +70,12 @@ class Tracer:
         start = self._open.pop(key, None)
         if start is None:
             raise RuntimeError(f"phase {phase!r} not open for {actor!r}")
-        self.intervals.append(Interval(actor, phase, start, self.sim.now))
+        now = self.sim.now
+        self.intervals.append(Interval(actor, phase, start, now))
+        per_actor = self._totals.get(phase)
+        if per_actor is None:
+            per_actor = self._totals[phase] = {}
+        per_actor[actor] = per_actor.get(actor, 0.0) + (now - start)
         rec = self.sim.recorder
         if rec is not None:
             rec.phase_pop(phase)
@@ -94,8 +100,12 @@ class Tracer:
     # -- queries -------------------------------------------------------------
     def total(self, phase: str, actor: Optional[str] = None) -> float:
         """Sum of interval durations for ``phase`` (optionally one actor)."""
-        return sum(iv.duration for iv in self.intervals
-                   if iv.phase == phase and (actor is None or iv.actor == actor))
+        per_actor = self._totals.get(phase)
+        if per_actor is None:
+            return 0.0
+        if actor is not None:
+            return per_actor.get(actor, 0.0)
+        return sum(per_actor.values())
 
     def busy_union(self, phase: str, actor: Optional[str] = None) -> float:
         """Length of the union of intervals for ``phase`` (overlap-aware).
