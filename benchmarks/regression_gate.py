@@ -12,7 +12,9 @@ real behaviour change.  CI runs this script, which
    ``results/timeseries.csv``),
 3. compares every headline number against ``baselines/regression.json``
    with a relative tolerance and exits non-zero on any regression,
-4. re-runs the quick ``bench_simcore`` workloads and fails if host
+4. runs the quick chaos-conformance matrix and fails on any cell that
+   ends in silent corruption or a hang (the outcome-trichotomy gate),
+5. re-runs the quick ``bench_simcore`` workloads and fails if host
    wall-clock throughput (ref-events/sec) drops below the floor in
    ``baselines/simcore.json`` — the same check the ``sim-bench`` CI job
    applies, so a kernel slow-down cannot land through either door.
@@ -149,6 +151,30 @@ def check_simcore_floor() -> list:
     return check_floor(results, baseline)
 
 
+def check_chaos_gate() -> list:
+    """Quick chaos-conformance sweep: the outcome trichotomy must hold.
+
+    Deterministic like the headline numbers — every cell of the quick
+    chaos matrix must end exact / recovered / typed-error.  A single
+    ``silent`` (corruption past the checksums) or ``hang`` (drained
+    schedule with parked ranks) cell fails the gate.
+    """
+    from repro.check import (
+        chaos_outcome_tally, generate_chaos_matrix, run_chaos,
+    )
+
+    results = run_chaos(generate_chaos_matrix(0, quick=True))
+    tally = chaos_outcome_tally(results)
+    print("chaos gate: " + "  ".join(f"{k}={v}" for k, v in tally.items()))
+    problems = []
+    for r in results:
+        if not r.ok:
+            problems.append(f"chaos [{r.outcome}] {r.case.spec()} -- "
+                            f"{'; '.join(r.failures)}")
+            problems.append(f"  repro: {r.case.repro_command()}")
+    return problems
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--update-baseline", action="store_true",
@@ -156,6 +182,8 @@ def main(argv=None) -> int:
     ap.add_argument("--no-wallclock", action="store_true",
                     help="skip the simulator-core events/sec floor "
                          "(exact headline comparisons only)")
+    ap.add_argument("--no-chaos", action="store_true",
+                    help="skip the quick chaos-conformance sweep")
     args = ap.parse_args(argv)
 
     headline = run_subset()
@@ -180,6 +208,8 @@ def main(argv=None) -> int:
     with open(BASELINE) as f:
         baseline = json.load(f)
     problems = compare(headline, baseline)
+    if not args.no_chaos:
+        problems += check_chaos_gate()
     if not args.no_wallclock:
         problems += check_simcore_floor()
     if problems:
@@ -189,7 +219,7 @@ def main(argv=None) -> int:
         return 1
     print(f"regression gate: {len(baseline['headline'])} headline "
           f"numbers within {REL_TOL * 100:.0f}% of baseline; "
-          f"simulator-core wall-clock above floor")
+          f"chaos trichotomy holds; simulator-core wall-clock above floor")
     return 0
 
 

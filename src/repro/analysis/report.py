@@ -79,11 +79,23 @@ def format_fault_report(fr) -> str:
     lines.append(f"  transport       {fr.retries:4d} retries, "
                  f"{fr.timeouts} timeouts, {fr.messages_dropped} drops, "
                  f"{fr.link_down_hits} link-down hits")
-    if fr.checkpoints or fr.restores:
+    if (fr.corrupt_detected or fr.retransmits or fr.integrity_failures
+            or fr.silent_corruptions):
+        lines.append(f"  integrity       {fr.corrupt_detected:4d} corrupt "
+                     f"detected, {fr.retransmits} retransmits, "
+                     f"{fr.integrity_failures} integrity failures")
+    if fr.silent_corruptions:
+        lines.append(f"  SILENT CORRUPTION: {fr.silent_corruptions} "
+                     f"corrupted deliveries passed verification")
+    if fr.watchdog_timeouts or fr.watchdog_escalations:
+        lines.append(f"  watchdog        {fr.watchdog_timeouts:4d} timeouts, "
+                     f"{fr.watchdog_escalations} escalations")
+    if fr.checkpoints or fr.restores or fr.checksum_failures:
         lines.append(f"  checkpoints     {fr.checkpoints:4d} saved "
                      f"({format_time(fr.checkpoint_time).strip()}), "
                      f"{fr.restores} restored "
-                     f"({format_time(fr.restore_time).strip()})")
+                     f"({format_time(fr.restore_time).strip()}), "
+                     f"{fr.checksum_failures} discarded corrupt")
     if fr.recoveries:
         lines.append(f"  recoveries      {fr.recoveries:4d} "
                      f"({format_time(fr.recovery_time).strip()} total)")

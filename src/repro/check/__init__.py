@@ -12,6 +12,11 @@ Three layers, designed to make collective-protocol bugs loud:
    and asserting the two layers above catch each one.
 """
 
+from .chaos import (
+    ChaosCase, ChaosResult, FAULT_KINDS, chaos_outcome_tally,
+    generate_chaos_matrix, parse_chaos_case, run_chaos, run_chaos_case,
+    run_chaos_selftest,
+)
 from .harness import (
     BOUNDARY_CASES, COLLECTIVES, Case, CaseResult, generate_matrix,
     parse_case, run_case, run_matrix,
@@ -23,6 +28,9 @@ from .reference import rank_payload, reduce_reference
 __all__ = [
     "BOUNDARY_CASES", "COLLECTIVES", "Case", "CaseResult",
     "generate_matrix", "parse_case", "run_case", "run_matrix",
+    "ChaosCase", "ChaosResult", "FAULT_KINDS", "chaos_outcome_tally",
+    "generate_chaos_matrix", "parse_chaos_case", "run_chaos",
+    "run_chaos_case", "run_chaos_selftest",
     "InvariantChecker", "Violation",
     "MUTATIONS", "MutationOutcome", "run_mutation_selftest",
     "rank_payload", "reduce_reference",

@@ -147,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run training under a named fault plan (chaos experiment)")
     c.add_argument("--plan", default="flaky",
                    help="named fault plan: quiet | flaky-nic | straggler "
-                        "| flaky | rank-crash | chaos")
+                        "| flaky | rank-crash | chaos | corrupt | stall")
+    c.add_argument("--list-plans", action="store_true",
+                   help="print the named fault plans and exit")
     c.add_argument("--cluster", default="A", choices=["A", "B"])
     c.add_argument("--gpus", type=int, default=16)
     c.add_argument("--network", default="alexnet")
@@ -182,6 +184,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the matrix without running it")
     k.add_argument("--failures-out", default=None, metavar="FILE",
                    help="write failing case specs + repro commands here")
+    k.add_argument("--chaos", action="store_true",
+                   help="run the chaos-conformance matrix instead: every "
+                        "collective x profile x fault kind must end "
+                        "exact, recovered, or typed-error — never "
+                        "silent corruption, never a hang")
+    k.add_argument("--chaos-case", default=None, metavar="SPEC",
+                   help="run one chaos cell from its spec string "
+                        "(as printed by a failing chaos sweep)")
+    k.add_argument("--chaos-self-test", action="store_true",
+                   help="prove the chaos gate has teeth (disable the "
+                        "checksum verify / the watchdog; each must be "
+                        "caught)")
 
     sub.add_parser("table1", help="print the Table-1 feature matrix")
     sub.add_parser("networks", help="list the model zoo")
@@ -393,6 +407,17 @@ def _cmd_chaos(args) -> int:
     from .hardware import make_cluster
     from .sim import Simulator
 
+    if args.list_plans:
+        for name in PLAN_NAMES:
+            plan = named_plan(name, seed=args.seed, horizon=1.0,
+                              n_ranks=args.gpus, n_nodes=2,
+                              gpus_per_node=max(1, args.gpus // 2),
+                              nics_per_node=1)
+            kinds = sorted({type(ev).__name__ for ev in plan.events})
+            print(f"{name:12s} {len(plan):3d} events  "
+                  f"{', '.join(kinds) if kinds else '(quiet)'}")
+        return 0
+
     if args.plan not in PLAN_NAMES:
         print(f"unknown plan {args.plan!r}; choose from "
               f"{', '.join(PLAN_NAMES)}", file=sys.stderr)
@@ -436,6 +461,18 @@ def _cmd_chaos(args) -> int:
         overhead = report.total_time / probe.total_time - 1.0
         print(f"  overhead vs quiet: {overhead * 100:+.1f}%")
     print(format_fault_report(report.faults))
+    fr = report.faults
+    print("integrity digest: "
+          f"mpi.integrity.corrupt_detected={fr.corrupt_detected} "
+          f"mpi.integrity.retransmits={fr.retransmits} "
+          f"mpi.integrity.failures={fr.integrity_failures} "
+          f"mpi.integrity.silent_corruptions={fr.silent_corruptions}")
+    if fr.silent_corruptions:
+        # The one outcome the contract forbids outright: corrupted
+        # bytes survived verification.  Louder exit than a plain fail.
+        print("SILENT CORRUPTION: corrupted deliveries passed checksum "
+              "verification", file=sys.stderr)
+        return 2
     return 0 if report.ok else 1
 
 
@@ -506,11 +543,57 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _cmd_chaos_check(args) -> int:
+    from .check import (
+        chaos_outcome_tally, generate_chaos_matrix, parse_chaos_case,
+        run_chaos, run_chaos_case, run_chaos_selftest,
+    )
+
+    if args.chaos_self_test:
+        outcomes = run_chaos_selftest()
+        for o in outcomes:
+            print(o.describe())
+        ok = all(o.detected and o.clean_ok for o in outcomes)
+        print(f"chaos self-test: {sum(o.detected for o in outcomes)}/"
+              f"{len(outcomes)} sabotaged protections caught")
+        return 0 if ok else 1
+
+    if args.chaos_case is not None:
+        result = run_chaos_case(parse_chaos_case(args.chaos_case))
+        print(result.describe())
+        for k, v in sorted(result.counters.items()):
+            print(f"    {k}={v}")
+        print(f"    sim_time={result.sim_time:.6f}s")
+        return 0 if result.ok else 1
+
+    cases = generate_chaos_matrix(args.seed, quick=args.quick)
+    if args.list_cases:
+        for c in cases:
+            print(c.spec())
+        return 0
+
+    results = run_chaos(cases, progress=lambda r: print(r.describe()))
+    tally = chaos_outcome_tally(results)
+    failures = [r for r in results if not r.ok]
+    print(f"\nchaos conformance: {len(results) - len(failures)}/"
+          f"{len(results)} cells pass (seed {args.seed})  "
+          + "  ".join(f"{k}={v}" for k, v in tally.items()))
+    if failures and args.failures_out:
+        with open(args.failures_out, "w") as fh:
+            for r in failures:
+                fh.write(r.describe() + "\n")
+        print(f"failing-cell repro commands written to {args.failures_out}")
+    return 1 if failures else 0
+
+
 def _cmd_check(args) -> int:
     from .check import (
         generate_matrix, parse_case, run_case, run_matrix,
         run_mutation_selftest,
     )
+
+    if args.chaos or args.chaos_case is not None or args.chaos_self_test:
+        return _cmd_chaos_check(args)
 
     if args.self_test:
         outcomes = run_mutation_selftest()

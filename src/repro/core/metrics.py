@@ -52,6 +52,21 @@ class FaultReport:
     checkpoint_time: float = 0.0
     restores: int = 0
     restore_time: float = 0.0
+    #: Integrity layer: corrupted deliveries caught by the checksum
+    #: verify, retransmissions they triggered, and transfers that
+    #: exhausted the retransmit budget against a persistent corruptor.
+    corrupt_detected: int = 0
+    retransmits: int = 0
+    integrity_failures: int = 0
+    #: Corrupted deliveries that *survived* verification.  Must stay 0;
+    #: non-zero means the checksum layer is broken (the chaos gate and
+    #: the mutation self-test key off this).
+    silent_corruptions: int = 0
+    #: Checkpoint restores that found (and discarded) a rotten snapshot.
+    checksum_failures: int = 0
+    #: Watchdog deadline windows that fired / escalation actions taken.
+    watchdog_timeouts: int = 0
+    watchdog_escalations: int = 0
 
     @property
     def total_injected(self) -> int:
@@ -61,7 +76,10 @@ class FaultReport:
     def clean(self) -> bool:
         """True when nothing was injected and nothing failed."""
         return (self.total_injected == 0 and self.detected_failures == 0
-                and self.retries == 0 and self.timeouts == 0)
+                and self.retries == 0 and self.timeouts == 0
+                and self.corrupt_detected == 0
+                and self.silent_corruptions == 0
+                and self.watchdog_timeouts == 0)
 
 
 @dataclass

@@ -28,13 +28,13 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Optional
 
 from ..cuda import DeviceBuffer
-from ..faults import CrashRank, FaultInjector, FaultPlan
+from ..faults import CrashRank, FaultInjector, FaultPlan, StallLink
 from ..hardware import Cluster
 from ..io import CheckpointStore, DataLayer, DataReader, get_dataset, \
     make_backend
 from ..mpi import (
-    CommRevoked, MPIRuntime, MPIProfile, MV2GDR, RankContext, RankFailure,
-    RequestTimeout, TransportTimeout,
+    CollectiveTimeout, CommRevoked, MPIRuntime, MPIProfile, MV2GDR,
+    RankContext, RankFailure, RequestTimeout, TransportTimeout,
 )
 from ..mpi.collectives import (
     bcast_binomial, hierarchical_reduce, ibcast, reduce_binomial,
@@ -88,12 +88,19 @@ class SCaffeJob:
         self.sim_iterations = min(cfg.iterations, cfg.measure_iterations + 1)
         self.injector = (FaultInjector(cluster, fault_plan)
                          if fault_plan is not None else None)
+        if telemetry is not None and self.injector is not None:
+            from ..telemetry import bind_injector
+            bind_injector(telemetry, self.injector)
         self.checkpoint = CheckpointStore(self.sim, self.cal)
         # Survivor agreement at loop end is only needed when a crash can
         # strand finished ranks; gating it on the plan keeps quiet-plan
         # runs event-for-event identical to uninjected ones.
         self._crash_possible = fault_plan is not None and any(
             isinstance(ev, CrashRank) for ev in fault_plan.events)
+        # The watchdog is armed only for plans that can actually stall;
+        # every other plan keeps the exact event schedule of PR 6.
+        self._stall_possible = fault_plan is not None and any(
+            isinstance(ev, StallLink) for ev in fault_plan.events)
         self._root_gpu = None
         self._last_loss: Optional[float] = None
         self._recoveries = 0
@@ -137,9 +144,30 @@ class SCaffeJob:
         try:
             procs = self.runtime.spawn(comm, self._rank_program, backend)
             if self.injector is not None:
+                if self._stall_possible:
+                    # A stall can park a collective forever with no
+                    # failing attempt for the retry loop to convert;
+                    # the watchdog turns it into a typed outcome.
+                    wd = self.runtime.ensure_watchdog()
+                    wd.arm(procs, comm.gpus,
+                           nbytes=self.workload.param_bytes)
                 self.injector.arm(runtime=self.runtime, procs=procs,
-                                  gpus=comm.gpus)
-            self.sim.run()
+                                  gpus=comm.gpus,
+                                  checkpoint=self.checkpoint)
+            try:
+                self.sim.run()
+            except Exception as exc:
+                # Under fault injection a failed rank is an *outcome*,
+                # not a harness bug: report it as a typed failure so
+                # callers (the chaos gate, the CLI) see the outcome
+                # trichotomy, never a hang or an unexplained traceback.
+                if self.injector is None:  # pragma: no cover - defensive
+                    raise
+                report.failure = type(exc).__name__
+                report.notes = str(exc)
+                report.simulated_time = self.sim.now
+                report.faults = self._fault_report()
+                return report
         finally:
             if tel is not None:
                 tel.uninstall()
@@ -186,6 +214,15 @@ class SCaffeJob:
         fr.checkpoint_time = self.checkpoint.save_time
         fr.restores = self.checkpoint.restores
         fr.restore_time = self.checkpoint.restore_time
+        fr.corrupt_detected = tm.corrupt_detected
+        fr.retransmits = tm.retransmits
+        fr.integrity_failures = tm.integrity_failures
+        fr.silent_corruptions = tm.silent_corruptions
+        fr.checksum_failures = self.checkpoint.checksum_failures
+        wd = self.runtime.watchdog
+        if wd is not None:
+            fr.watchdog_timeouts = wd.timeouts
+            fr.watchdog_escalations = wd.escalations
         return fr
 
     def _extrapolated_total(self) -> float:
@@ -270,6 +307,11 @@ class SCaffeJob:
                         # inherit this rank number after the shrink).
                         self.tracer.abandon(actor)
                         return  # cleanup below
+                    if isinstance(exc.cause, CollectiveTimeout):
+                        # Watchdog hard-interrupt: surface the typed
+                        # timeout (run() turns it into a failed report).
+                        self.tracer.abandon(actor)
+                        raise exc.cause from None
                     raise
                 except _RECOVERABLE as exc:
                     # The fault unwound us mid-iteration: drop any
@@ -333,6 +375,14 @@ class SCaffeJob:
         t0 = self.sim.now
         members = tuple(id(g) for g in ctx.comm.gpus)
         live = ctx.comm.shrink()
+        if not any(g is self._root_gpu for g in live.gpus):
+            # The root solver owns the checkpoint store and the reduced
+            # model; no survivor can take over its state, so its death
+            # is job death — a typed failure, never a quiet completion
+            # with orphaned bookkeeping.
+            raise RuntimeError(
+                f"unrecoverable failure on {ctx.comm.name}: root solver "
+                f"died ({exc})") from exc
         if tuple(id(g) for g in live.gpus) == members:
             # Nothing died — a bare transport timeout is not survivable
             # by shrinking, and retrying the same membership forever

@@ -2,12 +2,14 @@
 
 from .injector import DEFAULT_DETECT_LATENCY, FaultInjector
 from .plan import (
-    CrashRank, DropMessages, FaultEvent, FaultPlan, GpuSlow, LinkDegrade,
-    LinkFlap, PLAN_NAMES, named_plan,
+    CorruptCheckpoint, CorruptMessages, CrashRank, DropMessages, FaultEvent,
+    FaultPlan, GpuSlow, LinkDegrade, LinkFlap, PLAN_NAMES, StallLink,
+    named_plan,
 )
 
 __all__ = [
     "DEFAULT_DETECT_LATENCY", "FaultInjector",
-    "CrashRank", "DropMessages", "FaultEvent", "FaultPlan", "GpuSlow",
-    "LinkDegrade", "LinkFlap", "PLAN_NAMES", "named_plan",
+    "CorruptCheckpoint", "CorruptMessages", "CrashRank", "DropMessages",
+    "FaultEvent", "FaultPlan", "GpuSlow", "LinkDegrade", "LinkFlap",
+    "PLAN_NAMES", "StallLink", "named_plan",
 ]

@@ -20,12 +20,17 @@ from ..hardware import Cluster
 from ..hardware.faults import FaultyLink
 from ..sim import Event, Process
 from .plan import (
-    CrashRank, DropMessages, FaultPlan, GpuSlow, LinkDegrade, LinkFlap,
+    CorruptCheckpoint, CorruptMessages, CrashRank, DropMessages, FaultPlan,
+    GpuSlow, LinkDegrade, LinkFlap, StallLink,
 )
 
 __all__ = ["FaultInjector", "DEFAULT_DETECT_LATENCY"]
 
 #: Failure-detector latency: heartbeat period + suspicion threshold.
+#: The *default* for :attr:`repro.mpi.failure.FailureDetector.detect_latency`,
+#: which is the live value (settable via the ``mpi.detect_latency`` CVAR);
+#: the constant survives for back-compat and as the fallback when no
+#: runtime is attached.
 DEFAULT_DETECT_LATENCY = 2e-3
 
 
@@ -61,21 +66,35 @@ class FaultInjector:
         if not isinstance(link, FaultyLink):
             link = FaultyLink.from_link(link)
             setattr(owner, attr, link)
+            # Tell the transport its topology now carries fault-capable
+            # links, enabling the per-transfer integrity layer.
+            self.cluster.fault_links_armed = True
         return link
+
+    def _suspect_gpu(self, target):
+        """The GPU most plausibly blamed for a fault on ``target`` (None
+        for NIC faults, which are shared by a whole node)."""
+        if target[0] == "pcie":
+            return self.cluster.gpus[target[1]]
+        return None
 
     # -- arming ------------------------------------------------------------
     def arm(self, *, runtime=None, procs: Optional[List[Process]] = None,
-            gpus=None,
-            detect_latency: float = DEFAULT_DETECT_LATENCY) -> None:
+            gpus=None, checkpoint=None,
+            detect_latency: Optional[float] = None) -> None:
         """Spawn one driver process per scheduled event.
 
         ``runtime``/``procs``/``gpus`` are needed only for
         :class:`CrashRank` events (who to interrupt, which GPU to report
-        dead); link/GPU faults need just the cluster.
+        dead); ``checkpoint`` only for :class:`CorruptCheckpoint`;
+        link/GPU faults need just the cluster.  ``detect_latency=None``
+        reads the failure detector's live value (the ``mpi.detect_latency``
+        CVAR) at delivery time; pass a float to pin it.
         """
         for ev in self.plan.events:
             self.sim.process(
-                self._drive(ev, runtime, procs, gpus, detect_latency),
+                self._drive(ev, runtime, procs, gpus, checkpoint,
+                            detect_latency),
                 name=f"fault.{type(ev).__name__}")
 
     def _count(self, ev) -> None:
@@ -86,34 +105,69 @@ class FaultInjector:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
-    def _drive(self, ev, runtime, procs, gpus, detect_latency
+    def _watchdog(self, runtime):
+        return getattr(runtime, "watchdog", None) if runtime else None
+
+    def _delay(self, t: float) -> Generator[Event, Any, None]:
+        """Wait until fire time.  A zero delay yields nothing at all:
+        the fault state is applied during the driver's *initial* resume,
+        which (drivers being armed before rank programs spawn) runs
+        before any t=0 transfer attempt — a ``timeout(0)`` would requeue
+        behind them and miss the whole first round."""
+        if t > 0:
+            yield self.sim.timeout(t)
+
+    def _drive(self, ev, runtime, procs, gpus, checkpoint, detect_latency
                ) -> Generator[Event, Any, None]:
         if isinstance(ev, LinkDegrade):
             link = self._resolve_link(ev.target)
-            yield self.sim.timeout(ev.start)
+            yield from self._delay(ev.start)
             link.degrade(ev.factor)
             self._count(ev)
+            wd = self._watchdog(runtime)
+            if wd is not None:
+                wd.flag_straggler(ev.target)
             yield self.sim.timeout(ev.duration)
             link.restore()
         elif isinstance(ev, LinkFlap):
             link = self._resolve_link(ev.target)
-            yield self.sim.timeout(ev.start)
+            yield from self._delay(ev.start)
             link.set_down(True)
             self._count(ev)
             yield self.sim.timeout(ev.duration)
             link.set_down(False)
         elif isinstance(ev, DropMessages):
             link = self._resolve_link(ev.target)
-            yield self.sim.timeout(ev.time)
+            yield from self._delay(ev.time)
             link.drop_next(ev.count)
             self._count(ev)
         elif isinstance(ev, GpuSlow):
             gpu = self.cluster.gpus[ev.gpu]
-            yield self.sim.timeout(ev.start)
+            yield from self._delay(ev.start)
             gpu.compute_slowdown = ev.factor
             self._count(ev)
+            wd = self._watchdog(runtime)
+            if wd is not None:
+                wd.flag_straggler(("gpu", ev.gpu))
+        elif isinstance(ev, CorruptMessages):
+            link = self._resolve_link(ev.target)
+            yield from self._delay(ev.time)
+            link.corrupt_next(ev.count)
+            self._count(ev)
+        elif isinstance(ev, StallLink):
+            link = self._resolve_link(ev.target)
+            yield from self._delay(ev.start)
+            link.set_stalled(True)
+            self._count(ev)
+            wd = self._watchdog(runtime)
+            if wd is not None:
+                wd.flag_stalled(self._suspect_gpu(ev.target))
+        elif isinstance(ev, CorruptCheckpoint):
+            yield from self._delay(ev.time)
+            if checkpoint is not None and checkpoint.corrupt_latest():
+                self._count(ev)
         elif isinstance(ev, CrashRank):
-            yield self.sim.timeout(ev.time)
+            yield from self._delay(ev.time)
             proc = procs[ev.rank] if procs else None
             if proc is not None and not proc.is_alive:
                 return  # rank already finished: nothing to crash
@@ -122,7 +176,11 @@ class FaultInjector:
             self._count(ev)
             self.crashed_ranks.append(ev.rank)
             if runtime is not None and gpus is not None:
-                yield self.sim.timeout(detect_latency)
+                lat = detect_latency
+                if lat is None:
+                    lat = getattr(runtime.failure_detector,
+                                  "detect_latency", DEFAULT_DETECT_LATENCY)
+                yield self.sim.timeout(lat)
                 runtime.failure_detector.mark_dead(gpus[ev.rank])
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown fault event {ev!r}")

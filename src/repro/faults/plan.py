@@ -20,8 +20,8 @@ from dataclasses import dataclass
 from typing import Tuple, Union
 
 __all__ = ["LinkDegrade", "LinkFlap", "GpuSlow", "DropMessages",
-           "CrashRank", "FaultEvent", "FaultPlan", "named_plan",
-           "PLAN_NAMES"]
+           "CrashRank", "CorruptMessages", "StallLink", "CorruptCheckpoint",
+           "FaultEvent", "FaultPlan", "named_plan", "PLAN_NAMES"]
 
 LinkTarget = Tuple
 
@@ -71,7 +71,48 @@ class CrashRank:
     rank: int
 
 
-FaultEvent = Union[LinkDegrade, LinkFlap, GpuSlow, DropMessages, CrashRank]
+@dataclass(frozen=True)
+class CorruptMessages:
+    """The next ``count`` transfers on the link arrive bit-flipped.
+
+    Models a flaky lane / DMA engine silently corrupting payloads in
+    flight.  Without the transport's checksum verify this would be
+    *silent* corruption — wrong bytes in the result with no error; with
+    it, each corrupted delivery is detected and retransmitted.
+    """
+
+    time: float
+    target: LinkTarget
+    count: int
+
+
+@dataclass(frozen=True)
+class StallLink:
+    """The link stalls indefinitely from ``start`` on — transfers hang.
+
+    Unlike :class:`LinkFlap` (which *fails* transfers, letting retries
+    bridge it), a stalled link accepts the transfer and never completes
+    it: the failure mode that turns into a collective hang unless a
+    watchdog converts it into a typed timeout.
+    """
+
+    start: float
+    target: LinkTarget
+
+
+@dataclass(frozen=True)
+class CorruptCheckpoint:
+    """The latest checkpoint snapshot is corrupted at ``time``.
+
+    A subsequent restore must detect the bad checksum and discard the
+    snapshot (bounded rollback) rather than resume from wrong bytes.
+    """
+
+    time: float
+
+
+FaultEvent = Union[LinkDegrade, LinkFlap, GpuSlow, DropMessages, CrashRank,
+                   CorruptMessages, StallLink, CorruptCheckpoint]
 
 
 def _sort_key(ev: FaultEvent):
@@ -111,8 +152,11 @@ class FaultPlan:
 
 
 #: Names accepted by :func:`named_plan` (CLI ``repro chaos --plan``).
+#: New names append at the end: plan builders draw from a shared
+#: ``random.Random(seed)``, so the draw sequence of existing plans must
+#: never change.
 PLAN_NAMES = ("quiet", "flaky-nic", "straggler", "flaky", "rank-crash",
-              "chaos")
+              "chaos", "corrupt", "stall")
 
 
 def named_plan(name: str, *, seed: int, horizon: float, n_ranks: int,
@@ -169,6 +213,23 @@ def named_plan(name: str, *, seed: int, horizon: float, n_ranks: int,
         victim = rng.randrange(1, max(2, n_ranks))
         events.append(CrashRank(time=0.5 * horizon, rank=victim))
 
+    def corrupting():
+        victim = rng.randrange(n_ranks)
+        target = rank_link(victim)
+        # A burst of bit-flipped deliveries early, then checkpoint rot
+        # late: the run must detect+retransmit the former and
+        # detect+discard the latter.
+        t0 = rng.uniform(0.05, 0.4) * horizon
+        events.append(CorruptMessages(time=t0, target=target,
+                                      count=rng.randrange(1, 4)))
+        events.append(CorruptCheckpoint(time=0.8 * horizon))
+
+    def stalling():
+        victim = rng.randrange(n_ranks)
+        target = rank_link(victim)
+        events.append(StallLink(start=rng.uniform(0.2, 0.5) * horizon,
+                                target=target))
+
     if name == "flaky-nic":
         flaky_nic()
     elif name == "straggler":
@@ -182,4 +243,8 @@ def named_plan(name: str, *, seed: int, horizon: float, n_ranks: int,
         flaky_nic()
         straggler()
         rank_crash()
+    elif name == "corrupt":
+        corrupting()
+    elif name == "stall":
+        stalling()
     return FaultPlan(name=name, events=tuple(events))

@@ -37,6 +37,11 @@ class Cluster:
         self.cal = cal or DEFAULT_CALIBRATION
         self.name = name
         self.node_spec = node_spec
+        #: Set by the fault injector when it swaps a FaultyLink into the
+        #: topology.  The transport's integrity layer keys off this flag
+        #: so quiet runs pay one attribute load, not a per-transfer
+        #: link-walk + checksum.
+        self.fault_links_armed = False
         self.nodes: List[Node] = []
         gi = 0
         for i in range(n_nodes):

@@ -53,9 +53,13 @@ class FaultyLink(BandwidthLink):
         self._slowdown = 1.0
         self._down = False
         self._drops_pending = 0
+        self._corrupt_pending = 0
+        self._stalled = False
         #: Telemetry: faults actually *hit* by traffic on this link.
         self.drops_served = 0
         self.down_hits = 0
+        self.corruptions_served = 0
+        self.stall_hits = 0
         super().__init__(*args, **kwargs)
 
     @classmethod
@@ -109,6 +113,27 @@ class FaultyLink(BandwidthLink):
             raise ValueError("drop count must be >= 0")
         self._drops_pending += count
 
+    def corrupt_next(self, count: int = 1) -> None:
+        """Bit-flip the payload of the next ``count`` transfers.
+
+        Unlike drops, corruption is *not* exception-based: the transfer
+        completes normally and delivers flipped bytes — the whole point
+        is that only the receive-side checksum can tell.
+        """
+        if count < 0:
+            raise ValueError("corrupt count must be >= 0")
+        self._corrupt_pending += count
+
+    @property
+    def is_stalled(self) -> bool:
+        return self._stalled
+
+    def set_stalled(self, stalled: bool = True) -> None:
+        """Stall the link: new transfers park forever (until a watchdog
+        breaks the collective).  A cleared stall only affects transfers
+        that have not started yet."""
+        self._stalled = bool(stalled)
+
     # -- fault delivery ----------------------------------------------------
     def check_fault(self) -> None:
         """Raise the pending fault, if any (called at transfer start)."""
@@ -120,6 +145,29 @@ class FaultyLink(BandwidthLink):
             self.drops_served += 1
             raise MessageDropped(f"message dropped on {self.name}")
 
+    def consume_corruption(self) -> bool:
+        """Consume one pending payload corruption (no sim time, no
+        events).  Called synchronously by the transport at the start of
+        each attempt, so a concurrent transfer on another link cannot be
+        mis-attributed the flip."""
+        if self._corrupt_pending:
+            self._corrupt_pending -= 1
+            self.corruptions_served += 1
+            return True
+        return False
+
+    def stall_transfer(self, nbytes: int):
+        """Sub-protocol for a transfer hitting a stalled link: park
+        forever (until a watchdog interrupts the collective).  Called by
+        :meth:`transfer` and by multi-link paths, which bypass
+        :meth:`transfer` and compose link parameters directly."""
+        self.stall_hits += 1
+        self.messages += 1
+        self.bytes_moved += nbytes
+        yield self.sim.event()  # never fires: parked until interrupted
+
     def transfer(self, nbytes: int, **kwargs):
+        if self._stalled:
+            return self.stall_transfer(nbytes)
         self.check_fault()
         return super().transfer(nbytes, **kwargs)

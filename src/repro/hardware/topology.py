@@ -41,7 +41,8 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
     Fault semantics: any :class:`~repro.hardware.faults.FaultyLink` on
     the path is checked up front — a down link or a pending forced drop
     raises before any wire is held, so the transport retry path observes
-    a clean failure.  Interrupt-safe: an interrupt while queued on a
+    a clean failure; a stalled link parks the transfer forever (watchdog
+    territory).  Interrupt-safe: an interrupt while queued on a
     link withdraws the pending request instead of leaking the grant.
     """
     if not links:
@@ -72,6 +73,10 @@ def multi_link_transfer(sim: Simulator, links: Sequence[BandwidthLink],
         check = l.check_fault
         if check is not None:
             check()
+            if l.is_stalled:
+                # Stalled link: the transfer parks forever instead of
+                # failing fast — only a watchdog interrupt releases it.
+                yield from l.stall_transfer(nbytes)
     jitter = 0.0
     lat = 0.0
     bw = None

@@ -17,6 +17,8 @@ latest snapshot — the restart protocol never reaches further back.
 
 from __future__ import annotations
 
+import dataclasses
+import zlib
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
@@ -24,7 +26,21 @@ from ..hardware.calibration import Calibration
 from ..hardware.gpu import GPUDevice
 from ..sim import Event, Simulator
 
-__all__ = ["Snapshot", "CheckpointStore"]
+__all__ = ["Snapshot", "CheckpointStore", "snapshot_checksum"]
+
+
+def snapshot_checksum(iteration: int, nbytes: int,
+                      payload: Optional[Any]) -> int:
+    """CRC32 over the snapshot's identifying content.
+
+    Payload-carrying snapshots hash the real bytes; size-only runs hash
+    the metadata, which still detects the modeled corruption (the
+    corruptor records itself by breaking the stored checksum).
+    """
+    if payload is not None:
+        import numpy as np
+        return zlib.crc32(np.ascontiguousarray(payload).tobytes())
+    return zlib.crc32(f"{iteration}:{nbytes}".encode())
 
 
 @dataclass(frozen=True)
@@ -39,6 +55,11 @@ class Snapshot:
     time: float
     #: Optional real payload (adapter parameter vector) for real-math runs.
     payload: Optional[Any] = None
+    #: CRC32 recorded at save time; verified on restore.
+    checksum: int = 0
+    #: True once a :class:`~repro.faults.plan.CorruptCheckpoint` fault
+    #: rotted this snapshot (its stored checksum no longer matches).
+    corrupted: bool = False
 
 
 class CheckpointStore:
@@ -61,6 +82,8 @@ class CheckpointStore:
         self.save_time = 0.0
         self.restore_time = 0.0
         self.bytes_written = 0
+        #: Restores that found a corrupted snapshot (and discarded it).
+        self.checksum_failures = 0
 
     @property
     def latest(self) -> Optional[Snapshot]:
@@ -81,18 +104,43 @@ class CheckpointStore:
         yield from gpu.pcie_up.transfer(nbytes)
         yield self.sim.timeout(self.METADATA_OVERHEAD)
         yield self.sim.timeout(nbytes / self._write_bw)
-        self._latest = Snapshot(iteration=iteration, nbytes=nbytes,
-                                time=self.sim.now, payload=payload)
+        self._latest = Snapshot(
+            iteration=iteration, nbytes=nbytes, time=self.sim.now,
+            payload=payload,
+            checksum=snapshot_checksum(iteration, nbytes, payload))
         self.saves += 1
         self.bytes_written += nbytes
         self.save_time += self.sim.now - t0
+
+    def corrupt_latest(self) -> bool:
+        """Rot the latest snapshot in place (fault-injection hook).
+
+        Returns True if there was a snapshot to corrupt.  The stored
+        checksum is left untouched while the ``corrupted`` flag marks
+        the content as rotten, so :meth:`restore`'s verify fails exactly
+        as it would on a real bad block.
+        """
+        if self._latest is None:
+            return False
+        self._latest = dataclasses.replace(self._latest, corrupted=True)
+        return True
+
+    def verify(self, snap: Snapshot) -> bool:
+        """Does the snapshot's stored checksum match its content?"""
+        if snap.corrupted:
+            return False
+        return snap.checksum == snapshot_checksum(
+            snap.iteration, snap.nbytes, snap.payload)
 
     def restore(self, gpu: GPUDevice
                 ) -> Generator[Event, Any, Optional[Snapshot]]:
         """Sub-protocol: stream the latest snapshot back onto ``gpu``.
 
         Returns the snapshot, or None when nothing was ever saved (the
-        restart then recomputes from iteration 0).
+        restart then recomputes from iteration 0).  A snapshot whose
+        checksum no longer verifies is *discarded* and None returned:
+        bounded rollback to iteration 0 rather than resuming training
+        from silently wrong solver state.
         """
         snap = self._latest
         if snap is None:
@@ -100,6 +148,13 @@ class CheckpointStore:
         t0 = self.sim.now
         yield self.sim.timeout(self.METADATA_OVERHEAD)
         yield self.sim.timeout(snap.nbytes / self._read_bw)
+        if not self.verify(snap):
+            # The stream-in already cost its read time (you must read
+            # the bytes to hash them); the H2D is skipped.
+            self.checksum_failures += 1
+            self._latest = None
+            self.restore_time += self.sim.now - t0
+            return None
         yield self.sim.timeout(self.cal.cuda_copy_overhead)
         yield from gpu.pcie_down.transfer(snap.nbytes)
         self.restores += 1

@@ -9,7 +9,11 @@ from .request import (
 )
 from .rma import Window, create_window
 from .runtime import MPIRuntime
-from .transport import DeviceTransport, TransportMetrics, TransportTimeout
+from .transport import (
+    ChecksumError, DeviceTransport, IntegrityError, TransportMetrics,
+    TransportTimeout,
+)
+from .watchdog import CollectiveTimeout, CollectiveWatchdog
 
 __all__ = [
     "collectives", "omb",
@@ -19,5 +23,7 @@ __all__ = [
     "ANY_SOURCE", "ANY_TAG", "Request", "RequestTimeout",
     "waitall", "waitany",
     "MPIRuntime", "DeviceTransport", "TransportMetrics", "TransportTimeout",
+    "ChecksumError", "IntegrityError",
+    "CollectiveTimeout", "CollectiveWatchdog",
     "Window", "create_window",
 ]

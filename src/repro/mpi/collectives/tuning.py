@@ -167,6 +167,15 @@ def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
     if not ctx.profile.hierarchical_reduce:
         yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
         return
+    wd = getattr(ctx.runtime, "watchdog", None)
+    if wd is not None and wd.degraded_mode:
+        # A flagged straggler (degraded link / throttled GPU) poisons
+        # chain and hierarchical schedules, whose pipelines serialize on
+        # the slow hop; the binomial tree touches it in O(log P) rounds
+        # at worst.  Degrade gracefully rather than tune for a topology
+        # that no longer exists.
+        yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
+        return
     if chain_size is None:
         # Default from the profile so the MPI_T cvar (coll.chain_size)
         # steers the decision table without threading an argument.

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..cuda import CudaRuntime, DeviceBuffer
 from ..hardware.gpu import GPUDevice
-from ..sim import Barrier, Event, Simulator
+from ..sim import Barrier, Event, Interrupt, Simulator
 from .failure import CommRevoked, RankFailure
 from .profiles import MPIProfile
 from .request import ANY_SOURCE, ANY_TAG, Request
@@ -98,6 +98,13 @@ class Communicator:
         self._coll_seq = [0] * len(gpus)
         self._revoked: Optional[BaseException] = None
         self._shrunk: Dict[Tuple[int, ...], "Communicator"] = {}
+        # Matched pairs whose transfer is in flight (mover process ->
+        # (send, recv)).  Queued operations live in _posted/_unexpected;
+        # once matched they exist only here, and revoke() must fail them
+        # too — a transfer parked on a stalled link never completes on
+        # its own, and ULFM revocation promises *every* pending
+        # operation errors out.
+        self._inflight: Dict[Any, Tuple[_PendingSend, _PostedRecv]] = {}
         runtime.failure_detector.register_comm(self)
 
     @property
@@ -133,6 +140,18 @@ class Communicator:
                 if not send.eager and not send.request.completed:
                     send.request.fail(wrapped)
             q.clear()
+        # Matched pairs mid-transfer: fail their requests and interrupt
+        # the mover — a transfer parked on a stalled link would
+        # otherwise hold its receiver hostage forever, invisible to the
+        # queue sweeps above.
+        for proc, (send, recv) in list(self._inflight.items()):
+            if not send.eager and not send.request.completed:
+                send.request.fail(wrapped)
+            if not recv.request.completed:
+                recv.request.fail(wrapped)
+            if proc.is_alive:
+                proc.interrupt(wrapped)
+        self._inflight.clear()
         self._barrier.abort(wrapped)
 
     def shrink(self) -> "Communicator":
@@ -211,11 +230,19 @@ class Communicator:
 
         transport = self.runtime.transport
 
+        # Registration cell: filled after the (eager) spawn returns, so
+        # a mover that somehow finishes inline deregisters a no-op.
+        hold: List[Any] = []
+
         def mover():
             try:
+                # The eager-send snapshot rides down as the transfer's
+                # payload so delivery (and the integrity verify) happen
+                # in one place, inside the transport.
                 yield from transport.transfer(
                     send.buf, recv.buf, send.nbytes,
-                    src_offset=send.offset, dst_offset=recv.offset)
+                    src_offset=send.offset, dst_offset=recv.offset,
+                    payload=send.snapshot)
             except TransportTimeout as exc:
                 # Deliver through the requests instead of crashing the
                 # simulation from an unwaited mover process.
@@ -224,9 +251,14 @@ class Communicator:
                 if not recv.request.completed:
                     recv.request.fail(exc)
                 return
-            if send.snapshot is not None and recv.buf.data is not None:
-                dst = recv.buf.data.view(np.uint8)
-                dst[recv.offset:recv.offset + send.nbytes] = send.snapshot
+            except Interrupt:
+                # Revocation killed this in-flight transfer (it may be
+                # parked on a stalled link and would never finish on its
+                # own); revoke() already failed both requests.
+                return
+            finally:
+                if hold:
+                    self._inflight.pop(hold[0], None)
             status = MessageStatus(send.src_rank, send.tag, send.nbytes)
             # Revocation may have failed the requests while the bytes
             # were in flight; completion is then a no-op.
@@ -240,7 +272,11 @@ class Communicator:
         # transfer's own links, and completion always crosses at least
         # one timeout, so the caller never observes a finished request
         # out of thin air).
-        self.sim.process(mover(), name=f"{self.name}.xfer", eager=True)
+        proc = self.sim.process(mover(), name=f"{self.name}.xfer",
+                                eager=True)
+        if proc.is_alive:
+            hold.append(proc)
+            self._inflight[proc] = (send, recv)
 
     # -- pt2pt entry points ------------------------------------------------------
     def isend(self, src_rank: int, dst_rank: int, buf: DeviceBuffer,

@@ -53,6 +53,11 @@ class FailureDetector:
         self._comms: List["Communicator"] = []
         #: Telemetry: number of distinct rank deaths detected.
         self.detections = 0
+        #: Live detection latency (heartbeat period + suspicion
+        #: threshold).  Settable at runtime via the ``mpi.detect_latency``
+        #: CVAR; the fault injector reads it at crash-delivery time.
+        from ..faults.injector import DEFAULT_DETECT_LATENCY
+        self.detect_latency = DEFAULT_DETECT_LATENCY
 
     # -- registry ----------------------------------------------------------
     def register_comm(self, comm: "Communicator") -> None:
@@ -85,6 +90,16 @@ class FailureDetector:
         self._dead_gpus.append(gpu)
         self.detections += 1
         exc = RankFailure(f"rank on {gpu.name} failed")
+        for comm in list(self._comms):
+            comm.revoke(exc)
+
+    def revoke_all(self, exc: BaseException) -> None:
+        """Revoke every registered communicator with ``exc``.
+
+        The watchdog's escalation path for stalls with no attributable
+        dead rank: survivors parked on a transfer that will never
+        complete observe a typed error instead of hanging forever.
+        """
         for comm in list(self._comms):
             comm.revoke(exc)
 

@@ -38,6 +38,18 @@ class MPIRuntime:
         self.cuda = CudaRuntime(cluster)
         self.transport = DeviceTransport(cluster, self.cuda, self.profile)
         self.failure_detector = FailureDetector(self.sim)
+        #: Collective watchdog (:class:`~repro.mpi.watchdog.
+        #: CollectiveWatchdog`); None until a fault-aware caller attaches
+        #: one via :meth:`ensure_watchdog` — an unattached watchdog costs
+        #: nothing and keeps quiet runs event-identical.
+        self.watchdog = None
+
+    def ensure_watchdog(self):
+        """Attach (or return the existing) collective watchdog."""
+        if self.watchdog is None:
+            from .watchdog import CollectiveWatchdog
+            self.watchdog = CollectiveWatchdog(self)
+        return self.watchdog
 
     def set_profile(self, profile: MPIProfile) -> None:
         """Swap the mechanism profile (MPI_T cvar writes land here).

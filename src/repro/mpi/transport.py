@@ -22,6 +22,7 @@ the event model rather than a closed-form guess.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Generator, Optional
 
 import numpy as np
@@ -34,11 +35,30 @@ from ..sim.resources import pipeline_exit_times
 from ..telemetry.metrics import MetricsRegistry
 from .profiles import MPIProfile
 
-__all__ = ["DeviceTransport", "TransportTimeout", "TransportMetrics"]
+__all__ = ["DeviceTransport", "TransportTimeout", "TransportMetrics",
+           "ChecksumError", "IntegrityError"]
 
 
 class TransportTimeout(RuntimeError):
     """A transfer exhausted its retry budget (the link never recovered)."""
+
+
+class ChecksumError(TransportFault):
+    """The delivered payload failed its CRC32 verify (NACK: retransmit).
+
+    A :class:`~repro.hardware.faults.TransportFault` subclass so the
+    transport's bounded retry/backoff loop doubles as the retransmit
+    machinery — a corrupted delivery is re-sent like a dropped one.
+    """
+
+
+class IntegrityError(TransportTimeout):
+    """Every retransmit kept failing its checksum (persistent corruptor).
+
+    A :class:`TransportTimeout` subclass: callers that treat transport
+    exhaustion as recoverable (revoke/shrink) handle this identically;
+    the distinct type preserves *why* the transfer gave up.
+    """
 
 
 class TransportMetrics:
@@ -69,6 +89,19 @@ class TransportMetrics:
         self._stagings_peak = registry.gauge(
             "transport.stagings_peak",
             "high-water mark of concurrently live staging buffers")
+        self._corrupt_detected = registry.counter(
+            "integrity.corrupt_detected",
+            "deliveries whose CRC32 verify failed (corruption caught)")
+        self._retransmits = registry.counter(
+            "integrity.retransmits",
+            "transfers re-sent after a failed checksum verify")
+        self._integrity_failures = registry.counter(
+            "integrity.failures",
+            "transfers that exhausted retransmits on checksum failures")
+        self._silent_corruptions = registry.counter(
+            "integrity.silent_corruptions",
+            "corrupted deliveries that PASSED verify (must stay 0; "
+            "non-zero means the checksum layer is broken)")
 
     @property
     def retries(self) -> int:
@@ -96,6 +129,22 @@ class TransportMetrics:
     def stagings_peak(self) -> int:
         return int(self._stagings_peak.value())
 
+    @property
+    def corrupt_detected(self) -> int:
+        return int(self._corrupt_detected.value())
+
+    @property
+    def retransmits(self) -> int:
+        return int(self._retransmits.value())
+
+    @property
+    def integrity_failures(self) -> int:
+        return int(self._integrity_failures.value())
+
+    @property
+    def silent_corruptions(self) -> int:
+        return int(self._silent_corruptions.value())
+
     def count_retry(self) -> None:
         self._retries.inc()
 
@@ -107,6 +156,18 @@ class TransportMetrics:
 
     def count_link_down(self) -> None:
         self._link_down.inc()
+
+    def count_corrupt_detected(self) -> None:
+        self._corrupt_detected.inc()
+
+    def count_retransmit(self) -> None:
+        self._retransmits.inc()
+
+    def count_integrity_failure(self) -> None:
+        self._integrity_failures.inc()
+
+    def count_silent_corruption(self) -> None:
+        self._silent_corruptions.inc()
 
     def enter_staging(self) -> None:
         self._stagings.inc()
@@ -146,10 +207,25 @@ class DeviceTransport:
     # -- public API --------------------------------------------------------
     def transfer(self, src: DeviceBuffer, dst: DeviceBuffer,
                  nbytes: Optional[int] = None, *, src_offset: int = 0,
-                 dst_offset: int = 0) -> Generator[Event, Any, None]:
+                 dst_offset: int = 0, payload: Optional[np.ndarray] = None,
+                 ) -> Generator[Event, Any, None]:
         """Sub-protocol: move ``nbytes`` from ``src`` to ``dst``.
 
         Payload bytes (when present) are copied on completion.
+        ``payload`` overrides the delivered bytes with a frozen snapshot
+        (the communicator's eager-send contract: the bytes captured at
+        post time land, not whatever the sender wrote since) — routing
+        it through the transport keeps delivery in one place, so the
+        integrity layer covers snapshots too.
+
+        When the fault injector has armed corruptible links, every
+        delivery is CRC32-verified against the bytes the sender put on
+        the wire; a mismatch is NACKed and retransmitted through the
+        same bounded backoff schedule as a drop.  Persistent corruption
+        surfaces as :class:`IntegrityError` (a typed
+        :class:`TransportTimeout`), never as silently wrong bytes.  On a
+        quiet fabric the integrity layer costs one attribute load and
+        adds zero simulated events.
         """
         if src_offset < 0 or dst_offset < 0:
             raise ValueError(
@@ -173,30 +249,58 @@ class DeviceTransport:
             # One logical message per transfer call (retries not
             # double-counted) — feeds the (src, dst) comm matrix.
             rec.message(src.device, dst.device, n)
+        armed = self.cluster.fault_links_armed
         attempt = 0
+        corrupted = False
         while True:
             try:
+                if armed and n:
+                    corrupted = self._consume_corruption(src, dst)
                 moved = yield from self._transfer_once(
                     src, dst, n, src_offset, dst_offset)
+                if armed:
+                    self._deliver(src, dst, n, src_offset, dst_offset,
+                                  payload, moved, corrupted)
+                    self._verify(src, dst, n, src_offset, dst_offset,
+                                 payload, corrupted)
                 break
             except TransportFault as exc:
                 if isinstance(exc, MessageDropped):
                     self.metrics.count_drop()
                 elif isinstance(exc, LinkDownError):
                     self.metrics.count_link_down()
+                elif isinstance(exc, ChecksumError):
+                    self.metrics.count_corrupt_detected()
                 attempt += 1
                 if attempt > self.RETRY_LIMIT:
+                    if isinstance(exc, ChecksumError):
+                        self.metrics.count_integrity_failure()
+                        raise IntegrityError(
+                            f"transfer {src.device.name}->{dst.device.name} "
+                            f"failed checksum verify {self.RETRY_LIMIT + 1} "
+                            f"times") from exc
                     self.metrics.count_timeout()
                     raise TransportTimeout(
                         f"transfer {src.device.name}->{dst.device.name} "
                         f"gave up after {self.RETRY_LIMIT} retries") from exc
-                self.metrics.count_retry()
+                if isinstance(exc, ChecksumError):
+                    self.metrics.count_retransmit()
+                else:
+                    self.metrics.count_retry()
                 backoff = min(self.RETRY_BASE * (2 ** (attempt - 1)),
                               self.RETRY_MAX)
                 yield self.sim.timeout(backoff)
-        if not moved:
-            dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
-                                  dst_offset=dst_offset)
+        if not armed:
+            if not moved:
+                dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
+                                      dst_offset=dst_offset)
+            if payload is not None and dst.data is not None:
+                dst.data.view(np.uint8)[dst_offset:dst_offset + n] = payload
+        elif corrupted:
+            # Reachable only if _verify let a corrupted delivery through
+            # (e.g. the mutation self-test disabling it): the exact
+            # failure mode the chaos gate exists to keep at zero.
+            self.metrics.count_silent_corruption()
 
     def _transfer_once(self, src: DeviceBuffer, dst: DeviceBuffer, n: int,
                        src_offset: int, dst_offset: int,
@@ -229,6 +333,86 @@ class DeviceTransport:
                     tel.on_transfer_path("staged_inter", n)
                 yield from self._staged_inter_node(src, dst, n)
         return False
+
+    # -- integrity layer ---------------------------------------------------
+    def _path_links(self, src: DeviceBuffer, dst: DeviceBuffer):
+        """The links a (src, dst) transfer traverses, for corruption
+        attribution.  Mirrors the routing in :meth:`_transfer_once`."""
+        a, b = src.device, dst.device
+        if a is b:
+            return ()
+        if self.cluster.same_node(a, b):
+            if self.profile.ipc:
+                return (a.pcie_up, b.pcie_down)
+            node = self.cluster.node_of(a)
+            return (a.pcie_up, node.host_memcpy, b.pcie_down)
+        nic_a = self.cluster.node_of(a).nic_for(a)
+        nic_b = self.cluster.node_of(b).nic_for(b)
+        return (a.pcie_up, nic_a.tx, nic_b.rx, b.pcie_down)
+
+    def _consume_corruption(self, src: DeviceBuffer, dst: DeviceBuffer,
+                            ) -> bool:
+        """Consume at most one pending payload corruption on the path.
+
+        Runs synchronously at attempt start (no yields between consuming
+        the flag and the attempt it applies to), so concurrent transfers
+        on other links cannot be mis-attributed the flip.
+        """
+        for link in self._path_links(src, dst):
+            hook = link.consume_corruption
+            if hook is not None and hook():
+                return True
+        return False
+
+    def _deliver(self, src: DeviceBuffer, dst: DeviceBuffer, n: int,
+                 src_offset: int, dst_offset: int,
+                 payload: Optional[np.ndarray], moved: bool,
+                 corrupted: bool) -> None:
+        """Materialize one attempt's delivered bytes into ``dst``.
+
+        Idempotent across retransmits: each attempt rewrites the range
+        from the source of truth, then applies this attempt's wire
+        corruption (a deterministic bit-flip) on top.
+        """
+        if payload is not None and dst.data is not None:
+            dst.data.view(np.uint8)[dst_offset:dst_offset + n] = payload
+        elif not moved:
+            dst.copy_payload_from(src, nbytes=n, src_offset=src_offset,
+                                  dst_offset=dst_offset)
+        if corrupted and n and dst.data is not None:
+            view = dst.data.view(np.uint8)
+            view[dst_offset] ^= 0x01
+
+    def _verify(self, src: DeviceBuffer, dst: DeviceBuffer, n: int,
+                src_offset: int, dst_offset: int,
+                payload: Optional[np.ndarray], corrupted: bool) -> None:
+        """Receive-side CRC32 verify; raises :class:`ChecksumError` on a
+        mismatch (the NACK that triggers a retransmit).
+
+        With real payloads the sender's CRC is computed over the bytes
+        put on the wire and compared against the delivered range.  On
+        size-only runs (no arrays to hash) the wire-corruption flag
+        stands in for the mismatch — the *semantics* (detected, NACKed,
+        retransmitted) are identical.
+        """
+        if dst.data is not None and (payload is not None
+                                     or src.data is not None):
+            if payload is not None:
+                sent = np.ascontiguousarray(payload[:n])
+            else:
+                sent = np.ascontiguousarray(
+                    src.data.view(np.uint8)[src_offset:src_offset + n])
+            got = np.ascontiguousarray(
+                dst.data.view(np.uint8)[dst_offset:dst_offset + n])
+            if zlib.crc32(sent.tobytes()) != zlib.crc32(got.tobytes()):
+                raise ChecksumError(
+                    f"CRC32 mismatch on {src.device.name}->"
+                    f"{dst.device.name} ({n} bytes)")
+            return
+        if corrupted:
+            raise ChecksumError(
+                f"CRC32 mismatch on {src.device.name}->{dst.device.name} "
+                f"({n} bytes, modeled)")
 
     def estimate(self, src_gpu, dst_gpu, nbytes: int) -> float:
         """Closed-form uncontended estimate (used by tuning tables)."""

@@ -242,6 +242,11 @@ class BandwidthLink:
     #: it with a plain attribute load instead of getattr-with-default.
     check_fault = None
 
+    #: Corruption hook, same pattern: ``None`` on a healthy link;
+    #: FaultyLink overrides it with a method that consumes one pending
+    #: payload corruption and reports whether the delivery is flipped.
+    consume_corruption = None
+
     def __init__(self, sim: Simulator, *, bandwidth: float, latency: float,
                  name: str = "", per_message_overhead: float = 0.0,
                  jitter: float = 0.0):

@@ -24,7 +24,7 @@ from .metrics import (
 __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
     "PerfVar", "CtrlVar", "TelemetrySession", "TelemetrySummary",
-    "bind_cluster", "bind_runtime", "training_summary",
+    "bind_cluster", "bind_injector", "bind_runtime", "training_summary",
     "to_prometheus", "to_json_snapshot", "timeseries_to_csv",
 ]
 
@@ -32,7 +32,8 @@ _LAZY = {
     "PerfVar": "introspect", "CtrlVar": "introspect",
     "TelemetrySession": "introspect",
     "TelemetrySummary": "instrument", "bind_cluster": "instrument",
-    "bind_runtime": "instrument", "training_summary": "instrument",
+    "bind_injector": "instrument", "bind_runtime": "instrument",
+    "training_summary": "instrument",
 }
 
 

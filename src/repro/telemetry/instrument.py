@@ -22,8 +22,8 @@ from typing import Any, Dict
 
 from .introspect import CtrlVar, PerfVar, TelemetrySession
 
-__all__ = ["bind_cluster", "bind_runtime", "training_summary",
-           "TelemetrySummary"]
+__all__ = ["bind_cluster", "bind_injector", "bind_runtime",
+           "training_summary", "TelemetrySummary"]
 
 
 def _all_links(cluster):
@@ -135,10 +135,47 @@ def bind_runtime(session: TelemetrySession, runtime) -> None:
         session.register_cvar(CtrlVar(name, desc, get=get, set=set_,
                                       **kwargs))
 
+    # Not a profile field: the failure detector's suspicion latency is
+    # live mutable state, so the knob writes through directly (applies
+    # to detections armed after the write — same MPI_T contract).
+    if "mpi.detect_latency" not in session.cvar_names():
+        fd = runtime.failure_detector
+
+        def get_latency():
+            return fd.detect_latency
+
+        def set_latency(value):
+            fd.detect_latency = value
+
+        session.register_cvar(CtrlVar(
+            "mpi.detect_latency",
+            "failure-detector suspicion latency [seconds]",
+            ctype=float, get=get_latency, set=set_latency, minimum=0))
+
     if session.pending_cvars:
         pending, session.pending_cvars = session.pending_cvars, {}
         for name, text in pending.items():
             session.cvar_set_str(name, text)
+
+
+def bind_injector(session: TelemetrySession, injector) -> None:
+    """Register fault-injection PVARs for an armed ``injector``."""
+
+    def injected():
+        return dict(injector.injected)
+
+    def crashed():
+        return len(injector.crashed_ranks)
+
+    for pv in (
+        PerfVar("faults.injected",
+                "fault events applied by the injector, by event kind",
+                "events", injected, labeled=True),
+        PerfVar("faults.crashed_ranks",
+                "world ranks crashed by the injector", "ranks", crashed),
+    ):
+        if pv.name not in session.pvar_names():
+            session.register_pvar(pv)
 
 
 @dataclass

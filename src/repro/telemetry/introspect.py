@@ -412,6 +412,27 @@ class TelemetrySession:
                     "timeouts",
                     lambda: self.registry.counter(
                         "transport.timeouts").value()),
+            PerfVar("mpi.integrity.corrupt_detected",
+                    "corrupted deliveries caught by the checksum verify",
+                    "messages",
+                    lambda: self.registry.counter(
+                        "integrity.corrupt_detected").value()),
+            PerfVar("mpi.integrity.retransmits",
+                    "retransmissions triggered by checksum NACKs",
+                    "messages",
+                    lambda: self.registry.counter(
+                        "integrity.retransmits").value()),
+            PerfVar("mpi.integrity.failures",
+                    "transfers that exhausted the retransmit budget "
+                    "against a persistent corruptor", "failures",
+                    lambda: self.registry.counter(
+                        "integrity.failures").value()),
+            PerfVar("mpi.integrity.silent_corruptions",
+                    "corrupted deliveries that passed verification "
+                    "(must stay 0: non-zero means the checksum layer "
+                    "is broken)", "messages",
+                    lambda: self.registry.counter(
+                        "integrity.silent_corruptions").value()),
             PerfVar("transport.stagings.peak",
                     "concurrently live host staging buffers, peak",
                     "buffers",
