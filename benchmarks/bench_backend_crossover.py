@@ -1,0 +1,69 @@
+"""The MPI-vs-NCCL backend crossover study.
+
+The follow-up question to the paper's runtime comparison (Section 6.5):
+given a co-designed MPI runtime *and* an NCCL-style backend on the same
+hardware, which should a framework call, and when?  This regenerates
+the dispatch-table answer: sweep message size x GPU density x process
+count over all four backends (three MPI profiles + nccl), print the
+per-cell winner, and assert the qualitative shape:
+
+- large-message allreduce on dense-GPU nodes at scale: the NCCL
+  topology-aware ring wins (one NIC crossing per node per direction,
+  2(P-1)/P bytes per rank);
+- small-message broadcast at large P: an MPI profile (or the NCCL
+  double-binary trees) wins — the ring's (P-1)-hop latency chain
+  loses to log2(P) rounds;
+- a crossover point exists along the size axis for every
+  (collective, density) the sweep covers.
+"""
+
+from common import KiB, MiB, emit, run_once
+
+from repro.analysis import crossover_report, find_crossovers, sweep
+
+SIZES = (4 * KiB, 64 * KiB, 1 * MiB, 16 * MiB)
+PROCS = (8, 32)
+CLUSTERS = ("A", "B")
+
+
+def run_crossover():
+    return sweep(clusters=CLUSTERS, procs=PROCS, sizes=SIZES)
+
+
+def test_backend_crossover(benchmark):
+    points = run_once(benchmark, run_crossover)
+    emit("backend_crossover", crossover_report(points))
+
+    def point(coll, cluster, P, nbytes):
+        return next(p for p in points
+                    if (p.collective, p.cluster, p.P, p.nbytes)
+                    == (coll, cluster, P, nbytes))
+
+    # Large-message allreduce, dense GPUs, at scale: NCCL's ring wins.
+    big = point("allreduce", "A", 32, 16 * MiB)
+    assert big.winner == "nccl" and big.algorithm["nccl"] == "ring", \
+        big.winner_label()
+
+    # Small-message large-P broadcast: an MPI profile or the NCCL tree
+    # path wins — never the (P-1)-hop ring.
+    small = point("bcast", "A", 32, 4 * KiB)
+    assert small.winner != "nccl" or small.algorithm["nccl"] == "tree", \
+        small.winner_label()
+    assert small.latency[small.winner] < small.latency["nccl"] or \
+        small.algorithm["nccl"] == "tree"
+
+    # The winner flips somewhere along the size axis for every
+    # (collective, density) series at P=32.
+    for c in find_crossovers(points):
+        if c.P != 32:
+            continue
+        winners = {w for _, w in c.winners}
+        assert len(winners) > 1, \
+            f"no crossover for {c.collective}/Cluster-{c.cluster}"
+
+    # The NCCL backend is never pathological: within 4x of the best
+    # backend at every swept point (the "don't fall off a cliff"
+    # property a dispatch table relies on).
+    for p in points:
+        assert p.latency["nccl"] <= 4.0 * p.latency[p.winner], \
+            (p.collective, p.cluster, p.P, p.nbytes)

@@ -54,6 +54,20 @@ OSU_POINTS = (
     ("osu_reduce_tuned_32p_16M", "A", "mv2gdr", "tuned", 16 * MiB, 32),
 )
 
+KiB = 1 << 10
+
+#: (label, cluster, backend, collective, procs, nbytes) points from the
+#: backend crossover study — one cell each side of the MPI/NCCL flip.
+CROSSOVER_POINTS = (
+    ("crossover_allreduce_A_32p_16M_nccl", "A", "nccl", "allreduce",
+     32, 16 * MiB),
+    ("crossover_allreduce_A_32p_16M_mv2gdr", "A", "mv2gdr", "allreduce",
+     32, 16 * MiB),
+    ("crossover_bcast_A_32p_4K_nccl", "A", "nccl", "bcast", 32, 4 * KiB),
+    ("crossover_bcast_A_32p_4K_mv2gdr", "A", "mv2gdr", "bcast",
+     32, 4 * KiB),
+)
+
 TRAIN_SEED = 1
 
 
@@ -101,6 +115,11 @@ def run_subset() -> dict:
         headline[label] = osu_reduce(cluster, profile, nbytes, procs,
                                      design=design)
         print(f"{label}: {headline[label] * 1e6:.1f} us")
+    from repro.analysis import time_backend
+    for label, cluster, backend, coll, procs, nbytes in CROSSOVER_POINTS:
+        headline[label], algo = time_backend(cluster, backend, coll,
+                                             procs, nbytes)
+        print(f"{label}: {headline[label] * 1e6:.1f} us ({algo})")
     for k, v in _train_point().items():
         headline[k] = v
         print(f"{k}: {v:.6g}")

@@ -1,5 +1,9 @@
-"""Analytical models and report formatting."""
+"""Analytical models, report formatting, and the backend crossover study."""
 
+from .crossover import (
+    Crossover, SweepPoint, backend_names, crossover_report,
+    find_crossovers, sweep, time_backend,
+)
 from .model import (
     HopCost, crossover_P, fit_hop_cost, hierarchical_estimate,
     optimal_chunks, t_binomial, t_chunked_chain,
@@ -13,6 +17,8 @@ from .utilization import (
 )
 
 __all__ = [
+    "Crossover", "SweepPoint", "backend_names", "crossover_report",
+    "find_crossovers", "sweep", "time_backend",
     "HopCost", "crossover_P", "fit_hop_cost", "hierarchical_estimate",
     "optimal_chunks",
     "t_binomial", "t_chunked_chain",

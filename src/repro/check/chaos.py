@@ -311,11 +311,11 @@ def generate_chaos_matrix(seed: int = 0, *,
                           quick: bool = False) -> List[ChaosCase]:
     """The seeded chaos matrix: collective x profile x fault kind.
 
-    Full mode sweeps all three profiles (216 cells); quick mode keeps
-    one profile (72 cells) for CI.
+    Full mode sweeps every registered profile; quick mode keeps one MPI
+    profile plus the nccl backend for CI.
     """
     rng = np.random.default_rng(seed)
-    profiles = _PROFILES[:1] if quick else _PROFILES
+    profiles = (_PROFILES[0], "nccl") if quick else _PROFILES
     cases: List[ChaosCase] = []
     for profile in profiles:
         for coll in COLLECTIVES:

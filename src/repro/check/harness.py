@@ -34,6 +34,10 @@ from ..mpi.collectives import (
     hierarchical_reduce, reduce_binomial, reduce_chain, reduce_scatter_ring,
     scatter_binomial,
 )
+from ..nccl import (
+    nccl_allgather, nccl_allreduce_ring, nccl_allreduce_tree,
+    nccl_bcast_ring, nccl_bcast_tree, nccl_reduce_scatter, ring_order,
+)
 from ..sim import Simulator
 from .invariants import InvariantChecker
 from .reference import (
@@ -44,17 +48,25 @@ from .reference import (
 __all__ = ["Case", "CaseResult", "COLLECTIVES", "run_case", "parse_case",
            "generate_matrix", "run_matrix"]
 
-#: Collectives the harness can drive, in canonical order.
+#: Collectives the harness can drive, in canonical order.  The
+#: ``nccl_*`` entries are the NCCL backend's suite; like the MPI ones
+#: they run under every profile on the backend axis (the algorithms are
+#: substrate-generic — only ``nccl`` makes them the *native* choice).
 COLLECTIVES = (
     "reduce_binomial", "reduce_chain", "hierarchical_reduce",
     "allreduce_ring", "allreduce_reduce_bcast",
     "bcast_binomial", "bcast_flat", "bcast_scatter_allgather",
     "gather_binomial", "scatter_binomial",
     "allgather_ring", "reduce_scatter_ring",
+    "nccl_allreduce_ring", "nccl_allreduce_tree",
+    "nccl_bcast_ring", "nccl_bcast_tree",
+    "nccl_allgather", "nccl_reduce_scatter",
 )
 
 #: Collectives whose result ignores ``root``.
-_ROOTLESS = {"allreduce_ring", "allgather_ring", "reduce_scatter_ring"}
+_ROOTLESS = {"allreduce_ring", "allgather_ring", "reduce_scatter_ring",
+             "nccl_allreduce_ring", "nccl_allreduce_tree",
+             "nccl_allgather", "nccl_reduce_scatter"}
 
 
 @dataclass(frozen=True)
@@ -238,6 +250,39 @@ def _program(case: Case, payloads: List[np.ndarray]):
             return recvbuf.data.copy()
         return program
 
+    if coll in ("nccl_allreduce_ring", "nccl_allreduce_tree",
+                "nccl_reduce_scatter"):
+        algo = {"nccl_allreduce_ring": nccl_allreduce_ring,
+                "nccl_allreduce_tree": nccl_allreduce_tree,
+                "nccl_reduce_scatter": nccl_reduce_scatter}[coll]
+        def program(ctx):
+            sendbuf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+            recvbuf = DeviceBuffer.zeros(ctx.gpu, n_elem)
+            yield from algo(ctx, sendbuf, recvbuf,
+                            chunk_bytes=case.chunk_bytes)
+            return recvbuf.data.copy()
+        return program
+
+    if coll in ("nccl_bcast_ring", "nccl_bcast_tree"):
+        algo = (nccl_bcast_ring if coll == "nccl_bcast_ring"
+                else nccl_bcast_tree)
+        def program(ctx):
+            root = _root_for_rank(case, ctx.rank)
+            buf = (DeviceBuffer.from_array(ctx.gpu, payloads[root])
+                   if ctx.rank == root
+                   else DeviceBuffer.zeros(ctx.gpu, n_elem))
+            yield from algo(ctx, buf, root, chunk_bytes=case.chunk_bytes)
+            return buf.data.copy()
+        return program
+
+    if coll == "nccl_allgather":
+        def program(ctx):
+            buf = DeviceBuffer.from_array(ctx.gpu, payloads[ctx.rank])
+            yield from nccl_allgather(ctx, buf,
+                                      chunk_bytes=case.chunk_bytes)
+            return buf.data.copy()
+        return program
+
     raise ValueError(f"unknown collective {coll!r}")
 
 
@@ -261,11 +306,12 @@ def _verify(case: Case, payloads: List[np.ndarray],
 
     if coll in ("reduce_binomial", "reduce_chain", "hierarchical_reduce"):
         check(root, results[root], reduce_reference(payloads), "reduce")
-    elif coll in ("allreduce_ring", "allreduce_reduce_bcast"):
+    elif coll in ("allreduce_ring", "allreduce_reduce_bcast",
+                  "nccl_allreduce_ring", "nccl_allreduce_tree"):
         want = reduce_reference(payloads)
         for r, got in enumerate(results):
             check(r, got, want, "allreduce")
-    elif coll.startswith("bcast"):
+    elif coll.startswith("bcast") or coll.startswith("nccl_bcast"):
         want = payloads[root]
         for r, got in enumerate(results):
             check(r, got, want, "bcast")
@@ -276,7 +322,7 @@ def _verify(case: Case, payloads: List[np.ndarray],
             want = scatter_reference(payloads[root], r, case.P)
             off, n = block_partition(case.nbytes, case.P)[r]
             check(r, got[off // 4:(off + n) // 4], want, "scatter")
-    elif coll == "allgather_ring":
+    elif coll in ("allgather_ring", "nccl_allgather"):
         want = allgather_reference(payloads)
         for r, got in enumerate(results):
             check(r, got, want, "allgather")
@@ -285,6 +331,19 @@ def _verify(case: Case, payloads: List[np.ndarray],
             want = reduce_scatter_reference(payloads, r)
             off, n = block_partition(case.nbytes, case.P)[(r + 1) % case.P]
             check(r, got[off // 4:(off + n) // 4], want, "reduce_scatter")
+    elif coll == "nccl_reduce_scatter":
+        # Blocks are indexed by ring *position*: the rank at position i
+        # ends holding fully-reduced block (i+1) mod P.  Recompute the
+        # topology ring from the case geometry (cluster_a block
+        # placement: 16 GPUs per node, ranks in global order).
+        full = reduce_reference(payloads)
+        order = ring_order([r // 16 for r in range(case.P)])
+        blocks = block_partition(case.nbytes, case.P)
+        for i, r in enumerate(order):
+            off, n = blocks[(i + 1) % case.P]
+            check(r, results[r][off // 4:(off + n) // 4]
+                  if results[r] is not None else None,
+                  full[off // 4:(off + n) // 4], "reduce_scatter")
 
 
 def _fault_plan(case: Case) -> Optional[FaultPlan]:
@@ -391,9 +450,22 @@ BOUNDARY_CASES = (
     Case("allreduce_ring", P=514, nbytes=4),
     Case("allgather_ring", P=515, nbytes=4),
     Case("reduce_scatter_ring", P=515, nbytes=4),
+    # NCCL boundary cells: multi-node rings with empty tail blocks, a
+    # tiny-chunk ring allreduce whose tag reservation spans multiple
+    # TAG_BLOCK units, and the P=3 tree special case.
+    Case("nccl_allreduce_ring", P=514, nbytes=4, profile="nccl"),
+    Case("nccl_reduce_scatter", P=33, nbytes=4, profile="nccl"),
+    Case("nccl_allreduce_ring", P=3, nbytes=4 * 4160, chunk_bytes=4,
+         profile="nccl"),
+    Case("nccl_allreduce_tree", P=3, nbytes=4096, profile="nccl"),
+    Case("nccl_bcast_tree", P=3, nbytes=4096, root=2, profile="nccl"),
 )
 
-_PROFILES = ("mv2gdr", "mv2", "openmpi")
+#: The backend axis of the matrix — derived from the profile registry
+#: so a newly registered backend is swept automatically.
+from ..mpi.profiles import profile_names as _profile_names  # noqa: E402
+
+_PROFILES = tuple(_profile_names())
 
 
 def generate_matrix(seed: int = 0, *, quick: bool = False,
@@ -429,6 +501,8 @@ def generate_matrix(seed: int = 0, *, quick: bool = False,
                     ["CB-4", "CC-4", "CCB-4", "CB-8"]))
                 P = max(P, 8)
                 kw["root"] = int(rng.integers(0, P))
+            if coll.startswith("nccl_"):
+                kw["chunk_bytes"] = int(rng.choice([64, 256, 4096]))
             cases.append(Case(coll, P=P, nbytes=rand_nbytes(),
                               profile=profile, seed=seed, **kw))
 
@@ -448,6 +522,9 @@ def generate_matrix(seed: int = 0, *, quick: bool = False,
                     ["CB-2", "CB-4", "CC-4", "CCB-2", "CCB-4"]))
                 P = max(P, 6)
                 kw["root"] = int(rng.integers(0, P))
+            if coll.startswith("nccl_"):
+                kw["chunk_bytes"] = (None if rng.integers(0, 2)
+                                     else int(rng.choice([4, 64, 4096])))
             fault = "drops" if rng.integers(0, 4) == 0 else None
             cases.append(Case(coll, P=P, nbytes=rand_nbytes(),
                               profile=str(rng.choice(_PROFILES)),

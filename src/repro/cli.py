@@ -35,6 +35,11 @@ def _parse_size(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # The backend list comes from the profile registry, so a profile
+    # registered via register_profile shows up in every --profile flag.
+    from .mpi.profiles import profile_names
+    profiles = profile_names()
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="S-Caffe reproduction on a simulated GPU cluster")
@@ -58,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--backend", default="lustre",
                    choices=["lustre", "lmdb"])
     t.add_argument("--profile", default="mv2gdr",
-                   choices=["mv2gdr", "mv2", "openmpi"])
+                   choices=profiles)
     t.add_argument("--net-prototxt", default=None, metavar="FILE",
                    help="train a network defined in a Caffe prototxt "
                         "file instead of a model-zoo name")
@@ -82,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
     m.add_argument("--reduce-design", default="tuned")
     m.add_argument("--profile", default="mv2gdr",
-                   choices=["mv2gdr", "mv2", "openmpi"])
+                   choices=profiles)
     m.add_argument("--seed", type=int, default=1)
     m.add_argument("--scrape-interval", type=float, default=0.05,
                    metavar="SECONDS",
@@ -113,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
     pr.add_argument("--reduce-design", default="tuned")
     pr.add_argument("--profile", default="mv2gdr",
-                    choices=["mv2gdr", "mv2", "openmpi"])
+                    choices=profiles)
     pr.add_argument("--seed", type=int, default=None)
     pr.add_argument("--trace", metavar="FILE", default=None,
                     help="write a Perfetto/Chrome trace-event JSON file")
@@ -128,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     o = sub.add_parser("osu", help="MPI_Reduce micro-benchmark (OMB-style)")
     o.add_argument("--cluster", default="A", choices=["A", "B"])
     o.add_argument("--profile", default="mv2gdr",
-                   choices=["mv2gdr", "mv2", "openmpi"])
+                   choices=profiles)
     o.add_argument("--design", default="tuned",
                    help="tuned | flat | chain | CB-8 | CC-4 | CCB-8 | ...")
     o.add_argument("--procs", type=int, default=160)
@@ -141,6 +146,26 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--procs", type=int, default=160)
     a.add_argument("--sizes", default="64K,1M,8M,64M")
     a.add_argument("--designs", default="flat,CB-8,CC-8")
+
+    x = sub.add_parser(
+        "crossover",
+        help="MPI-vs-NCCL backend crossover study: sweep message size x "
+             "GPU density x procs over every backend and report where "
+             "the winner flips")
+    x.add_argument("--clusters", default="A,B",
+                   help="comma-separated cluster kinds (A=dense 16 "
+                        "GPUs/node, B=sparse 2 GPUs/node)")
+    x.add_argument("--procs", default="8,32",
+                   help="comma-separated process counts")
+    x.add_argument("--sizes", default="4K,64K,1M,16M",
+                   help="comma-separated message sizes")
+    x.add_argument("--collectives", default="allreduce,bcast",
+                   help="comma-separated: allreduce | bcast")
+    x.add_argument("--backends", default=None,
+                   help="comma-separated backend subset "
+                        f"(default: all of {', '.join(profiles)})")
+    x.add_argument("--progress", action="store_true",
+                   help="print each point as it is timed")
 
     c = sub.add_parser(
         "chaos",
@@ -162,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--variant", default="SC-OBR",
                    choices=["SC-B", "SC-OB", "SC-OB-naive", "SC-OBR"])
     c.add_argument("--profile", default="mv2gdr",
-                   choices=["mv2gdr", "mv2", "openmpi"])
+                   choices=profiles)
     c.add_argument("--describe", action="store_true",
                    help="print the fault schedule before running")
 
@@ -543,6 +568,31 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _cmd_crossover(args) -> int:
+    from .analysis import crossover_report, sweep
+    from .analysis.report import format_bytes, format_time
+
+    def csv(text):
+        return [s.strip() for s in text.split(",") if s.strip()]
+
+    progress = None
+    if args.progress:
+        def progress(pt):
+            print(f"  {pt.collective} Cluster-{pt.cluster} P={pt.P} "
+                  f"{format_bytes(pt.nbytes)}: {pt.winner_label()} "
+                  f"({format_time(pt.latency[pt.winner])})")
+
+    points = sweep(
+        collectives=csv(args.collectives),
+        clusters=csv(args.clusters),
+        procs=[int(s) for s in csv(args.procs)],
+        sizes=[_parse_size(s) for s in csv(args.sizes)],
+        backends=csv(args.backends) if args.backends else (),
+        progress=progress)
+    print(crossover_report(points))
+    return 0
+
+
 def _cmd_chaos_check(args) -> int:
     from .check import (
         chaos_outcome_tally, generate_chaos_matrix, parse_chaos_case,
@@ -665,6 +715,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,
+        "crossover": _cmd_crossover,
         "check": _cmd_check,
         "table1": _cmd_table1,
         "networks": _cmd_networks,

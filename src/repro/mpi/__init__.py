@@ -3,7 +3,10 @@
 from . import collectives, omb
 from .communicator import Communicator, MessageStatus, RankContext
 from .failure import CommRevoked, FailureDetector, RankFailure
-from .profiles import MPIProfile, MV2, MV2GDR, OPENMPI, get_profile
+from .profiles import (
+    MPIProfile, MV2, MV2GDR, NCCL, NCCLProfile, OPENMPI, get_profile,
+    profile_names, register_profile,
+)
 from .request import (
     ANY_SOURCE, ANY_TAG, Request, RequestTimeout, waitall, waitany,
 )
@@ -19,7 +22,8 @@ __all__ = [
     "collectives", "omb",
     "Communicator", "MessageStatus", "RankContext",
     "CommRevoked", "FailureDetector", "RankFailure",
-    "MPIProfile", "MV2", "MV2GDR", "OPENMPI", "get_profile",
+    "MPIProfile", "MV2", "MV2GDR", "NCCL", "NCCLProfile", "OPENMPI",
+    "get_profile", "profile_names", "register_profile",
     "ANY_SOURCE", "ANY_TAG", "Request", "RequestTimeout",
     "waitall", "waitany",
     "MPIRuntime", "DeviceTransport", "TransportMetrics", "TransportTimeout",

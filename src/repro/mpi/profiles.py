@@ -21,13 +21,28 @@ encodes those mechanisms:
     coll/tuned reduction (default segments), pageable staging buffers, no
     IPC for collectives, CPU-side reductions, and per-segment
     synchronization — the combination behind the up-to-133x gap.
+
+``nccl``
+    The framework-level contender from the follow-up "MPI or NCCL?"
+    study: a :class:`NCCLProfile` with the same device-native transport
+    mechanisms as ``mv2gdr`` (IPC, GDR, GPU reductions) plus the knobs
+    that select between topology-aware rings and double binary trees
+    (:mod:`repro.nccl`).
+
+The module doubles as the *backend registry*: anything that needs the
+list of runnable backends (CLI choices, the conformance matrix's
+backend axis) derives it from :func:`profile_names` instead of
+hardcoding names.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass, replace
+from typing import List
 
-__all__ = ["MPIProfile", "MV2GDR", "MV2", "OPENMPI", "get_profile"]
+__all__ = ["MPIProfile", "NCCLProfile", "MV2GDR", "MV2", "OPENMPI", "NCCL",
+           "get_profile", "profile_names", "register_profile"]
 
 KiB = 1 << 10
 MiB = 1 << 20
@@ -140,13 +155,67 @@ OPENMPI = MPIProfile(
     async_progress=False,
 )
 
-_PROFILES = {p.name: p for p in (MV2GDR, MV2, OPENMPI)}
+@dataclass(frozen=True)
+class NCCLProfile(MPIProfile):
+    """Knobs specific to the simulated NCCL backend (:mod:`repro.nccl`).
+
+    Inherits every transport mechanism knob — the transport layer treats
+    NCCL like a device-native runtime (IPC + GDR + GPU reductions) — and
+    adds the algorithm-selection knobs NCCL itself tunes.
+    """
+
+    #: Fine-grained pipelining chunk for ring/tree collectives: each
+    #: ring step (and each tree edge) moves the payload in chunks of at
+    #: most this many bytes so the reduction of chunk k overlaps the
+    #: transfer of chunk k+1.  Exposed as the ``nccl.ring_chunk`` cvar.
+    ring_chunk: int = 256 * KiB
+    #: Allreduce/broadcast payloads at or below this size use the double
+    #: binary trees (latency-optimal, log2 P depth); larger payloads use
+    #: the topology-aware rings (bandwidth-optimal).  Exposed as the
+    #: ``nccl.tree_threshold`` cvar.
+    tree_threshold: int = 256 * KiB
+
+
+#: The simulated NCCL backend.  Transport mechanisms mirror ``mv2gdr``
+#: (that is the point of the crossover study: same wires, different
+#: collective algorithms); hierarchical reduce is an MPI-side design and
+#: stays off.
+NCCL = NCCLProfile(
+    name="nccl",
+    gdr=True,
+    ipc=True,
+    pipeline_chunk=512 * KiB,
+    reduce_segment=4 * MiB,
+    gpu_reduce=True,
+    pinned_staging=True,
+    segment_pipelining=True,
+    per_segment_sync=0.0,
+    hierarchical_reduce=False,
+    async_progress=True,
+)
+
+_PROFILES = {p.name: p for p in (MV2GDR, MV2, OPENMPI, NCCL)}
+
+
+def register_profile(profile: MPIProfile) -> None:
+    """Add (or replace) a backend profile in the registry."""
+    _PROFILES[profile.name] = profile
+
+
+def profile_names() -> List[str]:
+    """Registered backend names, in registration order."""
+    return list(_PROFILES)
 
 
 def get_profile(name: str) -> MPIProfile:
-    """Look up a profile by name (``mv2gdr``/``mv2``/``openmpi``)."""
+    """Look up a profile by name (``mv2gdr``/``mv2``/``openmpi``/``nccl``)."""
     try:
         return _PROFILES[name.lower()]
     except KeyError:
+        hint = ""
+        close = difflib.get_close_matches(name.lower(), _PROFILES, n=1)
+        if close:
+            hint = f" (did you mean {close[0]!r}?)"
         raise KeyError(
-            f"unknown MPI profile {name!r}; choose from {sorted(_PROFILES)}")
+            f"unknown MPI profile {name!r}; choose from "
+            f"{sorted(_PROFILES)}{hint}")

@@ -1,0 +1,41 @@
+"""Simulated NCCL backend: topology-aware rings + double binary trees.
+
+The fourth runtime backend next to the three MPI profiles — the
+framework-level contender of the "MPI or NCCL?" follow-up study.  It is
+*not* a separate runtime: ``get_profile("nccl")`` returns a
+:class:`~repro.mpi.profiles.NCCLProfile` that rides the same
+:class:`~repro.mpi.runtime.MPIRuntime` / transport / scheduler
+substrate, and the collectives here are SPMD generator programs over
+the same :class:`~repro.mpi.communicator.RankContext` pt2pt API, so
+fault plans, the watchdog, the causal profiler, and telemetry all work
+unchanged.
+
+Layout:
+
+- :mod:`repro.nccl.topology` — ring construction (node-contiguous, one
+  inter-node hop per direction) and the Sanders/Speck/Träff double
+  binary trees;
+- :mod:`repro.nccl.collectives` — chunk-pipelined ring
+  allreduce/broadcast/reduce-scatter/allgather plus double-binary-tree
+  broadcast/allreduce, with size-based ring↔tree selection.
+"""
+
+from ..mpi.profiles import NCCL, NCCLProfile
+from .collectives import (
+    nccl_allgather, nccl_allreduce, nccl_allreduce_ring,
+    nccl_allreduce_tree, nccl_bcast, nccl_bcast_ring, nccl_bcast_tree,
+    nccl_reduce_scatter, rings_of,
+)
+from .topology import (
+    Ring, Tree, build_rings, double_binary_trees, inter_node_hops,
+    ring_order,
+)
+
+__all__ = [
+    "NCCL", "NCCLProfile",
+    "Ring", "Tree", "build_rings", "double_binary_trees",
+    "inter_node_hops", "ring_order", "rings_of",
+    "nccl_allreduce", "nccl_allreduce_ring", "nccl_allreduce_tree",
+    "nccl_bcast", "nccl_bcast_ring", "nccl_bcast_tree",
+    "nccl_reduce_scatter", "nccl_allgather",
+]

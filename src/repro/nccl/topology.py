@@ -1,0 +1,194 @@
+"""Topology construction for the simulated NCCL backend.
+
+Two communication graphs, mirroring what real NCCL builds at init time:
+
+Rings
+-----
+:func:`ring_order` arranges the communicator's ranks so that each
+node's GPUs form one contiguous segment (the intra-node PCIe chain) and
+the segments are concatenated in node order.  Consequently every node
+has exactly one incoming and one outgoing *inter-node* edge per ring
+direction — the property that makes the ring bandwidth-optimal on
+dense-GPU nodes, where a naive rank-order ring could cross the NIC up
+to ``gpus_per_node`` times.  :func:`build_rings` returns the two
+directed rings (forward and reverse) NCCL would drive concurrently.
+
+Double binary trees
+-------------------
+:func:`double_binary_trees` builds the Sanders/Speck/Träff two-tree
+structure NCCL uses for the latency-bound regime: tree 0 is the
+in-order balanced binary tree over ranks (rank 0 at the top), tree 1 is
+its shift-by-one (odd P) or mirror image (even P).  Every non-root rank
+is a leaf in one tree and an interior node in the other, the two edge
+sets are disjoint, and both depths are at most ⌈log2 P⌉ + 1 — so the
+two half-payloads flow through disjoint links at log-depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Ring", "Tree", "ring_order", "build_rings",
+           "double_binary_trees", "inter_node_hops"]
+
+
+# -- rings --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Ring:
+    """A directed ring: ``order[i]`` sends to ``order[(i + 1) % P]``."""
+
+    order: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.order)
+
+    def position(self, rank: int) -> int:
+        return self.order.index(rank)
+
+    def next_of(self, rank: int) -> int:
+        return self.order[(self.position(rank) + 1) % self.size]
+
+    def prev_of(self, rank: int) -> int:
+        return self.order[(self.position(rank) - 1) % self.size]
+
+    def reversed(self) -> "Ring":
+        return Ring(tuple(reversed(self.order)))
+
+
+def ring_order(node_of: Sequence[int]) -> List[int]:
+    """Topology-aware ring order for ranks living on ``node_of[rank]``.
+
+    Ranks are grouped by node (nodes in order of first appearance,
+    ranks within a node keeping their communicator order — the chain
+    the node's PCIe tree naturally serializes into).  The result is a
+    permutation of ``range(len(node_of))`` in which each node occupies
+    one contiguous segment.
+    """
+    groups: Dict[int, List[int]] = {}
+    for rank, node in enumerate(node_of):
+        groups.setdefault(node, []).append(rank)
+    order: List[int] = []
+    for node in groups:  # insertion order == first appearance
+        order.extend(groups[node])
+    return order
+
+
+def build_rings(gpus) -> Tuple[Ring, Ring]:
+    """The two directed rings over a communicator's GPUs (forward and
+    reverse), node-contiguous per :func:`ring_order`."""
+    fwd = Ring(tuple(ring_order([g.node_index for g in gpus])))
+    return fwd, fwd.reversed()
+
+
+def inter_node_hops(ring: Ring, node_of: Sequence[int]) -> int:
+    """Number of ring edges that cross a node boundary."""
+    P = ring.size
+    return sum(1 for i in range(P)
+               if node_of[ring.order[i]] != node_of[ring.order[(i + 1) % P]])
+
+
+# -- double binary trees ------------------------------------------------------
+
+@dataclass(frozen=True)
+class Tree:
+    """A rooted tree over ranks ``0..P-1``.
+
+    ``parent[r]`` is ``-1`` for the root; ``children[r]`` lists child
+    ranks in descending-subtree order (the order reductions arrive).
+    """
+
+    root: int
+    parent: Tuple[int, ...]
+    children: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.parent)
+
+    def depth_of(self, rank: int) -> int:
+        d = 0
+        while self.parent[rank] != -1:
+            rank = self.parent[rank]
+            d += 1
+        return d
+
+    def depth(self) -> int:
+        return max(self.depth_of(r) for r in range(self.size))
+
+    def edges(self) -> set:
+        """Directed edge set ``{(parent, child), ...}``.
+
+        Directedness is the physically meaningful notion here: every
+        simulated link is simplex (``pcie_up``/``pcie_down``, NIC
+        tx/rx), so two trees sharing an undirected pair in *opposite*
+        directions contend nowhere.
+        """
+        return {(p, r) for r, p in enumerate(self.parent) if p != -1}
+
+
+def _btree(P: int, rank: int) -> Tuple[int, List[int]]:
+    """(parent, children) of ``rank`` in the in-order balanced binary
+    tree over ``0..P-1`` (rank 0 at the top) — NCCL's ``ncclGetBtree``.
+
+    Node positions follow the bit pattern of the rank: the lowest set
+    bit gives the height, parent/children differ from the rank by
+    powers of two around it.
+    """
+    if rank == 0:
+        # bit = smallest power of two >= P; the root's only child is
+        # the in-order root of ranks 1..P-1.
+        bit = 1
+        while bit < P:
+            bit <<= 1
+        child = bit >> 1
+        return -1, ([child] if P > 1 else [])
+    bit = 1
+    while not rank & bit:
+        bit <<= 1
+    up = (rank ^ bit) | (bit << 1)
+    if up >= P:
+        up = rank ^ bit
+    lowbit = bit >> 1
+    down0 = rank - lowbit if lowbit else -1
+    while lowbit and rank + lowbit >= P:
+        lowbit >>= 1
+    down1 = rank + lowbit if lowbit else -1
+    return up, [d for d in (down0, down1) if d != -1]
+
+
+def _assemble(P: int, relabel) -> Tree:
+    """Build a :class:`Tree` from ``_btree`` under a rank relabeling:
+    tree rank ``v`` plays the role of actual rank ``relabel(v)``."""
+    parent = [-1] * P
+    children: List[Tuple[int, ...]] = [()] * P
+    root = 0
+    for v in range(P):
+        up, down = _btree(P, v)
+        r = relabel(v)
+        parent[r] = relabel(up) if up != -1 else -1
+        children[r] = tuple(relabel(d) for d in down)
+        if up == -1:
+            root = r
+    return Tree(root, tuple(parent), tuple(children))
+
+
+def double_binary_trees(P: int) -> Tuple[Tree, Tree]:
+    """NCCL's complementary tree pair (``ncclGetDtree``).
+
+    Tree 0 is the plain in-order btree.  Tree 1 relabels it: shifted by
+    one position for odd P, mirrored for even P (and for P = 3, where
+    the shift self-collides on the 0→2 edge).  Every non-root rank that
+    is interior in one tree is a leaf in the other, the two *directed*
+    edge sets are disjoint, and both depths are ≤ ⌈log2 P⌉ + 1.
+    """
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    t0 = _assemble(P, lambda v: v)
+    if P % 2 and P != 3:
+        t1 = _assemble(P, lambda v: (v + 1) % P)
+    else:
+        t1 = _assemble(P, lambda v: P - 1 - v)
+    return t0, t1

@@ -135,6 +135,24 @@ def bind_runtime(session: TelemetrySession, runtime) -> None:
         session.register_cvar(CtrlVar(name, desc, get=get, set=set_,
                                       **kwargs))
 
+    # NCCL-backend knobs (duck-typed on the profile so this module
+    # never imports the profile classes): present only when the bound
+    # runtime rides an NCCLProfile.
+    if hasattr(runtime.profile, "tree_threshold"):
+        for name, field_name, desc in (
+            ("nccl.tree_threshold", "tree_threshold",
+             "largest payload routed to the double-binary trees; "
+             "bigger goes to the rings [bytes]"),
+            ("nccl.ring_chunk", "ring_chunk",
+             "pipelining chunk size for nccl ring collectives [bytes]"),
+        ):
+            if name in session.cvar_names():
+                continue
+            get, set_ = knob(field_name)
+            session.register_cvar(CtrlVar(
+                name, desc, ctype=int, get=get, set=set_,
+                minimum=0 if field_name == "tree_threshold" else 4))
+
     # Not a profile field: the failure detector's suspicion latency is
     # live mutable state, so the knob writes through directly (applies
     # to detections armed after the write — same MPI_T contract).

@@ -172,6 +172,20 @@ class TelemetrySession:
         self._iter_time = reg.histogram(
             "train.iteration_time", "per-iteration simulated wall-clock",
             "seconds")
+        # nccl backend meters (written by repro.nccl.collectives on
+        # first use; pre-created here so the PVARs read 0 on MPI-only
+        # runs — labelnames must agree with the writer side).
+        self._nccl_hops = reg.counter(
+            "nccl.ring.hops",
+            "pt2pt hops performed by nccl ring collectives", "messages")
+        self._nccl_path_bytes = reg.counter(
+            "nccl.path.bytes",
+            "payload bytes moved by the nccl backend per algorithm path",
+            "bytes", labelnames=("path",))
+        self._nccl_tree_depth = reg.gauge(
+            "nccl.tree.depth",
+            "deepest double-binary tree driven by nccl tree collectives",
+            "hops")
 
         for pv in self._core_pvars():
             self.register_pvar(pv)
@@ -443,6 +457,13 @@ class TelemetrySession:
                     labeled=True),
             PerfVar("cuda.copy.ops", self._cuda_ops.description, "calls",
                     self._labeled_reader(self._cuda_ops), labeled=True),
+            PerfVar("nccl.ring.hops", self._nccl_hops.description,
+                    "messages", scalar(self._nccl_hops)),
+            PerfVar("nccl.path.bytes", self._nccl_path_bytes.description,
+                    "bytes", self._labeled_reader(self._nccl_path_bytes),
+                    labeled=True),
+            PerfVar("nccl.tree.depth", self._nccl_tree_depth.description,
+                    "hops", scalar(self._nccl_tree_depth)),
             PerfVar("train.iterations", self._iters.description,
                     "iterations", scalar(self._iters)),
             PerfVar("train.samples", self._samples_c.description,

@@ -1,0 +1,116 @@
+"""Property tests for the NCCL backend's communication graphs: the
+topology-aware rings and the double binary trees (ISSUE 8 satellite)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import cluster_a, cluster_b
+from repro.nccl import (
+    Ring, build_rings, double_binary_trees, inter_node_hops, ring_order,
+)
+from repro.sim import Simulator
+
+
+def _node_maps(draw_P, draw_gpn, data):
+    """A (possibly shuffled) rank -> node assignment."""
+    P, gpn = draw_P, draw_gpn
+    node_of = [r // gpn for r in range(P)]
+    if data.draw(st.booleans()):
+        node_of = data.draw(st.permutations(node_of))
+    return list(node_of)
+
+
+class TestRingProperties:
+    @given(st.integers(min_value=1, max_value=96),
+           st.integers(min_value=1, max_value=16),
+           st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_visits_each_rank_once_node_contiguously(self, P, gpn, data):
+        node_of = _node_maps(P, gpn, data)
+        order = ring_order(node_of)
+
+        # A permutation: every GPU exactly once.
+        assert sorted(order) == list(range(P))
+
+        # Node-contiguous: each node occupies one segment, so the ring
+        # has at most one inter-node hop per direction per node.
+        seen = []
+        for r in order:
+            if not seen or seen[-1] != node_of[r]:
+                seen.append(node_of[r])
+        assert len(seen) == len(set(seen))
+
+        n_nodes = len(set(node_of))
+        ring = Ring(tuple(order))
+        hops = inter_node_hops(ring, node_of)
+        assert hops == (0 if n_nodes == 1 else n_nodes)
+        # The reverse direction crosses each boundary exactly once too.
+        assert inter_node_hops(ring.reversed(), node_of) == hops
+
+    @given(st.integers(min_value=1, max_value=64), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_next_prev_roundtrip(self, P, data):
+        order = data.draw(st.permutations(range(P)))
+        ring = Ring(tuple(order))
+        for r in range(P):
+            assert ring.prev_of(ring.next_of(r)) == r
+            assert ring.next_of(ring.prev_of(r)) == r
+
+    @pytest.mark.parametrize("factory,gpn", [(cluster_a, 16),
+                                             (cluster_b, 2)])
+    def test_build_rings_on_real_clusters(self, factory, gpn):
+        cluster = factory(Simulator(), n_nodes=3)
+        fwd, rev = build_rings(cluster.gpus)
+        node_of = [g.node_index for g in cluster.gpus]
+        assert sorted(fwd.order) == list(range(3 * gpn))
+        assert rev.order == tuple(reversed(fwd.order))
+        assert inter_node_hops(fwd, node_of) == 3
+
+
+class TestDoubleBinaryTreeProperties:
+    @pytest.mark.parametrize(
+        "P", list(range(1, 67)) + [127, 128, 129, 255, 256, 257, 1000])
+    def test_structure(self, P):
+        t0, t1 = double_binary_trees(P)
+        for tree in (t0, t1):
+            # A valid rooted spanning tree: exactly one root, parent and
+            # child pointers agree, every rank reaches the root.
+            assert tree.parent[tree.root] == -1
+            assert sum(1 for p in tree.parent if p == -1) == 1
+            for r in range(P):
+                for c in tree.children[r]:
+                    assert tree.parent[c] == r
+                if tree.parent[r] != -1:
+                    assert r in tree.children[tree.parent[r]]
+                tree.depth_of(r)  # terminates (no cycles)
+
+            # Binary with logarithmic depth: <= ceil(log2 P) + 1.
+            assert all(len(cs) <= 2 for cs in tree.children)
+            bound = math.ceil(math.log2(P)) + 1 if P > 1 else 0
+            assert tree.depth() <= bound
+
+        # The two *directed* edge sets are disjoint — every simulated
+        # link is simplex, so opposite directions contend nowhere.
+        assert not (t0.edges() & t1.edges())
+
+        # Complementarity: no non-root rank is interior in both trees,
+        # so each rank sends on at most one tree per direction.
+        for r in range(P):
+            if r in (t0.root, t1.root):
+                continue
+            assert not (t0.children[r] and t1.children[r])
+
+    @pytest.mark.parametrize("P", [2, 3, 4, 5, 8, 16, 31, 33])
+    def test_both_trees_span_all_ranks(self, P):
+        for tree in double_binary_trees(P):
+            reached = {tree.root}
+            frontier = [tree.root]
+            while frontier:
+                r = frontier.pop()
+                for c in tree.children[r]:
+                    assert c not in reached
+                    reached.add(c)
+                    frontier.append(c)
+            assert reached == set(range(P))
