@@ -12,9 +12,11 @@ real behaviour change.  CI runs this script, which
    ``results/timeseries.csv``),
 3. compares every headline number against ``baselines/regression.json``
    with a relative tolerance and exits non-zero on any regression,
-4. runs the quick chaos-conformance matrix and fails on any cell that
+4. regenerates the committed tuning tables from the quick ``repro
+   tune`` plan and fails on any byte drift (the tune-smoke gate),
+5. runs the quick chaos-conformance matrix and fails on any cell that
    ends in silent corruption or a hang (the outcome-trichotomy gate),
-5. re-runs the quick ``bench_simcore`` workloads and fails if host
+6. re-runs the quick ``bench_simcore`` workloads and fails if host
    wall-clock throughput (ref-events/sec) drops below the floor in
    ``baselines/simcore.json`` — the same check the ``sim-bench`` CI job
    applies, so a kernel slow-down cannot land through either door.
@@ -170,6 +172,31 @@ def check_simcore_floor() -> list:
     return check_floor(results, baseline)
 
 
+def check_tuning_tables() -> list:
+    """Tune-smoke: the committed tuning tables must regenerate
+    byte-identically (the ``repro tune --quick --check`` contract), and
+    every committed entry must still be a strict win over the
+    profile-default dispatch it replaces."""
+    from repro.tune import tables
+    from repro.tune.search import check_tables, quick_plan, run_plan
+
+    problems = []
+    tuned = run_plan(quick_plan(), "latency")
+    for p in check_tables(tuned, tables.tables_dir()):
+        problems.append(f"tuning table drift: {p}")
+    for t in tuned.values():
+        for e in t.entries:
+            if e["latency"] >= e["default_latency"]:
+                problems.append(
+                    f"tuning table {t.backend}.{t.collective} entry at "
+                    f"{e['min_nbytes']} no longer beats the default")
+    n = sum(len(t.entries) for t in tuned.values())
+    if not problems:
+        print(f"tune smoke: {len(tuned)} tables ({n} entries) regenerate "
+              "byte-identically and win strictly")
+    return problems
+
+
 def check_chaos_gate() -> list:
     """Quick chaos-conformance sweep: the outcome trichotomy must hold.
 
@@ -203,6 +230,8 @@ def main(argv=None) -> int:
                          "(exact headline comparisons only)")
     ap.add_argument("--no-chaos", action="store_true",
                     help="skip the quick chaos-conformance sweep")
+    ap.add_argument("--no-tune", action="store_true",
+                    help="skip the tuning-table regeneration smoke")
     args = ap.parse_args(argv)
 
     headline = run_subset()
@@ -227,6 +256,8 @@ def main(argv=None) -> int:
     with open(BASELINE) as f:
         baseline = json.load(f)
     problems = compare(headline, baseline)
+    if not args.no_tune:
+        problems += check_tuning_tables()
     if not args.no_chaos:
         problems += check_chaos_gate()
     if not args.no_wallclock:
@@ -238,6 +269,7 @@ def main(argv=None) -> int:
         return 1
     print(f"regression gate: {len(baseline['headline'])} headline "
           f"numbers within {REL_TOL * 100:.0f}% of baseline; "
+          f"tuning tables regenerate byte-identically; "
           f"chaos trichotomy holds; simulator-core wall-clock above floor")
     return 0
 

@@ -147,6 +147,26 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("--sizes", default="64K,1M,8M,64M")
     a.add_argument("--designs", default="flat,CB-8,CC-8")
 
+    tu = sub.add_parser(
+        "tune",
+        help="closed-loop CVAR auto-tuner: search the validated knob "
+             "space and emit the committed (size, P, topology) tuning "
+             "tables the dispatchers consult")
+    tu.add_argument("--quick", action="store_true",
+                    help="the small CI plan (byte-identical regeneration "
+                         "of the committed tables)")
+    tu.add_argument("--objective", default="latency",
+                    choices=["latency", "critical-path"],
+                    help="minimize end-to-end latency or the causal "
+                         "profiler's critical-path length")
+    tu.add_argument("--out", default=None, metavar="DIR",
+                    help="directory to write the tables to (default: the "
+                         "committed src/repro/mpi/tuning_tables/)")
+    tu.add_argument("--check", action="store_true",
+                    help="regenerate and byte-compare against the "
+                         "committed tables instead of writing (exit 1 on "
+                         "drift)")
+
     x = sub.add_parser(
         "crossover",
         help="MPI-vs-NCCL backend crossover study: sweep message size x "
@@ -568,6 +588,34 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+def _cmd_tune(args) -> int:
+    from .tune import tables
+    from .tune.search import (
+        check_tables, full_plan, quick_plan, run_plan, write_tables,
+    )
+
+    plan = quick_plan() if args.quick else full_plan()
+    print(f"# repro tune: {'quick' if args.quick else 'full'} plan, "
+          f"{len(plan)} points, objective={args.objective}")
+    tuned = run_plan(plan, args.objective, log=print)
+    out_dir = args.out or tables.tables_dir()
+    if args.check:
+        problems = check_tables(tuned, out_dir)
+        if problems:
+            for p in problems:
+                print(f"DRIFT: {p}")
+            return 1
+        n = sum(len(t.entries) for t in tuned.values())
+        print(f"tables OK: {len(tuned)} tables ({n} entries) "
+              f"byte-identical to {out_dir}")
+        return 0
+    written = write_tables(tuned, out_dir)
+    tables.invalidate_cache()
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
 def _cmd_crossover(args) -> int:
     from .analysis import crossover_report, sweep
     from .analysis.report import format_bytes, format_time
@@ -715,6 +763,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,
+        "tune": _cmd_tune,
         "crossover": _cmd_crossover,
         "check": _cmd_check,
         "table1": _cmd_table1,

@@ -34,7 +34,8 @@ from ..communicator import RankContext
 
 __all__ = ["COLL_TAG_BASE", "TAG_BLOCK", "ProtocolViolation", "TagBlock",
            "coll_tags", "coll_tag_base", "as_tag_block", "segments",
-           "apply_reduction", "local_accumulate_copy", "traced"]
+           "apply_reduction", "local_accumulate_copy", "traced",
+           "validate_knob"]
 
 #: User pt2pt tags must stay below this value.
 COLL_TAG_BASE = 1 << 20
@@ -42,6 +43,28 @@ COLL_TAG_BASE = 1 << 20
 #: this, so sequence numbers advance uniformly across ranks even when a
 #: collective needs more than one unit.
 TAG_BLOCK = 1 << 12
+
+
+def validate_knob(value, name: str, minimum: int = 1):
+    """Validate an explicitly-passed tuning knob (``chunk_bytes``,
+    ``window``, ...).
+
+    ``None`` means "use the profile default" and passes through; an
+    explicit value must be an integer ``>= minimum``.  Degenerate values
+    raise :class:`ValueError` instead of being silently coerced — a
+    tuner emitting ``chunk_bytes=0`` must hear about it, not have the
+    knob invisibly replaced by the default (the old ``value or default``
+    idiom did exactly that).
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{name} must be an int >= {minimum} or None, "
+            f"got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
 
 
 class ProtocolViolation(RuntimeError):

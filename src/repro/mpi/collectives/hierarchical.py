@@ -22,7 +22,7 @@ from typing import Any, Generator, List, Optional, Tuple
 from ...cuda import DeviceBuffer
 from ...sim import Event
 from ..communicator import Communicator, RankContext
-from .base import local_accumulate_copy, traced
+from .base import local_accumulate_copy, traced, validate_knob
 from .reduce import reduce_binomial, reduce_chain
 
 __all__ = ["hierarchical_reduce", "hr_plan", "HRConfig", "parse_hr_config"]
@@ -190,6 +190,7 @@ def hierarchical_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
     """
     if isinstance(config, str):
         config = parse_hr_config(config)
+    validate_knob(chunk_bytes, "chunk_bytes")
     if ctx.rank == root and recvbuf is None and ctx.comm.size > 1:
         raise ValueError("root must supply recvbuf")
     yield from _multilevel(ctx, sendbuf, recvbuf, root, config.levels,

@@ -24,7 +24,7 @@ from ...sim import Event
 from ..communicator import RankContext
 from ..request import Request
 from .base import TagBlock, apply_reduction, as_tag_block, coll_tags, \
-    local_accumulate_copy, segments, traced
+    local_accumulate_copy, segments, traced, validate_knob
 
 __all__ = ["reduce_binomial", "reduce_chain", "reduce", "ireduce"]
 
@@ -158,7 +158,9 @@ def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
     me = ctx.rank
     if me == root and recvbuf is None:
         raise ValueError("root must supply recvbuf")
-    chunk = chunk_bytes or ctx.profile.reduce_segment
+    validate_knob(chunk_bytes, "chunk_bytes")
+    validate_knob(window, "window")
+    chunk = ctx.profile.reduce_segment if chunk_bytes is None else chunk_bytes
     chunks = segments(sendbuf.nbytes, chunk)
     # Sized by chunk count: the chain's whole point is many small chunks,
     # so a large buffer over a tiny chunk_bytes easily exceeds one unit.
@@ -196,7 +198,7 @@ def reduce_chain(ctx: RankContext, sendbuf: DeviceBuffer,
                 # Profile default (MPI_T cvar coll.pipeline_window);
                 # 0 keeps the historical all-preposted behaviour.
                 window = ctx.profile.pipeline_window
-            W = len(chunks) if window is None else max(1, window)
+            W = len(chunks) if window is None else window
             rx = [ctx.irecv(right, scratch, tag=tags.tag(k), offset=off,
                             nbytes=n)
                   for k, (off, n) in enumerate(chunks[:W])]

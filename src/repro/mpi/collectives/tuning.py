@@ -153,6 +153,23 @@ def select_reduce_plan(P: int, nbytes: int,
     return ReducePlan("hierarchical", f"CCB-{chain_size}")
 
 
+def _table_knobs(ctx: RankContext, nbytes: int):
+    """Committed tuning-table consult (``repro tune`` output).
+
+    Stock profiles only: any CVAR write derives a new profile that no
+    longer equals its registered original, and an explicit MPI_T write
+    must always win over the offline table.  Lazy import — the tables
+    module is dependency-light (no cycle), and the no-table case stays
+    off the hot path.
+    """
+    from ...tune import tables
+    from ..profiles import is_stock_profile
+    if not tables.enabled() or not is_stock_profile(ctx.profile):
+        return None
+    return tables.lookup(ctx.profile.name, "reduce",
+                         tables.comm_topology(ctx.comm), ctx.size, nbytes)
+
+
 def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
                  recvbuf: Optional[DeviceBuffer], root: int = 0, *,
                  chain_size: Optional[int] = None,
@@ -163,6 +180,10 @@ def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
     runtime profile advertises ``hierarchical_reduce`` (MVAPICH2-GDR with
     the proposed designs); other profiles fall back to their flat
     algorithm.
+
+    Dispatch order: committed tuning table (stock profile, no explicit
+    ``chain_size``) first, then the Section-5 decision table of
+    :func:`select_reduce_plan` as the fallback.
     """
     if not ctx.profile.hierarchical_reduce:
         yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
@@ -177,6 +198,10 @@ def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
         yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
         return
     if chain_size is None:
+        knobs = _table_knobs(ctx, sendbuf.nbytes)
+        if knobs is not None:
+            yield from _dispatch_knobs(ctx, sendbuf, recvbuf, root, knobs)
+            return
         # Default from the profile so the MPI_T cvar (coll.chain_size)
         # steers the decision table without threading an argument.
         chain_size = ctx.profile.chain_size
@@ -189,3 +214,22 @@ def tuned_reduce(ctx: RankContext, sendbuf: DeviceBuffer,
     else:
         yield from hierarchical_reduce(ctx, sendbuf, recvbuf, root,
                                        config=plan.hr_label)
+
+
+def _dispatch_knobs(ctx: RankContext, sendbuf: DeviceBuffer,
+                    recvbuf: Optional[DeviceBuffer], root: int,
+                    knobs) -> Generator[Event, Any, None]:
+    """Execute a tuning-table entry: ``design`` is "binomial", "chain",
+    or an HR label; ``chunk_bytes`` (optional) feeds the chain pipelines
+    and is validated by the algorithms themselves."""
+    design = knobs.get("design")
+    chunk_bytes = knobs.get("chunk_bytes")
+    if design == "binomial":
+        yield from reduce_binomial(ctx, sendbuf, recvbuf, root)
+    elif design == "chain":
+        yield from reduce_chain(ctx, sendbuf, recvbuf, root,
+                                chunk_bytes=chunk_bytes)
+    else:
+        yield from hierarchical_reduce(ctx, sendbuf, recvbuf, root,
+                                       config=design,
+                                       chunk_bytes=chunk_bytes)

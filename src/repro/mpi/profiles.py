@@ -42,7 +42,8 @@ from dataclasses import dataclass, replace
 from typing import List
 
 __all__ = ["MPIProfile", "NCCLProfile", "MV2GDR", "MV2", "OPENMPI", "NCCL",
-           "get_profile", "profile_names", "register_profile"]
+           "get_profile", "is_stock_profile", "profile_names",
+           "register_profile"]
 
 KiB = 1 << 10
 MiB = 1 << 20
@@ -198,13 +199,34 @@ _PROFILES = {p.name: p for p in (MV2GDR, MV2, OPENMPI, NCCL)}
 
 
 def register_profile(profile: MPIProfile) -> None:
-    """Add (or replace) a backend profile in the registry."""
-    _PROFILES[profile.name] = profile
+    """Add (or replace) a backend profile in the registry.
+
+    Names are normalized to lowercase — :func:`get_profile` lowercases
+    its lookup, so a mixed-case registration would otherwise be
+    unreachable.  The stored profile carries the normalized name too,
+    keeping ``get_profile(name).name == name.lower()``.
+    """
+    key = profile.name.lower()
+    if profile.name != key:
+        profile = replace(profile, name=key)
+    _PROFILES[key] = profile
 
 
 def profile_names() -> List[str]:
     """Registered backend names, in registration order."""
     return list(_PROFILES)
+
+
+def is_stock_profile(profile: MPIProfile) -> bool:
+    """True when ``profile`` still equals its registered original.
+
+    Any ``derive()`` — which is what every CVAR write goes through —
+    breaks the dataclass equality, so this is the gate the tuning-table
+    consult uses: an explicitly hand-tuned profile must never be
+    second-guessed by an offline table (explicit MPI_T writes win).
+    """
+    base = _PROFILES.get(profile.name)
+    return base is not None and base == profile
 
 
 def get_profile(name: str) -> MPIProfile:

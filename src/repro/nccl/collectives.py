@@ -35,6 +35,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple
 from ..cuda import DeviceBuffer
 from ..mpi.collectives.base import (
     apply_reduction, coll_tags, local_accumulate_copy, traced,
+    validate_knob,
 )
 from ..mpi.collectives.gather_scatter import block_partition
 from ..mpi.communicator import RankContext
@@ -68,11 +69,14 @@ def trees_of(P: int) -> Tuple[Tree, Tree]:
 
 
 def _ring_chunk(ctx: RankContext, chunk_bytes: Optional[int]) -> int:
-    chunk = chunk_bytes
-    if chunk is None:
+    if chunk_bytes is None:
         chunk = getattr(ctx.profile, "ring_chunk", NCCL.ring_chunk)
-    chunk = max(4, chunk - chunk % 4)
-    return chunk
+        return max(4, chunk - chunk % 4)
+    # An explicit knob must be usable as passed: 4-byte element
+    # alignment is the hard floor (same bound as the nccl.ring_chunk
+    # cvar), and a degenerate value raises instead of being clamped.
+    validate_knob(chunk_bytes, "chunk_bytes", minimum=4)
+    return chunk_bytes - chunk_bytes % 4
 
 
 def _chunks(offset: int, nbytes: int, chunk: int) -> List[Tuple[int, int]]:
@@ -462,6 +466,24 @@ def _tree_threshold(ctx: RankContext) -> int:
     return getattr(ctx.profile, "tree_threshold", NCCL.tree_threshold)
 
 
+def _table_knobs(ctx: RankContext, collective: str,
+                 nbytes: int) -> Optional[Dict[str, Any]]:
+    """Committed tuning-table consult for the size-based dispatchers.
+
+    Applies only to *stock* profiles: a hand-tuned profile (any CVAR
+    write goes through ``derive`` and breaks registry equality) always
+    wins over the offline table.  Imported lazily — ``repro.tune.tables``
+    is dependency-light, so there is no cycle, but the common no-table
+    case should not even pay the import at module load.
+    """
+    from ..mpi.profiles import is_stock_profile
+    from ..tune import tables
+    if not tables.enabled() or not is_stock_profile(ctx.profile):
+        return None
+    return tables.lookup(ctx.profile.name, collective,
+                         tables.comm_topology(ctx.comm), ctx.size, nbytes)
+
+
 def nccl_allreduce(ctx: RankContext, sendbuf: DeviceBuffer,
                    recvbuf: DeviceBuffer, *,
                    chunk_bytes: Optional[int] = None,
@@ -469,7 +491,17 @@ def nccl_allreduce(ctx: RankContext, sendbuf: DeviceBuffer,
                    ) -> Generator[Event, Any, None]:
     """NCCL allreduce with size-based ring/tree selection: payloads at
     or below ``tree_threshold`` take the latency-optimal trees, larger
-    ones the bandwidth-optimal ring."""
+    ones the bandwidth-optimal ring.
+
+    When neither ``algorithm`` nor ``chunk_bytes`` is given and the
+    profile is stock, a committed tuning table (``repro tune``) may
+    override the threshold decision for this (topology, P, size) point.
+    """
+    if algorithm is None and chunk_bytes is None:
+        knobs = _table_knobs(ctx, "allreduce", sendbuf.nbytes)
+        if knobs is not None:
+            algorithm = knobs.get("algorithm")
+            chunk_bytes = knobs.get("chunk_bytes")
     if algorithm is None:
         algorithm = ("tree" if sendbuf.nbytes <= _tree_threshold(ctx)
                      else "ring")
@@ -487,7 +519,13 @@ def nccl_bcast(ctx: RankContext, buf: DeviceBuffer, root: int = 0, *,
                chunk_bytes: Optional[int] = None,
                algorithm: Optional[str] = None,
                ) -> Generator[Event, Any, None]:
-    """NCCL broadcast with size-based ring/tree selection."""
+    """NCCL broadcast with size-based ring/tree selection (tuning-table
+    aware, same contract as :func:`nccl_allreduce`)."""
+    if algorithm is None and chunk_bytes is None:
+        knobs = _table_knobs(ctx, "bcast", buf.nbytes)
+        if knobs is not None:
+            algorithm = knobs.get("algorithm")
+            chunk_bytes = knobs.get("chunk_bytes")
     if algorithm is None:
         algorithm = ("tree" if buf.nbytes <= _tree_threshold(ctx)
                      else "ring")

@@ -23,13 +23,15 @@ from .metrics import (
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
-    "PerfVar", "CtrlVar", "TelemetrySession", "TelemetrySummary",
+    "PerfVar", "CtrlVar", "CvarBackendError", "TelemetrySession",
+    "TelemetrySummary",
     "bind_cluster", "bind_injector", "bind_runtime", "training_summary",
     "to_prometheus", "to_json_snapshot", "timeseries_to_csv",
 ]
 
 _LAZY = {
     "PerfVar": "introspect", "CtrlVar": "introspect",
+    "CvarBackendError": "introspect",
     "TelemetrySession": "introspect",
     "TelemetrySummary": "instrument", "bind_cluster": "instrument",
     "bind_injector": "instrument", "bind_runtime": "instrument",

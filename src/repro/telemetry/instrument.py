@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
-from .introspect import CtrlVar, PerfVar, TelemetrySession
+from .introspect import (
+    CtrlVar, CvarBackendError, PerfVar, TelemetrySession,
+)
 
 __all__ = ["bind_cluster", "bind_injector", "bind_runtime",
            "training_summary", "TelemetrySummary"]
@@ -136,19 +138,44 @@ def bind_runtime(session: TelemetrySession, runtime) -> None:
                                       **kwargs))
 
     # NCCL-backend knobs (duck-typed on the profile so this module
-    # never imports the profile classes): present only when the bound
-    # runtime rides an NCCLProfile.
+    # never imports the profile classes): registered only when the
+    # bound runtime rides an NCCLProfile, but *catalogued* on the
+    # session unconditionally, so addressing one on a runtime bound to
+    # a different backend raises CvarBackendError instead of the
+    # unknown-name KeyError a typo gets.
+    nccl_knobs = (
+        ("nccl.tree_threshold", "tree_threshold",
+         "largest payload routed to the double-binary trees; "
+         "bigger goes to the rings [bytes]"),
+        ("nccl.ring_chunk", "ring_chunk",
+         "pipelining chunk size for nccl ring collectives [bytes]"),
+    )
+    for name, _field, _desc in nccl_knobs:
+        session.note_backend_cvar(name, "nccl")
+
+    def nccl_knob(cvar_name, field_name):
+        # Guarded accessors: set_profile can hot-swap the runtime onto
+        # a non-NCCL profile after registration, at which point a write
+        # would otherwise die inside dataclasses.replace with a cryptic
+        # unexpected-keyword error.
+        def get():
+            prof = runtime.profile
+            if not hasattr(prof, field_name):
+                raise CvarBackendError(cvar_name, "nccl", prof.name)
+            return getattr(prof, field_name)
+
+        def set_(value):
+            prof = runtime.profile
+            if not hasattr(prof, field_name):
+                raise CvarBackendError(cvar_name, "nccl", prof.name)
+            runtime.set_profile(prof.derive(**{field_name: value}))
+        return get, set_
+
     if hasattr(runtime.profile, "tree_threshold"):
-        for name, field_name, desc in (
-            ("nccl.tree_threshold", "tree_threshold",
-             "largest payload routed to the double-binary trees; "
-             "bigger goes to the rings [bytes]"),
-            ("nccl.ring_chunk", "ring_chunk",
-             "pipelining chunk size for nccl ring collectives [bytes]"),
-        ):
+        for name, field_name, desc in nccl_knobs:
             if name in session.cvar_names():
                 continue
-            get, set_ = knob(field_name)
+            get, set_ = nccl_knob(name, field_name)
             session.register_cvar(CtrlVar(
                 name, desc, ctype=int, get=get, set=set_,
                 minimum=0 if field_name == "tree_threshold" else 4))

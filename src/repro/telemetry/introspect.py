@@ -30,7 +30,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["PerfVar", "CtrlVar", "TelemetrySession"]
+__all__ = ["PerfVar", "CtrlVar", "CvarBackendError", "TelemetrySession"]
+
+
+class CvarBackendError(TypeError):
+    """A backend-specific CVAR was addressed on a runtime bound to a
+    different backend (e.g. ``nccl.tree_threshold`` on ``mv2gdr``).
+
+    Historically this either fell through as a generic "no cvar named"
+    KeyError (indistinguishable from a typo) or — after a profile
+    hot-swap — surfaced as a cryptic ``dataclasses.replace`` failure.
+    The auto-tuner must fail loudly on a mis-targeted knob, so it gets
+    a dedicated type.  Subclasses TypeError: writing a knob the bound
+    backend cannot represent is a type-level mistake, and existing
+    ``except (KeyError, TypeError, ValueError)`` cvar handling (the CLI,
+    the tuner) keeps working unchanged.
+    """
+
+    def __init__(self, name: str, wanted_backend: str,
+                 bound_backend: Optional[str] = None):
+        self.cvar = name
+        self.wanted_backend = wanted_backend
+        self.bound_backend = bound_backend
+        bound = (f"bound to {bound_backend!r}" if bound_backend
+                 else "bound to a backend that does not register it")
+        super().__init__(
+            f"cvar {name!r} targets the {wanted_backend!r} backend, but "
+            f"this runtime is {bound}")
 
 
 @dataclass(frozen=True)
@@ -97,6 +123,11 @@ class TelemetrySession:
         #: CVAR assignments queued before a runtime exists; applied by
         #: ``bind_runtime`` once the cvars are registered.
         self.pending_cvars: Dict[str, str] = {}
+        #: Catalogue of *known* backend-specific cvar names -> owning
+        #: backend, populated unconditionally by ``bind_runtime`` so a
+        #: mis-targeted write raises :class:`CvarBackendError` instead
+        #: of an unknown-name KeyError.
+        self._backend_cvars: Dict[str, str] = {}
         #: Scrape rows: ``{"time": t, pvar: value, ...}`` in time order.
         self.samples: List[Dict[str, Any]] = []
         #: Simulated time of the next scheduled scrape (checked by
@@ -238,19 +269,29 @@ class TelemetrySession:
         """All PVAR values, labeled ones as nested dicts."""
         return {name: pv.read() for name, pv in self._pvars.items()}
 
-    def cvar_get(self, name: str) -> Any:
+    def note_backend_cvar(self, name: str, backend: str) -> None:
+        """Record that ``name`` is a backend-specific cvar owned by
+        ``backend`` (whether or not it is registered on this session)."""
+        self._backend_cvars[name] = backend
+
+    def _lookup_cvar(self, name: str) -> CtrlVar:
         try:
-            return self._cvars[name].get()
+            return self._cvars[name]
         except KeyError:
+            backend = self._backend_cvars.get(name)
+            if backend is not None:
+                raise CvarBackendError(name, backend) from None
             raise KeyError(f"no cvar named {name!r}") from None
 
+    def cvar_get(self, name: str) -> Any:
+        return self._lookup_cvar(name).get()
+
     def cvar_set(self, name: str, value: Any) -> None:
-        """Validated set: KeyError on unknown names, TypeError on
-        ill-typed values, ValueError on out-of-domain ones."""
-        try:
-            cv = self._cvars[name]
-        except KeyError:
-            raise KeyError(f"no cvar named {name!r}") from None
+        """Validated set: KeyError on unknown names,
+        :class:`CvarBackendError` on known-but-mis-targeted backend
+        cvars, TypeError on ill-typed values, ValueError on
+        out-of-domain ones."""
+        cv = self._lookup_cvar(name)
         # bool passes isinstance(int) but is never a sensible knob value.
         if not isinstance(value, cv.ctype) or isinstance(value, bool):
             raise TypeError(
@@ -266,10 +307,7 @@ class TelemetrySession:
 
     def cvar_set_str(self, name: str, text: str) -> None:
         """Parse-and-set from command-line text (type from the cvar)."""
-        try:
-            cv = self._cvars[name]
-        except KeyError:
-            raise KeyError(f"no cvar named {name!r}") from None
+        cv = self._lookup_cvar(name)
         if cv.ctype is int:
             try:
                 value: Any = int(text, 0)

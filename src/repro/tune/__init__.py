@@ -1,0 +1,26 @@
+"""``repro.tune``: the closed-loop CVAR auto-tuner (ROADMAP item 1).
+
+Two halves:
+
+- :mod:`~repro.tune.tables` — committed MVAPICH-style tuning tables
+  keyed by (message size, P, topology) and their dispatch-time lookup.
+  Dependency-light, imported by the collective dispatchers.
+- :mod:`~repro.tune.search` — the search driver (``repro tune``): grid
+  + hill-climb over the validated CVAR space, pruned by the transport's
+  closed-form estimates and the causal profiler's frozen-slack what-if
+  projection, measuring survivors with full simulations.
+
+Only ``tables`` is imported eagerly; ``search`` pulls in the whole
+runtime stack and loads lazily at its call sites.
+"""
+
+from . import tables
+from .tables import (
+    TunedTable, comm_topology, load_table, lookup, tables_dir,
+    tables_disabled, topology_key,
+)
+
+__all__ = [
+    "TunedTable", "comm_topology", "load_table", "lookup", "tables",
+    "tables_dir", "tables_disabled", "topology_key",
+]

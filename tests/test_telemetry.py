@@ -28,9 +28,9 @@ from repro.mpi import MPIRuntime
 from repro.mpi.collectives import reduce_binomial
 from repro.sim import Simulator
 from repro.telemetry import (
-    Counter, Gauge, Histogram, MetricsRegistry, TelemetrySession,
-    bind_cluster, bind_runtime, timeseries_to_csv, to_json_snapshot,
-    to_prometheus,
+    Counter, CvarBackendError, Gauge, Histogram, MetricsRegistry,
+    TelemetrySession, bind_cluster, bind_runtime, timeseries_to_csv,
+    to_json_snapshot, to_prometheus,
 )
 
 
@@ -242,6 +242,41 @@ class TestCvars:
             tel.cvar_set("coll.flat_reduce_algorithm", "quantum")
         with pytest.raises(TypeError):
             tel.cvar_set_str("coll.chain_size", "not-a-number")
+
+    def test_backend_cvar_on_wrong_backend_raises_typed_error(self):
+        """Writing an nccl.* cvar on a runtime bound to mv2gdr must
+        raise CvarBackendError, not silently no-op (ISSUE 9 satellite):
+        the knob is catalogued, just not available on this backend."""
+        tel, _rt = self.make_bound_session()  # mv2gdr
+        for name in ("nccl.tree_threshold", "nccl.ring_chunk"):
+            with pytest.raises(CvarBackendError) as exc:
+                tel.cvar_set(name, 1 << 20)
+            assert exc.value.cvar == name
+            assert exc.value.wanted_backend == "nccl"
+            assert "nccl" in str(exc.value)
+            with pytest.raises(CvarBackendError):
+                tel.cvar_get(name)
+        # Still distinguishable from a plain typo.
+        with pytest.raises(KeyError):
+            tel.cvar_set("nccl.no_such_knob", 1)
+
+    def test_backend_cvar_works_then_fails_after_hot_swap(self):
+        """On an NCCL runtime the knobs round-trip; hot-swapping the
+        profile to a different backend turns further writes into
+        CvarBackendError instead of a cryptic replace() failure."""
+        from repro.mpi import get_profile
+
+        tel, rt = self.make_bound_session(profile="nccl")
+        tel.cvar_set("nccl.ring_chunk", 128 << 10)
+        assert tel.cvar_get("nccl.ring_chunk") == 128 << 10
+        assert rt.profile.ring_chunk == 128 << 10
+        rt.set_profile(get_profile("mv2gdr"))
+        with pytest.raises(CvarBackendError) as exc:
+            tel.cvar_set("nccl.ring_chunk", 64 << 10)
+        assert exc.value.bound_backend == "mv2gdr"
+        # CvarBackendError is a TypeError so existing broad handlers
+        # (the metrics CLI) keep treating it as a cvar error.
+        assert isinstance(exc.value, TypeError)
 
     def test_queued_cvars_apply_at_bind(self):
         sim = Simulator(seed=0)
