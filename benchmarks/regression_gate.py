@@ -12,14 +12,27 @@ real behaviour change.  CI runs this script, which
    ``results/timeseries.csv``),
 3. compares every headline number against ``baselines/regression.json``
    with a relative tolerance and exits non-zero on any regression,
-4. regenerates the committed tuning tables from the quick ``repro
+   printing a per-metric drill-down (percent delta + the exact repro
+   command) for every failing headline,
+4. on a failed *training* headline, re-runs the train point under the
+   causal profiler and diffs it against the committed baseline run
+   file (``baselines/profile_train.json``) with the ``repro diff``
+   engine — the attribution table names the phase/resource/rank that
+   ate the delta and is written to ``results/regression_diff.txt``,
+5. regenerates the committed tuning tables from the quick ``repro
    tune`` plan and fails on any byte drift (the tune-smoke gate),
-5. runs the quick chaos-conformance matrix and fails on any cell that
-   ends in silent corruption or a hang (the outcome-trichotomy gate),
-6. re-runs the quick ``bench_simcore`` workloads and fails if host
+6. runs the quick chaos-conformance matrix and fails on any cell that
+   ends in silent corruption or a hang (the outcome-trichotomy gate);
+   failing cells dump their flight-recorder timelines to
+   ``results/flight_postmortem.json``,
+7. re-runs the quick ``bench_simcore`` workloads and fails if host
    wall-clock throughput (ref-events/sec) drops below the floor in
    ``baselines/simcore.json`` — the same check the ``sim-bench`` CI job
    applies, so a kernel slow-down cannot land through either door.
+
+Each gate has a distinct exit code (the first failing gate wins):
+``2`` missing baseline, ``3`` headline comparison, ``4`` tuning
+tables, ``5`` chaos trichotomy, ``6`` wall-clock floor.
 
 Refresh the baselines after an intentional change with::
 
@@ -42,6 +55,17 @@ from common import RESULTS_DIR, emit_json, osu_reduce  # noqa: E402
 
 BASELINE = os.path.join(os.path.dirname(__file__), "baselines",
                         "regression.json")
+#: Committed baseline *run file* (RunCard + profile summary) of the
+#: train point; candidates diff against this on a failed train headline.
+BASELINE_RUN = os.path.join(os.path.dirname(__file__), "baselines",
+                            "profile_train.json")
+
+#: Distinct exit code per failing gate (first failing gate wins).
+EXIT_MISSING_BASELINE = 2
+EXIT_HEADLINE = 3
+EXIT_TUNE = 4
+EXIT_CHAOS = 5
+EXIT_WALLCLOCK = 6
 
 #: Relative tolerance for headline comparisons.  The runs are
 #: deterministic, so this only absorbs intentional small calibration
@@ -111,6 +135,71 @@ def _train_point() -> dict:
     }
 
 
+def _profiled_train_run() -> dict:
+    """The train point re-run under the causal profiler.
+
+    Recording is passive, so the simulated numbers are bit-identical
+    to :func:`_train_point`; this run additionally captures the span
+    graph the diff engine attributes from.  Returns a saved-run
+    payload (RunCard + profile summary).
+    """
+    from repro.core import TrainConfig, run_scaffe
+    from repro.hardware import make_cluster
+    from repro.obs import StragglerDetector, make_runcard, run_payload
+    from repro.prof import SpanRecorder
+    from repro.sim import Simulator
+
+    cfg = TrainConfig(network="googlenet", batch_size=1024, iterations=3,
+                      variant="SC-OB", reduce_design="tuned",
+                      measure_iterations=3)
+    sim = Simulator(seed=TRAIN_SEED)
+    cluster = make_cluster(sim, "A")
+    recorder = SpanRecorder(sim)
+    report = run_scaffe(cluster, 16, cfg, recorder=recorder)
+    assert report.ok, report.failure
+    card = make_runcard(report, cfg, cluster_kind="A", n_gpus=16,
+                        profile="mv2gdr", seed=TRAIN_SEED, sim=sim)
+    return run_payload(card, report.profile,
+                       StragglerDetector(recorder).report())
+
+
+def _write_canonical(path: str, payload: dict) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def attribute_train_regression(run_fn=_profiled_train_run,
+                               baseline_run=BASELINE_RUN) -> str:
+    """Causal attribution of a failed train headline.
+
+    Re-runs the train point under the profiler, diffs it against the
+    committed baseline run file, and returns the ``repro diff``
+    attribution table (also written to ``results/regression_diff.txt``
+    for the CI artifact upload).  Returns "" when no baseline run file
+    exists.
+    """
+    from repro.obs import diff_runs
+
+    if not os.path.exists(baseline_run):
+        print(f"no baseline run file at {baseline_run}; cannot attribute "
+              "(write one with --update-baseline)", file=sys.stderr)
+        return ""
+    cand = run_fn()
+    _write_canonical(os.path.join(RESULTS_DIR, "profile_train.json"), cand)
+    with open(baseline_run) as f:
+        base = json.load(f)
+    diff = diff_runs(base, cand, base_label="committed baseline",
+                     cand_label="this run")
+    text = diff.render()
+    out = os.path.join(RESULTS_DIR, "regression_diff.txt")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(out, "w") as f:
+        f.write(text + "\n")
+    return text
+
+
 def run_subset() -> dict:
     headline = {}
     for label, cluster, profile, design, nbytes, procs in OSU_POINTS:
@@ -128,7 +217,39 @@ def run_subset() -> dict:
     return headline
 
 
+def _fmt_size(nbytes: int) -> str:
+    if nbytes >= MiB and nbytes % MiB == 0:
+        return f"{nbytes // MiB}M"
+    if nbytes >= KiB and nbytes % KiB == 0:
+        return f"{nbytes // KiB}K"
+    return str(nbytes)
+
+
+def repro_command(label: str) -> str:
+    """The exact CLI command reproducing one headline number."""
+    for lbl, cluster, profile, design, nbytes, procs in OSU_POINTS:
+        if lbl == label:
+            return ("PYTHONPATH=src python -m repro.cli osu "
+                    f"--cluster {cluster} --profile {profile} "
+                    f"--design {design} --procs {procs} "
+                    f"--sizes {_fmt_size(nbytes)}")
+    for lbl, cluster, backend, coll, procs, nbytes in CROSSOVER_POINTS:
+        if lbl == label:
+            return ("PYTHONPATH=src python -m repro.cli crossover "
+                    f"--clusters {cluster} --procs {procs} "
+                    f"--sizes {_fmt_size(nbytes)} --collectives {coll} "
+                    f"--backends {backend}")
+    if label.startswith("train_"):
+        return ("PYTHONPATH=src python -m repro.cli profile "
+                "--model googlenet --gpus 16 --batch-size 1024 "
+                "--iterations 3 --variant SC-OB --seed 1 "
+                "--json results/profile_train.json")
+    return "PYTHONPATH=src python benchmarks/regression_gate.py"
+
+
 def compare(headline: dict, baseline: dict) -> list:
+    """Problems for every out-of-tolerance headline, each with its
+    percent delta and the exact repro command (no silent pass/fail)."""
     problems = []
     for key, base in sorted(baseline["headline"].items()):
         got = headline.get(key)
@@ -138,16 +259,35 @@ def compare(headline: dict, baseline: dict) -> list:
         if base == 0:
             if got != 0:
                 problems.append(f"{key}: baseline 0, got {got:.6g}")
+                problems.append(f"  repro: {repro_command(key)}")
             continue
         rel = (got - base) / base
         if abs(rel) > REL_TOL:
             problems.append(
                 f"{key}: {got:.6g} vs baseline {base:.6g} "
                 f"({rel * 100:+.2f}%, tolerance {REL_TOL * 100:.0f}%)")
+            problems.append(f"  repro: {repro_command(key)}")
     for key in sorted(set(headline) - set(baseline["headline"])):
         problems.append(f"new headline {key!r} not in baseline "
                         f"(refresh with --update-baseline)")
     return problems
+
+
+def drilldown(headline: dict, baseline: dict) -> str:
+    """Per-metric table (value, baseline, percent delta, verdict) for
+    the failure report — not just the out-of-tolerance rows."""
+    lines = [f"{'metric':42s} {'current':>14s} {'baseline':>14s} "
+             f"{'delta':>9s}"]
+    for key, base in sorted(baseline["headline"].items()):
+        got = headline.get(key)
+        if got is None:
+            lines.append(f"{key:42s} {'(missing)':>14s} {base:14.6g}")
+            continue
+        rel = (got - base) / base if base else 0.0
+        flag = "  <-- FAIL" if abs(rel) > REL_TOL else ""
+        lines.append(f"{key:42s} {got:14.6g} {base:14.6g} "
+                     f"{rel * 100:+8.2f}%{flag}")
+    return "\n".join(lines)
 
 
 def check_simcore_floor() -> list:
@@ -213,11 +353,24 @@ def check_chaos_gate() -> list:
     tally = chaos_outcome_tally(results)
     print("chaos gate: " + "  ".join(f"{k}={v}" for k, v in tally.items()))
     problems = []
-    for r in results:
-        if not r.ok:
-            problems.append(f"chaos [{r.outcome}] {r.case.spec()} -- "
-                            f"{'; '.join(r.failures)}")
-            problems.append(f"  repro: {r.case.repro_command()}")
+    failing = [r for r in results if not r.ok]
+    for r in failing:
+        problems.append(f"chaos [{r.outcome}] {r.case.spec()} -- "
+                        f"{'; '.join(r.failures)}")
+        problems.append(f"  repro: {r.case.repro_command()}")
+    if failing:
+        # Every failing cell carries its flight-recorder ring; collect
+        # the timelines into one post-mortem file for the CI artifact.
+        dump = {
+            "format": "repro.obs.flight-collection/1",
+            "cells": {r.case.spec(): {"outcome": r.outcome,
+                                      "failures": r.failures,
+                                      "events": r.flight}
+                      for r in failing},
+        }
+        path = os.path.join(RESULTS_DIR, "flight_postmortem.json")
+        _write_canonical(path, dump)
+        problems.append(f"  flight-recorder timelines written to {path}")
     return problems
 
 
@@ -247,26 +400,47 @@ def main(argv=None) -> int:
         os.makedirs(os.path.dirname(BASELINE), exist_ok=True)
         shutil.copyfile(path, BASELINE)
         print(f"baseline updated: {BASELINE}")
+        _write_canonical(BASELINE_RUN, _profiled_train_run())
+        print(f"baseline run file updated: {BASELINE_RUN}")
         return 0
 
     if not os.path.exists(BASELINE):
         print(f"no baseline at {BASELINE}; run with --update-baseline",
               file=sys.stderr)
-        return 2
+        return EXIT_MISSING_BASELINE
     with open(BASELINE) as f:
         baseline = json.load(f)
-    problems = compare(headline, baseline)
+
+    # (gate name, problem list, exit code); the first failing gate
+    # determines the exit code, every problem is printed regardless.
+    gates = [("headline", compare(headline, baseline), EXIT_HEADLINE)]
+    if gates[0][1]:
+        print("\nheadline drill-down:", file=sys.stderr)
+        print(drilldown(headline, baseline), file=sys.stderr)
+        if any(p.startswith("train_") for p in gates[0][1]):
+            # A moved training headline gets causal attribution: the
+            # profiled re-run vs the committed baseline run file.
+            text = attribute_train_regression()
+            if text:
+                print("\ncausal attribution (repro diff baseline -> "
+                      "candidate):", file=sys.stderr)
+                print(text, file=sys.stderr)
     if not args.no_tune:
-        problems += check_tuning_tables()
+        gates.append(("tune", check_tuning_tables(), EXIT_TUNE))
     if not args.no_chaos:
-        problems += check_chaos_gate()
+        gates.append(("chaos", check_chaos_gate(), EXIT_CHAOS))
     if not args.no_wallclock:
-        problems += check_simcore_floor()
-    if problems:
-        print("\nREGRESSION GATE FAILED:", file=sys.stderr)
-        for p in problems:
-            print(f"  {p}", file=sys.stderr)
-        return 1
+        gates.append(("wallclock", check_simcore_floor(), EXIT_WALLCLOCK))
+
+    failing = [(name, probs, code) for name, probs, code in gates if probs]
+    if failing:
+        print("\nREGRESSION GATE FAILED "
+              f"({', '.join(name for name, _, _ in failing)}):",
+              file=sys.stderr)
+        for name, probs, _ in failing:
+            for p in probs:
+                print(f"  [{name}] {p}", file=sys.stderr)
+        return failing[0][2]
     print(f"regression gate: {len(baseline['headline'])} headline "
           f"numbers within {REL_TOL * 100:.0f}% of baseline; "
           f"tuning tables regenerate byte-identically; "

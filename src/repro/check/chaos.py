@@ -139,6 +139,10 @@ class ChaosResult:
     sim_time: float = 0.0
     #: Integrity / recovery counters at end of run.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Flight-recorder timeline (last-N span events) for every verdict
+    #: that is not a clean exact/recovered finish, so a hang or
+    #: corruption cell ships its final moments alongside the spec.
+    flight: List[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -232,6 +236,13 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
                 for r in range(case.P)]
     program = harness._program(hcase, payloads)
 
+    # Every cell runs under a span recorder + flight ring (both
+    # passive: simulated times are bit-identical either way), so a
+    # failing verdict carries its last-N-events timeline.
+    from ..obs import FlightRecorder
+    from ..prof import SpanRecorder
+    flight = FlightRecorder(SpanRecorder(sim), capacity=256)
+
     # Arm the injector BEFORE spawning ranks: its t=0 drivers are then
     # scheduled ahead of the rank programs, so fault state is in place
     # before the first transfer attempt of the first round.
@@ -241,8 +252,9 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
     if case.kind == "stall":
         # Stalls are the one fault the retry loop cannot see (no
         # attempt ever fails); the watchdog converts them.
-        runtime.ensure_watchdog().arm(procs, comm.gpus,
-                                      nbytes=case.nbytes)
+        wd = runtime.ensure_watchdog()
+        wd.flight = flight
+        wd.arm(procs, comm.gpus, nbytes=case.nbytes)
 
     error: Optional[BaseException] = None
     try:
@@ -271,6 +283,7 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
         res.failures.append(
             f"{tm.silent_corruptions} corrupted deliveries passed "
             f"verification (checksum layer broken)")
+        res.flight = flight.snapshot()
         return res
 
     if error is not None:
@@ -280,6 +293,7 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
         else:
             res.outcome = "hang"
             res.failures.append(f"untyped error escaped: {error!r}")
+        res.flight = flight.snapshot()
         return res
 
     alive = [i for i, p in enumerate(procs) if p.is_alive]
@@ -288,6 +302,7 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
         res.failures.append(
             f"deadlock: ranks {alive} still parked after the event "
             f"schedule drained")
+        res.flight = flight.snapshot()
         return res
 
     # Clean drain, every rank finished: the bytes must be exact.
@@ -298,6 +313,7 @@ def run_chaos_case(case: ChaosCase) -> ChaosResult:
         res.outcome = "silent"
         res.failures.extend(byte_failures)
         res.failures.append("wrong bytes with no error raised")
+        res.flight = flight.snapshot()
         return res
     recovered = (tm.retries or tm.retransmits or tm.corrupt_detected
                  or tm.drops_detected or tm.link_down_detected)

@@ -15,6 +15,7 @@ options like ``-scal weak``), adapted to the simulated stack::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -129,6 +130,23 @@ def build_parser() -> argparse.ArgumentParser:
                          "gpu_mem, overhead, all")
     pr.add_argument("--top", type=int, default=10,
                     help="rows per critical-path breakdown table")
+    pr.add_argument("--json", metavar="FILE", default=None, dest="json_out",
+                    help="write a machine-readable run file (RunCard + "
+                         "profile summary; '-' for stdout) for "
+                         "'repro diff'")
+
+    df = sub.add_parser(
+        "diff",
+        help="differential run profiling: attribute the makespan delta "
+             "between two saved profile runs (write them with "
+             "'repro profile --json')")
+    df.add_argument("base", help="baseline run file (repro profile --json)")
+    df.add_argument("cand", help="candidate run file")
+    df.add_argument("--top", type=int, default=8,
+                    help="rows per attribution table")
+    df.add_argument("--trace", metavar="FILE", default=None,
+                    help="write a two-process Perfetto trace comparing "
+                         "the runs' critical paths")
 
     o = sub.add_parser("osu", help="MPI_Reduce micro-benchmark (OMB-style)")
     o.add_argument("--cluster", default="A", choices=["A", "B"])
@@ -210,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=profiles)
     c.add_argument("--describe", action="store_true",
                    help="print the fault schedule before running")
+    c.add_argument("--flight", metavar="FILE", default=None,
+                   help="record a flight-recorder ring and write its "
+                        "post-mortem dump here when the run fails or "
+                        "the watchdog escalates")
 
     k = sub.add_parser(
         "check",
@@ -408,6 +430,7 @@ def _parse_what_if(spec: str) -> dict:
 def _cmd_profile(args) -> int:
     from .core import TrainConfig, run_scaffe
     from .hardware import make_cluster
+    from .obs import StragglerDetector, make_runcard, run_payload, save_run
     from .prof import SpanRecorder, save_trace
     from .sim import Simulator
 
@@ -428,9 +451,22 @@ def _cmd_profile(args) -> int:
         print(f"run failed: {report.failure} ({report.notes})")
         return 1
     prof = report.profile
+    straggler = StragglerDetector(recorder).report()
+    card = make_runcard(report, cfg, cluster_kind=args.cluster,
+                        n_gpus=args.gpus, profile=args.profile,
+                        seed=args.seed, sim=sim)
+    if args.json_out == "-":
+        print(json.dumps(run_payload(card, prof, straggler),
+                         indent=2, sort_keys=True))
+        return 0
     print(f"# {cfg.network} x{args.gpus} on Cluster-{args.cluster}, "
           f"{cfg.variant}/{args.reduce_design}, {args.profile}")
     print(prof.render(top=args.top))
+    print(straggler.render())
+    if args.json_out:
+        save_run(args.json_out, card, prof, straggler)
+        print(f"\nrun file written to {args.json_out} "
+              f"(compare with: repro diff BASE.json {args.json_out})")
     if scales:
         base = prof.makespan
         proj = prof.what_if(scales)
@@ -442,6 +478,26 @@ def _cmd_profile(args) -> int:
         save_trace(args.trace, recorder.closed_spans())
         print(f"\ntrace written to {args.trace} "
               f"(load in ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .obs import diff_runs, diff_trace_events, load_run
+
+    try:
+        base = load_run(args.base)
+        cand = load_run(args.cand)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot load run file: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(base, cand)
+    print(diff.render(top=args.top))
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            json.dump({"traceEvents": diff_trace_events(base, cand),
+                       "displayTimeUnit": "ms"}, fh)
+        print(f"\ncomparison trace written to {args.trace} "
+              f"(load in ui.perfetto.dev)")
     return 0
 
 
@@ -497,8 +553,20 @@ def _cmd_chaos(args) -> int:
     if args.describe:
         print(plan.describe())
         print()
+    recorder = flight = None
+    if args.flight:
+        from .obs import FlightRecorder
+        from .prof import SpanRecorder
+        recorder = SpanRecorder(cluster.sim)
+        flight = FlightRecorder(recorder, path=args.flight)
     report = run_scaffe(cluster, args.gpus, mkcfg(args.checkpoint_interval),
-                        profile=args.profile, fault_plan=plan)
+                        profile=args.profile, fault_plan=plan,
+                        recorder=recorder)
+    if flight is not None and not report.ok and flight.dumps == 0:
+        flight.dump(f"{report.failure}: {report.notes}")
+    if flight is not None and flight.dumps:
+        print(f"flight-recorder post-mortem written to {args.flight} "
+              f"({len(flight.events)} events, {flight.dumps} dump(s))")
     print(f"plan {plan.name!r} ({len(plan)} events), "
           f"quiet baseline {probe.total_time:.2f}s")
     print(report.summary())
@@ -760,6 +828,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "metrics": _cmd_metrics,
         "profile": _cmd_profile,
+        "diff": _cmd_diff,
         "chaos": _cmd_chaos,
         "osu": _cmd_osu,
         "autotune": _cmd_autotune,

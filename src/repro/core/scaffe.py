@@ -82,6 +82,14 @@ class SCaffeJob:
                     "telemetry session belongs to a different simulator")
             bind_cluster(telemetry, cluster)
             bind_runtime(telemetry, self.runtime)
+        self.straggler = None
+        if telemetry is not None and recorder is not None:
+            # Skew detection needs span timings, so the obs.straggler.*
+            # namespace exists only on profiled runs (the PVARs are
+            # snapshot-only; unprofiled telemetry output is unchanged).
+            from ..obs import StragglerDetector, bind_straggler_pvars
+            self.straggler = StragglerDetector(recorder)
+            bind_straggler_pvars(telemetry, self.straggler)
         self.adapter = adapter
         self.tracer = tracer or Tracer(self.sim, enabled=True)
         self.local_batch = cfg.local_batch(n_gpus)
@@ -149,6 +157,8 @@ class SCaffeJob:
                     # failing attempt for the retry loop to convert;
                     # the watchdog turns it into a typed outcome.
                     wd = self.runtime.ensure_watchdog()
+                    if self.recorder is not None:
+                        wd.flight = self.recorder.flight
                     wd.arm(procs, comm.gpus,
                            nbytes=self.workload.param_bytes)
                 self.injector.arm(runtime=self.runtime, procs=procs,
@@ -167,6 +177,14 @@ class SCaffeJob:
                 report.notes = str(exc)
                 report.simulated_time = self.sim.now
                 report.faults = self._fault_report()
+                fl = (self.recorder.flight
+                      if self.recorder is not None else None)
+                if fl is not None:
+                    # Ship the last-N-events timeline with the typed
+                    # failure (the watchdog may have dumped already;
+                    # this refreshes the post-mortem with the final
+                    # state of the ring).
+                    fl.dump(f"{type(exc).__name__}: {exc}")
                 return report
         finally:
             if tel is not None:

@@ -78,6 +78,10 @@ class CollectiveWatchdog:
         #: revoke-alls, hard interrupts).
         self.escalations = 0
         self.armed = False
+        #: Optional :class:`~repro.obs.FlightRecorder`: every timeout /
+        #: escalation step is noted, and escalations dump the ring as a
+        #: post-mortem (purely passive — notes never schedule events).
+        self.flight = None
         self._procs: List = []
         self._gpus: List = []
         self._window = 0.0
@@ -159,6 +163,11 @@ class CollectiveWatchdog:
             if sim.peek() != float("inf"):
                 continue
             self.timeouts += 1
+            if self.flight is not None:
+                self.flight.note(
+                    "watchdog.timeout",
+                    f"zero progress across a {self._window:.6f}s window; "
+                    f"{len(alive)} rank(s) still parked")
             if self._escalate(alive):
                 continue
             # Suspect kills and revoke-all are exhausted and the job
@@ -166,6 +175,9 @@ class CollectiveWatchdog:
             exc = CollectiveTimeout(
                 f"no progress within a {self._window:.6f}s window after "
                 f"escalation; interrupting survivors")
+            if self.flight is not None:
+                self.flight.note("watchdog.interrupt", str(exc))
+                self.flight.dump(f"watchdog hard interrupt: {exc}")
             for p in alive:
                 if p.is_alive:
                     self.escalations += 1
@@ -190,12 +202,23 @@ class CollectiveWatchdog:
                     self.escalations += 1
                     proc.interrupt(CrashRank(time=self.sim.now, rank=r))
                 fd.mark_dead(g)
+            if self.flight is not None:
+                self.flight.note(
+                    "watchdog.suspect_kill",
+                    f"treated {len(suspects)} stall suspect(s) as dead "
+                    f"ranks (ULFM revoke -> shrink -> restart)")
+                self.flight.dump(
+                    f"watchdog suspect-kill of {len(suspects)} rank(s)")
             return True
         if not self._escalated:
             self._escalated = True
             self.escalations += 1
-            fd.revoke_all(CollectiveTimeout(
+            exc = CollectiveTimeout(
                 f"collective made no progress for {self._window:.6f}s "
-                f"(stalled link suspected)"))
+                f"(stalled link suspected)")
+            if self.flight is not None:
+                self.flight.note("watchdog.revoke_all", str(exc))
+                self.flight.dump(f"watchdog revoke-all: {exc}")
+            fd.revoke_all(exc)
             return True
         return False

@@ -1,0 +1,244 @@
+"""Differential critical-path analysis: *where did the delta go?*
+
+Every S-Caffe claim is comparative — MPI vs NCCL, tuned vs default,
+overlap vs no-overlap — and a regression gate's verdict ("7% slower")
+is useless without attribution.  This module aligns two profiled runs
+and tiles the makespan delta exactly:
+
+1. Each run's critical path (which itself tiles ``[0, makespan]``, see
+   :mod:`repro.prof.graph`) is bucketed into **cells** keyed by
+   ``(phase, resource class, rank)`` — the finest granularity shared
+   by both runs.  Wait gaps get the ``(wait)`` cell key.
+2. Cells are aligned by key.  ``delta = cand - base`` per cell; a cell
+   present in only one run is **structural** (activity that exists
+   only on one side, e.g. a design change that removed a stage).
+3. The attribution is closed with an explicit float **residual**
+   (``delta - fsum(cell deltas)``, only floating-point dust since the
+   cells tile each run), so the components sum to the makespan delta
+   *identically* — to the last ULP, by construction.
+
+Marginal tables (per phase, per resource class, per rank) are sums
+over the same cells, so each of them tiles the delta too.  The text
+rendering leads with whatever moved most; ``diff_trace_events`` emits
+a two-process Perfetto trace with both critical paths on parallel
+tracks for eyeball comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .runcard import RunCard
+
+__all__ = ["CellDelta", "RunDiff", "diff_cells", "diff_runs",
+           "diff_trace_events"]
+
+#: Cell key for critical-path wait gaps.
+WAIT_KEY = ("(wait)", "wait", "-")
+
+CellKey = Tuple[str, str, str]  # (phase, resource class, actor)
+
+
+@dataclass
+class CellDelta:
+    """One aligned critical-path cell across the two runs."""
+
+    phase: str
+    cls: str
+    actor: str
+    base: float
+    cand: float
+    #: Present in only one run (the other side contributes 0.0s).
+    structural: bool = False
+
+    @property
+    def key(self) -> CellKey:
+        return (self.phase, self.cls, self.actor)
+
+    @property
+    def delta(self) -> float:
+        return self.cand - self.base
+
+
+@dataclass
+class RunDiff:
+    """The exactly-tiling attribution of ``cand - base``."""
+
+    base_label: str
+    cand_label: str
+    base_makespan: float
+    cand_makespan: float
+    cells: List[CellDelta] = field(default_factory=list)
+    #: Configuration differences between the two RunCards.
+    config_diffs: List[Tuple[str, Any, Any]] = field(default_factory=list)
+
+    @property
+    def delta(self) -> float:
+        return self.cand_makespan - self.base_makespan
+
+    @property
+    def attributed(self) -> float:
+        """Exact float sum of all per-cell deltas."""
+        return math.fsum(c.delta for c in self.cells)
+
+    @property
+    def residual(self) -> float:
+        """Floating-point dust closing the attribution:
+        ``delta == attributed + residual`` identically."""
+        return self.delta - self.attributed
+
+    @property
+    def structural_delta(self) -> float:
+        return math.fsum(c.delta for c in self.cells if c.structural)
+
+    def components(self) -> List[float]:
+        """Every attributed component incl. the residual; sums to
+        :attr:`delta` exactly (``math.fsum`` of this list)."""
+        return [c.delta for c in self.cells] + [self.residual]
+
+    # -- marginals ------------------------------------------------------------
+    def by(self, dim: str) -> Dict[str, float]:
+        """Delta summed by ``phase``, ``class``, or ``actor``.
+
+        Each marginal covers every cell exactly once, so (with the
+        residual) it tiles the makespan delta as well.
+        """
+        idx = {"phase": 0, "class": 1, "actor": 2}
+        try:
+            i = idx[dim]
+        except KeyError:
+            raise ValueError(f"unknown diff dimension {dim!r} "
+                             f"(have {tuple(idx)})")
+        out: Dict[str, List[float]] = {}
+        for c in self.cells:
+            out.setdefault(c.key[i], []).append(c.delta)
+        return {k: math.fsum(v) for k, v in out.items()}
+
+    # -- rendering ------------------------------------------------------------
+    def _fmt_table(self, title: str, rows: Dict[str, float],
+                   top: int) -> List[str]:
+        # Percent-of-delta shares are only meaningful when the net
+        # delta is not itself floating-point dust.
+        denom = abs(self.delta) if abs(self.delta) > 1e-12 else 0.0
+        out = [f"  {title}"]
+        ordered = sorted(rows.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+        for name, d in ordered[:top]:
+            if d == 0.0:
+                continue
+            share = f"{100.0 * d / self.delta:6.1f}%" if denom else "      "
+            out.append(f"    {name:24s} {d * 1e3:+11.3f} ms {share}")
+        rest = math.fsum(d for _, d in ordered[top:])
+        if rest != 0.0:
+            share = f"{100.0 * rest / self.delta:6.1f}%" if denom else ""
+            out.append(f"    {'(other)':24s} {rest * 1e3:+11.3f} ms {share}")
+        if len(out) == 1:
+            out.append("    (no difference)")
+        return out
+
+    def render(self, top: int = 8) -> str:
+        b, c = self.base_makespan, self.cand_makespan
+        pct = f" ({100.0 * self.delta / b:+.2f}%)" if b else ""
+        lines = [
+            f"run diff: {self.base_label} -> {self.cand_label}",
+            f"  makespan {b * 1e3:.3f} ms -> {c * 1e3:.3f} ms   "
+            f"delta {self.delta * 1e3:+.3f} ms{pct}",
+            f"  attributed over {len(self.cells)} aligned cells "
+            f"(residual {self.residual * 1e3:+.6f} ms)",
+        ]
+        sd = self.structural_delta
+        if sd != 0.0:
+            n = sum(1 for x in self.cells if x.structural)
+            lines.append(f"  structural {sd * 1e3:+.3f} ms "
+                         f"({n} cells present in only one run)")
+        if self.config_diffs:
+            lines.append("  config differences:")
+            for name, a, bb in self.config_diffs:
+                lines.append(f"    {name:24s} {a!r} -> {bb!r}")
+        lines += self._fmt_table("by phase:", self.by("phase"), top)
+        lines += self._fmt_table("by resource class:", self.by("class"), top)
+        lines += self._fmt_table("by rank:", self.by("actor"), top)
+        worst = sorted(self.cells, key=lambda x: (-abs(x.delta), x.key))
+        shown = [x for x in worst[:top] if x.delta != 0.0]
+        if shown:
+            lines.append("  largest cells (phase / class / rank):")
+            for x in shown:
+                mark = " *" if x.structural else ""
+                lines.append(
+                    f"    {x.phase:18s} {x.cls:8s} {x.actor:10s} "
+                    f"{x.delta * 1e3:+11.3f} ms{mark}")
+            if any(x.structural for x in shown):
+                lines.append("    (* = structural: present in one run only)")
+        return "\n".join(lines)
+
+
+# -- alignment ----------------------------------------------------------------
+
+def diff_cells(base_cells: Dict[CellKey, float],
+               cand_cells: Dict[CellKey, float], *,
+               base_makespan: float, cand_makespan: float,
+               base_label: str = "base", cand_label: str = "cand",
+               config_diffs: Optional[List[Tuple[str, Any, Any]]] = None,
+               ) -> RunDiff:
+    """Align two cell maps (from :meth:`ActivityGraph.cp_cells`)."""
+    cells: List[CellDelta] = []
+    for key in sorted(set(base_cells) | set(cand_cells)):
+        in_base = key in base_cells
+        in_cand = key in cand_cells
+        cells.append(CellDelta(
+            phase=key[0], cls=key[1], actor=key[2],
+            base=base_cells.get(key, 0.0), cand=cand_cells.get(key, 0.0),
+            structural=not (in_base and in_cand)))
+    return RunDiff(base_label=base_label, cand_label=cand_label,
+                   base_makespan=base_makespan,
+                   cand_makespan=cand_makespan, cells=cells,
+                   config_diffs=list(config_diffs or []))
+
+
+def _payload_cells(payload: dict) -> Dict[CellKey, float]:
+    return {(c["phase"], c["class"], c["actor"]): c["seconds"]
+            for c in payload["profile"]["cp_cells"]}
+
+
+def diff_runs(base: dict, cand: dict, *,
+              base_label: Optional[str] = None,
+              cand_label: Optional[str] = None) -> RunDiff:
+    """Diff two saved run payloads (see :func:`repro.obs.load_run`)."""
+    card_b = RunCard.from_payload(base["runcard"])
+    card_c = RunCard.from_payload(cand["runcard"])
+    return diff_cells(
+        _payload_cells(base), _payload_cells(cand),
+        base_makespan=base["profile"]["makespan"],
+        cand_makespan=cand["profile"]["makespan"],
+        base_label=base_label or card_b.describe(),
+        cand_label=cand_label or card_c.describe(),
+        config_diffs=card_b.diff(card_c))
+
+
+# -- Perfetto comparison trace ------------------------------------------------
+
+def diff_trace_events(base: dict, cand: dict) -> List[dict]:
+    """Two-process trace: each run's critical path on its own track
+    group, time-aligned at 0, so the divergence is visible by eye."""
+    events: List[dict] = []
+    for pid, (payload, role) in enumerate(((base, "base"),
+                                           (cand, "cand"))):
+        card = RunCard.from_payload(payload["runcard"])
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "args": {"name": f"{role}: {card.describe()}"}})
+        events.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                       "args": {"sort_index": pid}})
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": 1, "args": {"name": "critical path"}})
+        for seg in payload["profile"]["cp_timeline"]:
+            events.append({
+                "name": seg["label"] or seg["phase"],
+                "cat": seg["class"],
+                "ph": "X", "pid": pid, "tid": 1,
+                "ts": seg["start"] * 1e6,
+                "dur": (seg["end"] - seg["start"]) * 1e6,
+                "args": {"phase": seg["phase"], "class": seg["class"],
+                         "actor": seg["actor"]},
+            })
+    return events

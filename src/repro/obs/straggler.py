@@ -1,0 +1,229 @@
+"""Straggler / outlier detection over recorded spans.
+
+A slow rank (or a slow link feeding one) rarely shows up in aggregate
+numbers — S-Caffe's reduce designs pipeline around it and the damage
+appears as ``(wait)`` time attributed elsewhere.  The detector reads
+the raw span timings instead: per-rank busy seconds (helper threads
+folded into their rank), per-link busy seconds grouped by resource
+class, and the per-GPU traffic totals of the comm matrix.  Anything
+``threshold`` times its population median is flagged.
+
+Pure function of the recording — no simulator events, no state beyond
+a cache — and exported as ``obs.straggler.*`` PVARs by
+:func:`bind_straggler_pvars` (all ``timeseries=False``: the scan is
+O(spans), so it runs at export/snapshot time, never per scrape).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["StragglerDetector", "StragglerReport", "bind_straggler_pvars"]
+
+#: Rank processes are named "<comm>.rank<N>" (helpers append another
+#: suffix); all of a rank's threads fold into one "rank<N>" bucket.
+_RANK_RE = re.compile(r"(?:^|\.)rank(\d+)(?:\.|$)")
+
+
+def _resource_class(resource: str) -> str:
+    """Coarse class of a resource *name* (link-side twin of
+    :func:`~repro.prof.span_class`, which classifies spans)."""
+    if resource.endswith(".sm"):
+        return "compute"
+    if ".pcie_" in resource:
+        return "pcie"
+    if resource.endswith(".tx") or resource.endswith(".rx"):
+        return "ib"
+    if resource.endswith(".hostmem"):
+        return "host"
+    if resource.endswith(".cpured"):
+        return "cpu"
+    return "other"
+
+
+def _median(values: List[float]) -> float:
+    vs = sorted(values)
+    n = len(vs)
+    if not n:
+        return 0.0
+    mid = n // 2
+    return vs[mid] if n % 2 else 0.5 * (vs[mid - 1] + vs[mid])
+
+
+@dataclass
+class StragglerReport:
+    """One detection pass over a recording."""
+
+    threshold: float
+    #: Rank ("r0", ...) -> busy seconds (helpers folded in).
+    rank_busy: Dict[str, float] = field(default_factory=dict)
+    #: Rank -> busy / median busy (1.0 = perfectly balanced).
+    rank_skew: Dict[str, float] = field(default_factory=dict)
+    flagged_ranks: List[str] = field(default_factory=list)
+    #: Link resource name -> busy seconds (comm classes only).
+    link_busy: Dict[str, float] = field(default_factory=dict)
+    #: Link -> busy / median of its resource class.
+    link_skew: Dict[str, float] = field(default_factory=dict)
+    slow_links: List[str] = field(default_factory=list)
+    #: GPU index -> total bytes sent+received (comm-matrix imbalance).
+    rank_bytes: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_rank_skew(self) -> float:
+        return max(self.rank_skew.values(), default=0.0)
+
+    def to_payload(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "rank_busy": dict(self.rank_busy),
+            "rank_skew": dict(self.rank_skew),
+            "flagged_ranks": list(self.flagged_ranks),
+            "link_busy": dict(self.link_busy),
+            "link_skew": dict(self.link_skew),
+            "slow_links": list(self.slow_links),
+            "rank_bytes": {str(k): v for k, v in self.rank_bytes.items()},
+        }
+
+    def render(self) -> str:
+        if not self.rank_busy:
+            return "  (no rank activity recorded)"
+        lines = []
+        if self.flagged_ranks:
+            worst = max(self.flagged_ranks, key=self.rank_skew.get)
+            lines.append(
+                f"  stragglers: {len(self.flagged_ranks)} rank(s) >= "
+                f"{self.threshold:.2f}x median busy time -- "
+                + ", ".join(f"{r} ({self.rank_skew[r]:.2f}x)"
+                            for r in self.flagged_ranks)
+                + f"; worst {worst}")
+        else:
+            lines.append(
+                f"  stragglers: none (max rank skew "
+                f"{self.max_rank_skew:.2f}x, threshold "
+                f"{self.threshold:.2f}x)")
+        if self.slow_links:
+            lines.append(
+                "  slow links: "
+                + ", ".join(f"{name} ({self.link_skew[name]:.2f}x class "
+                            f"median)" for name in self.slow_links))
+        return "\n".join(lines)
+
+
+class StragglerDetector:
+    """Skew detection over a live :class:`~repro.prof.SpanRecorder`.
+
+    ``report()`` is cached on the recorder's span count, so the PVAR
+    binder can read several variables from one snapshot without
+    rescanning the span list each time.
+    """
+
+    def __init__(self, recorder, *, threshold: float = 1.5):
+        if threshold <= 1.0:
+            raise ValueError("straggler threshold must be > 1.0")
+        self.recorder = recorder
+        self.threshold = threshold
+        self._cache: Tuple[int, StragglerReport] = (-1, None)
+
+    def report(self) -> StragglerReport:
+        rec = self.recorder
+        key = len(rec.spans)
+        if self._cache[0] == key:
+            return self._cache[1]
+        rep = StragglerReport(threshold=self.threshold)
+
+        rank_busy: Dict[str, float] = {}
+        link_busy: Dict[str, float] = {}
+        for s in rec.spans:
+            if s.end is None:
+                continue
+            d = s.end - s.start
+            m = _RANK_RE.search(s.actor)
+            if m is not None:
+                rank = f"rank{m.group(1)}"
+                rank_busy[rank] = rank_busy.get(rank, 0.0) + d
+            for r in s.resources:
+                cls = _resource_class(r)
+                if cls in ("pcie", "ib", "host"):
+                    link_busy[r] = link_busy.get(r, 0.0) + d
+        rep.rank_busy = rank_busy
+
+        med = _median(list(rank_busy.values()))
+        if med > 0.0:
+            rep.rank_skew = {r: b / med for r, b in rank_busy.items()}
+            rep.flagged_ranks = sorted(
+                (r for r, s in rep.rank_skew.items()
+                 if s >= self.threshold),
+                key=lambda r: -rep.rank_skew[r])
+
+        rep.link_busy = link_busy
+        by_class: Dict[str, List[str]] = {}
+        for name in link_busy:
+            by_class.setdefault(_resource_class(name), []).append(name)
+        for cls, names in by_class.items():
+            cmed = _median([link_busy[n] for n in names])
+            if cmed <= 0.0 or len(names) < 2:
+                continue
+            for name in names:
+                rep.link_skew[name] = link_busy[name] / cmed
+        rep.slow_links = sorted(
+            (n for n, s in rep.link_skew.items() if s >= self.threshold),
+            key=lambda n: -rep.link_skew[n])
+
+        bytes_total: Dict[int, int] = {}
+        for (src, dst), (_cnt, nbytes) in rec.comm.items():
+            bytes_total[src] = bytes_total.get(src, 0) + nbytes
+            bytes_total[dst] = bytes_total.get(dst, 0) + nbytes
+        rep.rank_bytes = bytes_total
+
+        self._cache = (key, rep)
+        return rep
+
+
+def bind_straggler_pvars(session, detector: StragglerDetector) -> None:
+    """Register the ``obs.straggler.*`` PVAR namespace on ``session``.
+
+    All variables are ``timeseries=False``: each read rescans the span
+    list (O(spans), cached per span count), which is fine at snapshot
+    or Prometheus-export time but would be quadratic if sampled every
+    scrape interval.
+    """
+    from ..telemetry import PerfVar
+
+    def flagged():
+        return len(detector.report().flagged_ranks)
+
+    def max_skew():
+        return detector.report().max_rank_skew
+
+    def slow_links():
+        return len(detector.report().slow_links)
+
+    def rank_busy():
+        return dict(detector.report().rank_busy)
+
+    def link_skew():
+        return dict(detector.report().link_skew)
+
+    for pv in (
+        PerfVar("obs.straggler.flagged_ranks",
+                "ranks whose busy time exceeds the straggler threshold "
+                "over the population median", "ranks", flagged,
+                timeseries=False),
+        PerfVar("obs.straggler.max_rank_skew",
+                "worst rank busy time over the median (1.0 = balanced)",
+                "ratio", max_skew, timeseries=False),
+        PerfVar("obs.straggler.slow_links",
+                "links whose busy time exceeds the threshold over their "
+                "resource-class median", "links", slow_links,
+                timeseries=False),
+        PerfVar("obs.straggler.rank_busy",
+                "per-rank busy seconds (helper threads folded in)",
+                "seconds", rank_busy, labeled=True, timeseries=False),
+        PerfVar("obs.straggler.link_skew",
+                "per-link busy time over its resource-class median",
+                "ratio", link_skew, labeled=True, timeseries=False),
+    ):
+        if pv.name not in session.pvar_names():
+            session.register_pvar(pv)

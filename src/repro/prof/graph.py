@@ -185,6 +185,43 @@ class ActivityGraph:
             out[k] = out.get(k, 0.0) + seg.duration
         return out
 
+    def cp_cells(self) -> Dict[Tuple[str, str, str], float]:
+        """Critical-path seconds per (phase, resource class, actor) cell.
+
+        The finest-granularity attribution the diff engine aligns on:
+        phases use the same op/kind fallback as :meth:`cp_breakdown`,
+        wait gaps land in the ``("(wait)", "wait", "-")`` cell.  The
+        cell values are the segment durations re-bucketed, so their
+        ``math.fsum`` equals :attr:`cp_length` up to float rounding.
+        """
+        out: Dict[Tuple[str, str, str], float] = {}
+        for seg in self.critical_path():
+            if seg.is_wait:
+                key = ("(wait)", "wait", "-")
+            else:
+                s = self.spans[seg.sid]
+                key = (self._segment_key(seg, "phase"), span_class(s),
+                       s.actor)
+            out[key] = out.get(key, 0.0) + seg.duration
+        return out
+
+    def cp_timeline(self) -> List[Dict[str, object]]:
+        """Forward-ordered critical-path segments as plain dicts
+        (JSON-safe; consumed by the ``repro diff --trace`` export)."""
+        out: List[Dict[str, object]] = []
+        for seg in self.critical_path():
+            if seg.is_wait:
+                out.append({"start": seg.start, "end": seg.end, "sid": -1,
+                            "phase": "(wait)", "class": "wait",
+                            "actor": "-", "label": "(wait)"})
+                continue
+            s = self.spans[seg.sid]
+            out.append({"start": seg.start, "end": seg.end, "sid": s.sid,
+                        "phase": self._segment_key(seg, "phase"),
+                        "class": span_class(s), "actor": s.actor,
+                        "label": s.label or s.kind})
+        return out
+
     def cp_shares(self) -> Tuple[float, float, float]:
         """(communication, compute, other+wait) shares of the critical
         path, each in [0, 1]."""

@@ -97,6 +97,9 @@ class SpanRecorder:
         self._phase: Dict[Optional[Process], List[str]] = {}
         self._op: Dict[Optional[Process], List[str]] = {}
         self._owner: Dict[Process, str] = {}
+        #: Optional :class:`~repro.obs.FlightRecorder` ring fed from
+        #: :meth:`open`/:meth:`close` (one attribute check when unset).
+        self.flight = None
         if install:
             sim.recorder = self
 
@@ -150,10 +153,15 @@ class SpanRecorder:
             self._last_by_proc[p] = sid
         for r in keys:
             self._last_by_res[r] = sid
+        if self.flight is not None:
+            self.flight.on_open(spans[sid])
         return sid
 
     def close(self, sid: int) -> None:
-        self.spans[sid].end = self.sim._now
+        span = self.spans[sid]
+        span.end = self.sim._now
+        if self.flight is not None:
+            self.flight.on_close(span)
 
     # -- kernel hooks (called from repro.sim.core) --------------------------
     def note_wakeup(self, proc: Process, sid: int) -> None:

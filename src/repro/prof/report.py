@@ -57,6 +57,42 @@ class ProfileReport:
         :meth:`ActivityGraph.project`)."""
         return self.graph.project(scales)
 
+    # -- machine-readable export -------------------------------------------
+    def to_json_dict(self) -> dict:
+        """JSON-safe summary (the ``profile`` half of a saved run file).
+
+        Carries everything ``repro diff`` needs offline: the headline
+        numbers, the marginal breakdowns, the (phase, class, rank)
+        critical-path cells the diff engine aligns on, the forward
+        critical-path timeline for trace export, and the comm matrix.
+        """
+        out = {
+            "makespan": self.makespan,
+            "cp_length": self.cp_length,
+            "n_spans": self.n_spans,
+            "comm_share": self.comm_share,
+            "compute_share": self.compute_share,
+            "by_phase": dict(self.by_phase),
+            "by_class": dict(self.by_class),
+            "by_actor": dict(self.by_actor),
+            "utilization": dict(self.utilization),
+            "comm": [[s, d, cnt, nbytes] for (s, d), (cnt, nbytes)
+                     in sorted(self.comm.items())],
+            "devices": {str(g): [name, node]
+                        for g, (name, node) in sorted(self.devices.items())},
+        }
+        if self.graph is not None:
+            out["cp_cells"] = [
+                {"phase": phase, "class": cls, "actor": actor,
+                 "seconds": seconds}
+                for (phase, cls, actor), seconds
+                in sorted(self.graph.cp_cells().items())]
+            out["cp_timeline"] = self.graph.cp_timeline()
+        else:  # pragma: no cover - reports always carry their graph
+            out["cp_cells"] = []
+            out["cp_timeline"] = []
+        return out
+
     # -- rendering ---------------------------------------------------------
     def _table(self, title: str, rows: Dict[str, float],
                top: int) -> List[str]:
@@ -77,7 +113,11 @@ class ProfileReport:
         """Per-(src,dst) traffic matrix in MiB.
 
         Endpoints are GPUs; when more than ``max_endpoints`` GPUs
-        communicated, traffic is aggregated per node instead.
+        communicated, traffic is aggregated per node instead.  Should
+        even the node count exceed the cap, only the busiest
+        ``max_endpoints`` endpoints are shown — with a footer saying
+        how many were dropped and what share of the bytes their cells
+        carried (caps are never silent).
         """
         if not self.comm:
             return "  (no pt2pt traffic recorded)"
@@ -94,6 +134,23 @@ class ProfileReport:
             labels = gpus
             name = {g: f"g{g}" for g in gpus}
             cells = {k: float(v[1]) for k, v in self.comm.items()}
+        footer = None
+        if len(labels) > max_endpoints:
+            traffic = {x: 0.0 for x in labels}
+            for (s, d), nbytes in cells.items():
+                traffic[s] += nbytes
+                traffic[d] += nbytes
+            keep = set(sorted(labels,
+                              key=lambda x: (-traffic[x], x))[:max_endpoints])
+            total = sum(cells.values())
+            shown = sum(v for (s, d), v in cells.items()
+                        if s in keep and d in keep)
+            hidden = total - shown
+            share = (100.0 * hidden / total) if total else 0.0
+            footer = (f"  ({len(labels) - len(keep)} endpoints hidden; "
+                      f"their cells carried {hidden / (1 << 20):.1f} MiB "
+                      f"= {share:.1f}% of the traffic)")
+            labels = [x for x in labels if x in keep]
         width = max(6, max(len(name[x]) for x in labels) + 1)
         head = " " * (width + 2) + "".join(
             f"{name[x]:>{width}}" for x in labels)
@@ -105,6 +162,8 @@ class ProfileReport:
                 v = cells.get((s, d), 0.0) / (1 << 20)
                 row.append(f"{v:{width}.1f}" if v else " " * (width - 1) + ".")
             lines.append("".join(row))
+        if footer is not None:
+            lines.append(footer)
         return "\n".join(lines)
 
     def render(self, top: int = 10) -> str:

@@ -170,3 +170,72 @@ layer { name: "ip1" type: "InnerProduct"
         assert rc == 0
         out = capsys.readouterr().out
         assert "CliNet" in out
+
+
+class TestDiffWorkflow:
+    """repro profile --json -> repro diff, plus chaos --flight."""
+
+    def _profile(self, out, seed, extra=()):
+        return main(["profile", "--model", "cifar10_quick",
+                     "--dataset", "cifar10", "--gpus", "4",
+                     "--batch-size", "64", "--iterations", "3",
+                     "--seed", str(seed), "--json", str(out), *extra])
+
+    def test_profile_json_writes_a_run_file(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "run.json"
+        assert self._profile(out, 3) == 0
+        stdout = capsys.readouterr().out
+        assert "run file written" in stdout
+        assert "stragglers:" in stdout       # detector verdict printed
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro.obs.run/1"
+        assert payload["runcard"]["seed"] == 3
+        assert payload["profile"]["cp_cells"]
+        assert "straggler" in payload
+
+    def test_profile_json_stdout(self, capsys):
+        import json
+        rc = main(["profile", "--model", "cifar10_quick",
+                   "--dataset", "cifar10", "--gpus", "4",
+                   "--batch-size", "64", "--iterations", "3",
+                   "--seed", "3", "--json", "-"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro.obs.run/1"
+
+    def test_diff_two_runs(self, capsys, tmp_path):
+        import json
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        trace = tmp_path / "cmp.json"
+        assert self._profile(a, 3) == 0
+        assert self._profile(b, 4) == 0
+        capsys.readouterr()
+        rc = main(["diff", str(a), str(b), "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "run diff:" in out
+        assert "by phase:" in out and "by rank:" in out
+        data = json.loads(trace.read_text())
+        pids = {e["pid"] for e in data["traceEvents"]}
+        assert pids == {0, 1}  # base and candidate on separate tracks
+        assert any(e["ph"] == "X" for e in data["traceEvents"])
+
+    def test_diff_rejects_non_run_files(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = main(["diff", str(bad), str(bad)])
+        assert rc == 2
+        assert "cannot load run file" in capsys.readouterr().err
+
+    def test_chaos_flight_postmortem(self, capsys, tmp_path):
+        import json
+        out = tmp_path / "flight.json"
+        rc = main(["chaos", "--plan", "stall", "--gpus", "4",
+                   "--network", "cifar10_quick", "--batch-size", "64",
+                   "--iterations", "3", "--flight", str(out)])
+        assert rc == 0
+        assert "flight-recorder post-mortem" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["format"] == "repro.obs.flight/1"
+        assert payload["events"]

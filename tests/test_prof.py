@@ -187,3 +187,93 @@ class TestSyntheticGraph:
             0, 0, 1, kind="wire", resource="node0.nic0.tx")) == "ib"
         assert span_class(self._span(
             0, 0, 1, kind="barrier", resource="")) == "sync"
+
+
+class TestExportRoundTrip:
+    """Satellite (d): the Perfetto export survives a round-trip."""
+
+    def test_flow_ids_unique_and_paired(self, profiled_run, tmp_path):
+        rec, _ = profiled_run
+        path = tmp_path / "rt.json"
+        save_trace(str(path), rec.closed_spans())
+        ev = json.loads(path.read_text())["traceEvents"]
+        s_ids = [e["id"] for e in ev if e["ph"] == "s"]
+        f_ids = [e["id"] for e in ev if e["ph"] == "f"]
+        assert len(s_ids) == len(set(s_ids))      # begin ids unique
+        assert len(f_ids) == len(set(f_ids))      # end ids unique
+        assert set(s_ids) == set(f_ids)           # every arrow closed
+
+    def test_x_events_well_formed(self, profiled_run, tmp_path):
+        rec, _ = profiled_run
+        path = tmp_path / "rt.json"
+        save_trace(str(path), rec.closed_spans())
+        ev = json.loads(path.read_text())["traceEvents"]
+        named_tids = {e["tid"] for e in ev
+                      if e["ph"] == "M" and e["name"] == "thread_name"}
+        for e in (x for x in ev if x["ph"] == "X"):
+            assert e["ts"] >= 0 and e["dur"] >= 0
+            assert e["pid"] == 0 and e["tid"] in named_tids
+            assert isinstance(e["args"]["sid"], int)
+
+    def test_cp_spans_tile_makespan_after_export(self, profiled_run,
+                                                 tmp_path):
+        """Re-reading the trace, the critical path's spans still tile
+        [0, makespan]: every non-wait CP segment maps to one exported
+        event with identical ts/dur, and segments + wait gaps cover the
+        whole run."""
+        import math
+        rec, report = profiled_run
+        prof = report.profile
+        path = tmp_path / "rt.json"
+        save_trace(str(path), rec.closed_spans())
+        ev = json.loads(path.read_text())["traceEvents"]
+        by_sid = {e["args"]["sid"]: e for e in ev if e["ph"] == "X"}
+        segs = prof.graph.critical_path()
+        assert segs[0].start == 0.0
+        assert segs[-1].end == pytest.approx(prof.makespan)
+        covered = []
+        prev_end = 0.0
+        for seg in segs:
+            assert seg.start == pytest.approx(prev_end)  # contiguous
+            prev_end = seg.end
+            covered.append(seg.end - seg.start)
+            if seg.is_wait:
+                continue
+            e = by_sid[seg.sid]
+            assert e["ts"] == seg.start * 1e6
+            assert e["dur"] == (seg.end - seg.start) * 1e6
+        assert math.fsum(covered) == pytest.approx(prof.makespan)
+
+
+class TestCommMatrixTruncation:
+    """Satellite (c): the endpoint cap is never silent."""
+
+    def _report(self, n, heavy=()):
+        from repro.prof.report import ProfileReport
+        comm = {(i, (i + 1) % n): [1, 1 << 20] for i in range(n)}
+        for (s, d) in heavy:
+            comm[(s, d)] = [4, 8 << 20]
+        return ProfileReport(
+            makespan=1.0, cp_length=1.0, n_spans=n,
+            comm=comm,
+            devices={i: (f"gpu{i}", i) for i in range(n)})
+
+    def test_no_footer_when_everything_fits(self):
+        text = self._report(4).comm_matrix_text()
+        assert "hidden" not in text
+
+    def test_footer_names_dropped_count_and_byte_share(self):
+        # 20 endpoints on 20 nodes, uniform ring traffic: the cap keeps
+        # the busiest 16, and the 5 ring cells touching the 4 hidden
+        # endpoints carry 5 of the 20 MiB.
+        text = self._report(20).comm_matrix_text(max_endpoints=16)
+        assert "4 endpoints hidden" in text
+        assert "5.0 MiB = 25.0% of the traffic" in text
+
+    def test_cap_keeps_the_busiest_endpoints(self):
+        # Make endpoints 18/19 carry an 8 MiB cell: they must survive
+        # the cut and the footer share shrinks accordingly.
+        text = self._report(20, heavy=[(18, 19)]).comm_matrix_text(
+            max_endpoints=16)
+        assert "n18" in text and "n19" in text
+        assert "4 endpoints hidden" in text
